@@ -1,0 +1,61 @@
+"""Ablation A1 (DESIGN.md): VC policies and C-group styles.
+
+Not a paper figure: quantifies the design choices behind Sec. IV —
+baseline (4-VC) vs reduced (3-VC) schemes and mesh vs IO-router C-groups
+— by measured saturation under uniform traffic, plus the deadlock
+verdicts of the CDG checker (the reproduction's Sec. IV-B finding).
+"""
+
+from conftest import once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import SwitchlessRouting, verify_deadlock_free
+from repro.traffic import UniformTraffic
+
+
+def _run():
+    params = sim_params()
+    mesh_sys = build_switchless(SwitchlessConfig.small_equiv())
+    io_sys = build_switchless(
+        SwitchlessConfig.small_equiv(cgroup_style="io-router")
+    )
+    configs = {
+        "mesh / baseline (4 VC)": (
+            mesh_sys.graph,
+            SwitchlessRouting(mesh_sys, "minimal", policy="baseline"),
+            UniformTraffic(mesh_sys.graph),
+        ),
+        "mesh / reduced (3 VC)": (
+            mesh_sys.graph,
+            SwitchlessRouting(mesh_sys, "minimal", policy="reduced"),
+            UniformTraffic(mesh_sys.graph),
+        ),
+        "io-router / reduced (3 VC)": (
+            io_sys.graph,
+            SwitchlessRouting(io_sys, "minimal", policy="reduced"),
+            UniformTraffic(io_sys.graph),
+        ),
+    }
+    sweeps = run_curves(
+        configs, pick_rates([0.15, 0.3, 0.45, 0.6]), params=params
+    )
+    verdicts = {}
+    for label, (graph, routing, _t) in configs.items():
+        verdicts[label] = verify_deadlock_free(
+            graph, routing, max_pairs=1200
+        ).acyclic
+    return sweeps, verdicts
+
+
+def bench_ablation_vc_schemes(benchmark):
+    sweeps, verdicts = once(benchmark, _run)
+    print_figure(
+        "Ablation A1: VC schemes and C-group styles", sweeps,
+        "reduced saves one VC; CDG verdicts quantify its safety domain",
+    )
+    print("CDG acyclic verdicts:")
+    for label, ok in verdicts.items():
+        print(f"  {label:28s} {'ACYCLIC' if ok else 'CYCLIC (documented)'}")
+    assert verdicts["mesh / baseline (4 VC)"]
+    assert verdicts["io-router / reduced (3 VC)"]
+    assert not verdicts["mesh / reduced (3 VC)"]

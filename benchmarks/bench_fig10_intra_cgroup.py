@@ -1,0 +1,54 @@
+"""Fig. 10(a-b): intra-C-group performance, 2D mesh vs switch.
+
+Paper setup: the radix-16-equivalent C-group (a 4x4 grid of on-chip
+routers = 2x2 chiplets of 2x2) against 4 chips on a non-blocking switch.
+Paper result: mesh saturates at ~3.0 (uniform) / ~2.0 (bit-reverse)
+flits/cycle/chip, the switch at ~1.0 — "over 3x more".
+"""
+
+from conftest import once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.routing import SwitchStarRouting, XYMeshRouting
+from repro.topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
+from repro.traffic import BitReverseTraffic, UniformTraffic
+
+
+def _run():
+    params = sim_params()
+    mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    sw = build_switch_with_terminals(4, terminal_latency=1)
+
+    def configs(pattern_cls):
+        return {
+            "Switch": (sw.graph, SwitchStarRouting(sw),
+                       pattern_cls(sw.graph)),
+            "2D-Mesh": (mesh.graph, XYMeshRouting(mesh),
+                        pattern_cls(mesh.graph)),
+        }
+
+    uni = run_curves(
+        configs(UniformTraffic),
+        pick_rates([0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]),
+        params=params, stop_after_saturation=2,
+    )
+    rev = run_curves(
+        configs(BitReverseTraffic),
+        pick_rates([0.4, 0.8, 1.2, 1.6, 2.0, 2.4]),
+        params=params, stop_after_saturation=2,
+    )
+    return uni, rev
+
+
+def bench_fig10_intra_cgroup(benchmark):
+    uni, rev = once(benchmark, _run)
+    print_figure(
+        "Fig. 10(a) intra-C-group: uniform", uni,
+        "paper: mesh ~3.0, switch ~1.0 flits/cycle/chip",
+    )
+    print_figure(
+        "Fig. 10(b) intra-C-group: bit-reverse", rev,
+        "paper: mesh ~2.0, switch <= 1.0 flits/cycle/chip",
+    )
+    # shape assertions: who wins and by roughly what factor
+    assert uni["2D-Mesh"].max_accepted > 2.0 * uni["Switch"].max_accepted
+    assert rev["2D-Mesh"].max_accepted > 1.4 * rev["Switch"].max_accepted

@@ -1,0 +1,96 @@
+"""Fig. 10(c-f): local (intra-W-group) performance under four patterns.
+
+Paper setup: one W-group of the radix-16-equivalent system (8 C-groups x
+4 chips = 32 chips / 128 nodes) vs one group of the radix-16 Dragonfly.
+Paper result: switch-less saturates 1.2-2x higher than switch-based for
+uniform / bit-reverse / bit-transpose; bit-shuffle is inter-C-group-link
+bound, so 2B does not help there.
+"""
+
+import os
+
+from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.traffic import (
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    BitTransposeTraffic,
+    UniformTraffic,
+)
+
+PATTERNS = {
+    "uniform": (UniformTraffic, [0.3, 0.6, 0.9, 1.2, 1.6, 2.0]),
+    "bit-reverse": (BitReverseTraffic, [0.3, 0.6, 0.9, 1.2, 1.6]),
+    "bit-shuffle": (BitShuffleTraffic, [0.1, 0.2, 0.3, 0.4, 0.5]),
+    "bit-transpose": (BitTransposeTraffic, [0.3, 0.6, 0.9, 1.2, 1.6]),
+}
+
+
+def _build():
+    wgroups = 41 if SCALE == "full" else 2
+    dfly = build_dragonfly(DragonflyConfig.radix16(g=wgroups))
+    sless = build_switchless(
+        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
+                                       cgroups_per_wafer=1)
+    )
+    sless2b = build_switchless(
+        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
+                                       cgroups_per_wafer=1, mesh_capacity=2)
+    )
+    return dfly, sless, sless2b
+
+
+def _run():
+    params = sim_params()
+    dfly, sless, sless2b = _build()
+    results = {}
+    names = list(PATTERNS)
+    if SCALE == "quick":
+        names = ["uniform", "bit-reverse"]
+    for name in names:
+        cls, rates = PATTERNS[name]
+        configs = {
+            "SW-based": (
+                dfly.graph,
+                DragonflyRouting(dfly, "minimal", vc_spread=2),
+                cls(dfly.graph, dfly.group_nodes(0)),
+            ),
+            "SW-less": (
+                sless.graph,
+                SwitchlessRouting(sless, "minimal"),
+                cls(sless.graph, sless.group_nodes(0)),
+            ),
+            "SW-less-2B": (
+                sless2b.graph,
+                SwitchlessRouting(sless2b, "minimal"),
+                cls(sless2b.graph, sless2b.group_nodes(0)),
+            ),
+        }
+        results[name] = run_curves(
+            configs, pick_rates(rates), params=params
+        )
+    return results
+
+
+def bench_fig10_local(benchmark):
+    results = once(benchmark, _run)
+    notes = {
+        "uniform": "paper Fig.10(c): SW-less saturates ~1.5x SW-based",
+        "bit-reverse": "paper Fig.10(d): SW-less ~1.2-2x SW-based",
+        "bit-shuffle": "paper Fig.10(e): all bound by inter-C-group links",
+        "bit-transpose": "paper Fig.10(f): SW-less ~1.2-2x SW-based",
+    }
+    for name, sweeps in results.items():
+        print_figure(f"Fig. 10 local: {name}", sweeps, notes[name])
+    uni = results["uniform"]
+    assert uni["SW-less"].max_accepted > uni["SW-based"].max_accepted
+    if "bit-shuffle" in results:
+        shuf = results["bit-shuffle"]
+        # 2B does not lift the bit-shuffle bottleneck (inter-C-group bound)
+        assert (
+            shuf["SW-less-2B"].max_accepted
+            < 1.35 * shuf["SW-less"].max_accepted
+        )

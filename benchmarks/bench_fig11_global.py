@@ -1,0 +1,74 @@
+"""Fig. 11: global performance under uniform and bit-reverse traffic.
+
+Paper setup: the full radix-16 network (41 groups, 1312 chips).  Paper
+result: with uniform intra-C-group bandwidth the switch-less Dragonfly
+is slightly worse than the switch-based one (2D-mesh bisection is half a
+non-blocking switch, Eq. 6); doubling intra-C-group bandwidth ("2B")
+removes the bottleneck and it performs much better.
+
+Default scale substitutes the structurally identical 9-W-group
+``small_equiv`` pair (144 chips; same chips-per-group and global-channel
+ratio); ``REPRO_SCALE=full`` runs the paper-exact radix-16 systems.
+"""
+
+from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.traffic import BitReverseTraffic, UniformTraffic
+
+
+def _build():
+    if SCALE == "full":
+        return (
+            build_dragonfly(DragonflyConfig.radix16()),
+            build_switchless(SwitchlessConfig.radix16_equiv()),
+            build_switchless(SwitchlessConfig.radix16_equiv(mesh_capacity=2)),
+        )
+    return (
+        build_dragonfly(DragonflyConfig.small_equiv()),
+        build_switchless(SwitchlessConfig.small_equiv()),
+        build_switchless(SwitchlessConfig.small_equiv(mesh_capacity=2)),
+    )
+
+
+def _run():
+    params = sim_params()
+    dfly, sless, sless2b = _build()
+    out = {}
+    for name, cls, rates in (
+        ("uniform", UniformTraffic, [0.1, 0.25, 0.4, 0.55, 0.7, 0.85]),
+        ("bit-reverse", BitReverseTraffic, [0.1, 0.2, 0.3, 0.45, 0.6]),
+    ):
+        configs = {
+            "SW-based": (
+                dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
+                cls(dfly.graph),
+            ),
+            "SW-less": (
+                sless.graph, SwitchlessRouting(sless, "minimal"),
+                cls(sless.graph),
+            ),
+            "SW-less-2B": (
+                sless2b.graph, SwitchlessRouting(sless2b, "minimal"),
+                cls(sless2b.graph),
+            ),
+        }
+        out[name] = run_curves(configs, pick_rates(rates), params=params)
+    return out
+
+
+def bench_fig11_global(benchmark):
+    results = once(benchmark, _run)
+    print_figure(
+        "Fig. 11(a) global: uniform", results["uniform"],
+        "paper: SW-less slightly below SW-based; SW-less-2B above both",
+    )
+    print_figure(
+        "Fig. 11(b) global: bit-reverse", results["bit-reverse"],
+        "paper: same ordering as uniform",
+    )
+    uni = results["uniform"]
+    # 2B removes the mesh-bisection bottleneck (Eq. 6)
+    assert uni["SW-less-2B"].max_accepted >= uni["SW-less"].max_accepted

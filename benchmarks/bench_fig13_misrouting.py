@@ -1,0 +1,91 @@
+"""Fig. 13: minimal vs non-minimal routing under adversarial traffic.
+
+Paper setup: hotspot (all traffic within 4 W-groups) and worst-case
+(W_i -> W_{i+1}) on the radix-16 network.  Paper result: minimal routing
+collapses (3/40 resp. 1/40 global links used); Valiant misrouting lifts
+saturation by an order of magnitude, and extra intra-C-group bandwidth
+helps the hotspot case further.
+"""
+
+from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.traffic import HotspotTraffic, WorstCaseTraffic
+
+
+def _build():
+    if SCALE == "full":
+        return (
+            build_dragonfly(DragonflyConfig.radix16()),
+            build_switchless(SwitchlessConfig.radix16_equiv()),
+            build_switchless(SwitchlessConfig.radix16_equiv(mesh_capacity=2)),
+        )
+    return (
+        build_dragonfly(DragonflyConfig.small_equiv()),
+        build_switchless(SwitchlessConfig.small_equiv()),
+        build_switchless(SwitchlessConfig.small_equiv(mesh_capacity=2)),
+    )
+
+
+def _traffic(kind, sys, num_groups):
+    if kind == "hotspot":
+        return HotspotTraffic(sys.graph, sys.group_nodes, num_groups, 4)
+    return WorstCaseTraffic(sys.graph, sys.group_nodes, num_groups)
+
+
+def _run():
+    params = sim_params()
+    dfly, sless, sless2b = _build()
+    out = {}
+    for kind, rates in (
+        ("hotspot", [0.05, 0.15, 0.3, 0.5, 0.7]),
+        ("worst-case", [0.03, 0.08, 0.16, 0.26, 0.4]),
+    ):
+        groups_df = dfly.num_groups
+        groups_sl = sless.num_wgroups
+        configs = {
+            "SW-based-Min": (
+                dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
+                _traffic(kind, dfly, groups_df),
+            ),
+            "SW-less-Min": (
+                sless.graph, SwitchlessRouting(sless, "minimal"),
+                _traffic(kind, sless, groups_sl),
+            ),
+            "SW-based-Mis": (
+                dfly.graph, DragonflyRouting(dfly, "valiant", vc_spread=2),
+                _traffic(kind, dfly, groups_df),
+            ),
+            "SW-less-Mis": (
+                sless.graph, SwitchlessRouting(sless, "valiant"),
+                _traffic(kind, sless, groups_sl),
+            ),
+            "SW-less-2B-Mis": (
+                sless2b.graph, SwitchlessRouting(sless2b, "valiant"),
+                _traffic(kind, sless2b, sless2b.num_wgroups),
+            ),
+        }
+        out[kind] = run_curves(configs, pick_rates(rates), params=params)
+    return out
+
+
+def bench_fig13_misrouting(benchmark):
+    results = once(benchmark, _run)
+    print_figure(
+        "Fig. 13(a) hotspot", results["hotspot"],
+        "paper: misrouting saturates far above minimal; 2B helps further",
+    )
+    print_figure(
+        "Fig. 13(b) worst-case", results["worst-case"],
+        "paper: minimal collapses on the single W_i->W_i+1 channel",
+    )
+    for kind in ("hotspot", "worst-case"):
+        sw = results[kind]
+        assert (
+            sw["SW-less-Mis"].max_accepted > sw["SW-less-Min"].max_accepted
+        )
+        assert (
+            sw["SW-based-Mis"].max_accepted > sw["SW-based-Min"].max_accepted
+        )

@@ -1,0 +1,97 @@
+"""Fig. 14: ring-based AllReduce within a C-group and within a W-group.
+
+Paper results:
+(a) intra-C-group: switch-based saturates at 1 flit/cycle/chip (single
+    injection channel; the bidirectional ring only adds ejection
+    congestion), switch-less reaches 2 (uni) and 4 (bi) thanks to its
+    four injection ports per chip;
+(b) intra-W-group: both reach 1 with unidirectional rings (inter-C-group
+    links bound); bidirectional switch-less reaches ~1.3, and 2B lifts
+    it to ~2 — twice the switch-based Dragonfly.
+"""
+
+from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import (
+    DragonflyRouting,
+    SwitchlessRouting,
+    SwitchStarRouting,
+    XYMeshRouting,
+)
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
+from repro.traffic import RingAllReduceTraffic
+
+
+def _run_intra_cgroup(params):
+    mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    sw = build_switch_with_terminals(4, terminal_latency=1)
+    configs = {}
+    for bi, tag in ((False, "Uni"), (True, "Bi")):
+        configs[f"SW-based-{tag}"] = (
+            sw.graph, SwitchStarRouting(sw),
+            RingAllReduceTraffic(sw.graph, bidirectional=bi),
+        )
+        configs[f"SW-less-{tag}"] = (
+            mesh.graph, XYMeshRouting(mesh),
+            RingAllReduceTraffic(
+                mesh.graph, mesh.snake_chip_nodes(), bidirectional=bi
+            ),
+        )
+    return run_curves(
+        configs, pick_rates([0.5, 1.0, 1.5, 2.0, 3.0, 4.0]),
+        params=params, stop_after_saturation=2,
+    )
+
+
+def _run_intra_wgroup(params):
+    wgroups = 41 if SCALE == "full" else 2
+    dfly = build_dragonfly(DragonflyConfig.radix16(g=wgroups))
+    sless = build_switchless(
+        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
+                                       cgroups_per_wafer=1)
+    )
+    sless2b = build_switchless(
+        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
+                                       cgroups_per_wafer=1, mesh_capacity=2)
+    )
+    configs = {}
+    for bi, tag in ((False, "Uni"), (True, "Bi")):
+        configs[f"SW-based-{tag}"] = (
+            dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
+            RingAllReduceTraffic(dfly.graph, dfly.group_nodes(0),
+                                 bidirectional=bi),
+        )
+        configs[f"SW-less-{tag}"] = (
+            sless.graph, SwitchlessRouting(sless, "minimal"),
+            RingAllReduceTraffic(sless.graph, sless.group_nodes(0),
+                                 bidirectional=bi),
+        )
+    configs["SW-less-Bi-2B"] = (
+        sless2b.graph, SwitchlessRouting(sless2b, "minimal"),
+        RingAllReduceTraffic(sless2b.graph, sless2b.group_nodes(0),
+                             bidirectional=True),
+    )
+    return run_curves(
+        configs, pick_rates([0.4, 0.8, 1.1, 1.5, 2.0]),
+        params=params, stop_after_saturation=2,
+    )
+
+
+def bench_fig14_allreduce(benchmark):
+    params = sim_params()
+    cg, wg = once(
+        benchmark, lambda: (_run_intra_cgroup(params), _run_intra_wgroup(params))
+    )
+    print_figure(
+        "Fig. 14(a) AllReduce intra-C-group", cg,
+        "paper: SW-based 1 (uni=bi); SW-less 2 (uni) and 4 (bi)",
+    )
+    print_figure(
+        "Fig. 14(b) AllReduce intra-W-group", wg,
+        "paper: both 1 uni; SW-less-Bi ~1.3; SW-less-Bi-2B ~2",
+    )
+    assert cg["SW-less-Uni"].max_accepted > 1.4 * cg["SW-based-Uni"].max_accepted
+    assert cg["SW-less-Bi"].max_accepted > cg["SW-less-Uni"].max_accepted
+    assert wg["SW-less-Bi-2B"].max_accepted > wg["SW-based-Bi"].max_accepted

@@ -1,0 +1,84 @@
+"""Fig. 15: average transmission energy, minimal vs misrouting.
+
+Paper setup: uniform traffic traces on small-scale (4x4 mesh C-groups)
+and large-scale (7x7) Dragonflies; hop energies of 20 pJ/bit long-reach
+and ~1 pJ/bit averaged intra-C-group (Table II simplification).  Paper
+result: eliminating switches reduces total energy in all four cases; the
+intra-C-group share grows with mesh scale and misrouting.
+"""
+
+from conftest import once
+
+from repro.analysis import FIG15_ENERGY, average_energy
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.traffic import UniformTraffic
+
+SAMPLES = 3000
+
+
+def _breakdown(graph, routing, seed=0):
+    return average_energy(
+        graph, routing, UniformTraffic(graph),
+        table=FIG15_ENERGY, samples=SAMPLES, seed=seed,
+    )
+
+
+def _run():
+    out = {}
+    for scale, df_cfg, sl_cfg in (
+        (
+            "small (4x4 mesh)",
+            DragonflyConfig.radix16(g=9),
+            SwitchlessConfig.radix16_equiv(num_wgroups=9,
+                                           cgroups_per_wafer=1),
+        ),
+        (
+            "large (7x7 mesh)",
+            DragonflyConfig.radix32(g=9),
+            SwitchlessConfig.radix32_equiv(num_wgroups=9,
+                                           cgroups_per_wafer=1),
+        ),
+    ):
+        dfly = build_dragonfly(df_cfg)
+        sless = build_switchless(sl_cfg)
+        out[scale] = {
+            "SW-based": _breakdown(
+                dfly.graph, DragonflyRouting(dfly, "minimal")
+            ),
+            "SW-less": _breakdown(
+                sless.graph, SwitchlessRouting(sless, "minimal")
+            ),
+            "SW-based Misrouting": _breakdown(
+                dfly.graph, DragonflyRouting(dfly, "valiant")
+            ),
+            "SW-less Misrouting": _breakdown(
+                sless.graph, SwitchlessRouting(sless, "valiant")
+            ),
+        }
+    return out
+
+
+def bench_fig15_energy(benchmark):
+    results = once(benchmark, _run)
+    for scale, rows in results.items():
+        print()
+        print(f"==== Fig. 15 energy per transmission, {scale} ====")
+        print(f"{'network':22s} {'inter pJ/b':>10s} {'intra pJ/b':>10s} "
+              f"{'total':>7s}")
+        for name, b in rows.items():
+            print(
+                f"{name:22s} {b.inter_cgroup_pj:10.1f} "
+                f"{b.intra_cgroup_pj:10.1f} {b.total_pj:7.1f}"
+            )
+        # the paper's conclusion: switch-less is cheaper in all cases
+        assert rows["SW-less"].total_pj < rows["SW-based"].total_pj
+        assert (
+            rows["SW-less Misrouting"].total_pj
+            < rows["SW-based Misrouting"].total_pj
+        )
+    # intra-C-group share grows with mesh scale
+    small = results["small (4x4 mesh)"]["SW-less"].intra_cgroup_pj
+    large = results["large (7x7 mesh)"]["SW-less"].intra_cgroup_pj
+    assert large > small

@@ -1,0 +1,16 @@
+"""Fig. 9: physical layout of PHYs, chiplets and IO connectors."""
+
+from repro.layout import plan_cgroup_layout
+
+
+def bench_fig9(benchmark):
+    layout = benchmark(plan_cgroup_layout)
+    print()
+    print("==== Fig. 9 C-group floorplan ====")
+    for key, val in layout.summary().items():
+        print(f"  {key:24s} {val}")
+    print(f"  feasible               {layout.feasible()}")
+    print("paper: ~60mm edge, 1536 diff pairs, 4096/896 Gb/s ports,")
+    print("       12 TB/s bisection, 20.9 TB/s aggregate, ~5500 IOs")
+    assert layout.feasible()
+    assert layout.offwafer_diff_pairs == 1536

@@ -1,0 +1,16 @@
+"""Table I: external communication and switching capability."""
+
+from repro.analysis import TABLE_I, format_table_i
+
+
+def bench_table1(benchmark):
+    table = benchmark(format_table_i)
+    print()
+    print(table)
+    by_name = {s.name: s for s in TABLE_I}
+    paper = {"NVSwitch": 12.8, "Tofino2": 12.8, "Rosetta": 12.8,
+             "H100": 3.6, "EPYC": 4.0, "DOJO D1": 63.0}
+    print("paper vs computed (Tb/s):")
+    for name, val in paper.items():
+        print(f"  {name:10s} paper={val:5.1f} "
+              f"computed={by_name[name].throughput_tbps:5.1f}")

@@ -1,0 +1,12 @@
+"""Table II: hop cost comparison."""
+
+from repro.analysis import TABLE_II, format_table_ii
+
+
+def bench_table2(benchmark):
+    table = benchmark(format_table_ii)
+    print()
+    print(table)
+    assert TABLE_II["Hg"].energy_pj_per_bit == 20.0
+    assert TABLE_II["Hsr"].energy_pj_per_bit == 2.0
+    assert TABLE_II["Hon-chip"].energy_pj_per_bit == 0.1

@@ -1,0 +1,21 @@
+"""Table III: key specifications of nine interconnection networks."""
+
+from repro.analysis import build_table_iii, format_table_iii
+
+
+def bench_table3(benchmark):
+    rows = benchmark(build_table_iii)
+    print()
+    print(format_table_iii())
+    print()
+    print("computed vs paper (#switch, #cabinet, #processor, cables K):")
+    for row in rows:
+        if row.paper is None:
+            continue
+        sw, cab, proc, cables = row.paper
+        print(
+            f"  {row.name:30s} computed=({row.num_switches}, "
+            f"{row.num_cabinets}, {row.num_processors}, "
+            f"{row.cable_count_k:.0f}K)  paper=({sw}, {cab}, {proc}, "
+            f"{cables}K)"
+        )

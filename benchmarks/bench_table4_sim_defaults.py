@@ -1,0 +1,13 @@
+"""Table IV: default simulation parameters."""
+
+from repro.analysis import format_table_iv
+from repro.network import SimParams
+
+
+def bench_table4(benchmark):
+    table = benchmark(format_table_iv)
+    print()
+    print(table)
+    p = SimParams()
+    assert (p.packet_length, p.vc_buffer_size) == (4, 32)
+    assert (p.warmup_cycles, p.measure_cycles) == (5000, 10000)

@@ -1,0 +1,77 @@
+"""Shared benchmark harness.
+
+Every bench regenerates one table or figure of the paper and prints the
+measured series next to the paper's reference values.  Because the
+substrate is a pure-Python cycle-accurate simulator, the default scale
+trades simulated cycles / system size for wall-clock (documented per
+bench and in EXPERIMENTS.md); set ``REPRO_SCALE=full`` for paper-exact
+configurations and Table IV cycle counts, or ``REPRO_SCALE=quick`` for a
+smoke-level pass.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import pytest
+
+from repro.network import LoadSweep, SimParams, sweep_rates
+
+SCALE = os.environ.get("REPRO_SCALE", "default")
+
+
+def sim_params(seed: int = 11) -> SimParams:
+    if SCALE == "full":
+        return SimParams(seed=seed)  # Table IV: 5000 + 10000 cycles
+    if SCALE == "quick":
+        return SimParams(
+            warmup_cycles=150, measure_cycles=400, drain_cycles=200, seed=seed
+        )
+    return SimParams(
+        warmup_cycles=300, measure_cycles=900, drain_cycles=400, seed=seed
+    )
+
+
+def pick_rates(rates: Sequence[float], quick_count: int = 3) -> List[float]:
+    """Thin a rate list under the quick scale."""
+    rates = list(rates)
+    if SCALE == "quick" and len(rates) > quick_count:
+        step = max(1, len(rates) // quick_count)
+        rates = rates[::step]
+    return rates
+
+
+def run_curves(
+    configs: Dict[str, tuple],
+    rates: Sequence[float],
+    *,
+    params: SimParams,
+    stop_after_saturation: int = 1,
+) -> Dict[str, LoadSweep]:
+    """Sweep each labeled (graph, routing, traffic) triple."""
+    out: Dict[str, LoadSweep] = {}
+    for label, (graph, routing, traffic) in configs.items():
+        out[label] = sweep_rates(
+            graph, routing, traffic, rates, params,
+            label=label, stop_after_saturation=stop_after_saturation,
+        )
+    return out
+
+
+def print_figure(title: str, sweeps: Dict[str, LoadSweep], notes: str = "") -> None:
+    print()
+    print(f"==== {title} (scale={SCALE}) ====")
+    if notes:
+        print(notes)
+    for sweep in sweeps.values():
+        print(sweep.format_table())
+        print(
+            f"-> saturation ~{sweep.saturation_rate:.2f}, "
+            f"max accepted {sweep.max_accepted:.2f} flits/cycle/chip"
+        )
+
+
+def once(benchmark, fn):
+    """Run a whole-figure regeneration exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

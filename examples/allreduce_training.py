@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""AI-training collective: ring AllReduce on wafers vs switches.
+
+The paper's motivating workload (Sec. III-B4, Fig. 4, Fig. 14): data-
+parallel training spends its communication time in AllReduce, and the
+single terminal-to-switch channel of a classic Dragonfly caps the ring
+at 1 flit/cycle/chip.  The switch-less C-group gives every chip four
+injection ports into the on-wafer mesh.
+
+This example measures ring saturation bandwidth for both architectures
+and converts it into AllReduce completion time for a model-gradient
+exchange using the ring step model.
+
+Run:  python examples/allreduce_training.py
+"""
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.network import SimParams, sweep_rates
+from repro.routing import SwitchStarRouting, XYMeshRouting
+from repro.topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
+from repro.traffic import RingAllReduceTraffic, ring_allreduce_steps
+
+PARAMS = SimParams(
+    warmup_cycles=300, measure_cycles=1200, drain_cycles=400, seed=3
+)
+
+
+def measure_ring(graph, routing, bidirectional, rates, label, scope=None):
+    sweep = sweep_rates(
+        graph, routing,
+        RingAllReduceTraffic(graph, scope, bidirectional=bidirectional),
+        rates, PARAMS, label=label,
+    )
+    return sweep.max_accepted
+
+
+def main() -> None:
+    # intra-C-group ring over 4 chips: mesh vs switch (Fig. 14(a))
+    mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    switch = build_switch_with_terminals(4, terminal_latency=1)
+
+    print("measuring ring saturation bandwidth (flits/cycle/chip)...")
+    results = {
+        "switch / unidirectional": measure_ring(
+            switch.graph, SwitchStarRouting(switch), False,
+            [0.5, 0.9, 1.2], "sw-uni"),
+        "switch / bidirectional": measure_ring(
+            switch.graph, SwitchStarRouting(switch), True,
+            [0.5, 0.9, 1.2], "sw-bi"),
+        "wafer mesh / unidirectional": measure_ring(
+            mesh.graph, XYMeshRouting(mesh), False,
+            [1.0, 1.7, 2.2], "sl-uni", mesh.snake_chip_nodes()),
+        "wafer mesh / bidirectional": measure_ring(
+            mesh.graph, XYMeshRouting(mesh), True,
+            [2.0, 3.0, 4.0], "sl-bi", mesh.snake_chip_nodes()),
+    }
+    for name, bw in results.items():
+        print(f"  {name:30s} {bw:5.2f}")
+
+    # convert to AllReduce completion time: 1 GiB of gradients over a
+    # 512-chip W-group-sized ring, 256-bit flits -> 32 Mi flits
+    message_flits = 32 * 1024 * 1024
+    ranks = 512
+    print(f"\nAllReduce of 1 GiB over {ranks} ranks "
+          f"({message_flits / 1e6:.0f}M flits):")
+    for name, bw in results.items():
+        if bw <= 0:
+            continue
+        model = ring_allreduce_steps(ranks, message_flits, bw)
+        print(
+            f"  {name:30s} {model.completion_cycles/1e6:8.1f} Mcycles "
+            f"({model.steps} steps)"
+        )
+    speedup = (
+        results["wafer mesh / bidirectional"]
+        / results["switch / bidirectional"]
+    )
+    print(f"\nwafer-mesh bidirectional ring speedup vs switch: "
+          f"{speedup:.1f}x (paper: 4x at intra-C-group scale)")
+
+
+if __name__ == "__main__":
+    main()

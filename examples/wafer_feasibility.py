@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Wafer feasibility study: sweep C-group floorplans (Fig. 9).
+
+Explores how chiplet count, channel count and PHY choice trade off
+against wafer-level feasibility: when do C-groups stop fitting, and how
+much bisection/aggregate bandwidth does each point deliver compared to
+a 25.6 Tb/s high-end switch ASIC?
+
+Run:  python examples/wafer_feasibility.py
+"""
+
+from repro.layout import CGroupLayoutSpec, plan_cgroup_layout
+
+SWITCH_ASIC_TBPS = 25.6 / 8 * 1.0  # 25.6 Tb/s -> 3.2 TB/s
+
+
+def main() -> None:
+    print(f"{'chiplets':>8s} {'ch/edge':>8s} {'edge mm':>8s} "
+          f"{'bisect TB/s':>11s} {'aggr TB/s':>10s} {'pairs':>6s} "
+          f"{'feasible':>8s}")
+    for chiplets_per_side in (2, 3, 4, 5, 6):
+        for channels in (3, 6, 9):
+            spec = CGroupLayoutSpec(
+                chiplets_per_side=chiplets_per_side,
+                channels_per_edge=channels,
+            )
+            layout = plan_cgroup_layout(spec)
+            print(
+                f"{chiplets_per_side**2:8d} {channels:8d} "
+                f"{layout.edge_mm:8.1f} {layout.bisection_tbps:11.1f} "
+                f"{layout.aggregate_tbps:10.1f} "
+                f"{layout.offwafer_diff_pairs:6d} "
+                f"{str(layout.feasible()):>8s}"
+            )
+
+    print("\nreference: one of the fastest switch ASICs moves "
+          f"{SWITCH_ASIC_TBPS:.1f} TB/s.")
+    base = plan_cgroup_layout()
+    print(
+        f"the paper's Fig. 9 C-group ({base.summary()['chiplets']:.0f} "
+        f"chiplets) provides {base.bisection_tbps:.1f} TB/s bisection and "
+        f"{base.aggregate_tbps:.1f} TB/s aggregate on-wafer — "
+        f"{base.bisection_tbps / SWITCH_ASIC_TBPS:.1f}x the switch."
+    )
+
+
+if __name__ == "__main__":
+    main()

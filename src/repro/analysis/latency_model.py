@@ -1,0 +1,96 @@
+"""Hop-cost and diameter models of Sec. III-B3 (Table II, Equation 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.config import SwitchlessConfig
+
+__all__ = ["HopCost", "TABLE_II", "switchless_diameter", "DiameterModel"]
+
+
+@dataclass(frozen=True)
+class HopCost:
+    """Latency/energy of one hop class (Table II)."""
+
+    name: str
+    medium: str
+    latency_ns: float
+    energy_pj_per_bit: float
+
+
+#: Table II: comparison of hop cost.  ``Hg``/``Hl`` latency excludes
+#: time-of-flight, exactly as the paper's "150 + ToF" entries.
+TABLE_II: Dict[str, HopCost] = {
+    "Hg": HopCost("Hg", "Optical Cable", 150.0, 20.0),
+    "Hl": HopCost("Hl", "Copper Cable", 150.0, 20.0),
+    "Hsr": HopCost("Hsr", "RDL", 5.0, 2.0),
+    "Hon-chip": HopCost("Hon-chip", "Metal Layer", 1.0, 0.1),
+}
+
+
+@dataclass(frozen=True)
+class DiameterModel:
+    """Hop-count decomposition of a worst-case route."""
+
+    global_hops: int
+    local_hops: int
+    terminal_hops: int
+    sr_hops: int
+    onchip_hops: int = 0
+
+    def latency_ns(self, costs: Dict[str, HopCost] = TABLE_II) -> float:
+        return (
+            self.global_hops * costs["Hg"].latency_ns
+            + (self.local_hops + self.terminal_hops) * costs["Hl"].latency_ns
+            + self.sr_hops * costs["Hsr"].latency_ns
+            + self.onchip_hops * costs["Hon-chip"].latency_ns
+        )
+
+    def energy_pj(self, costs: Dict[str, HopCost] = TABLE_II) -> float:
+        return (
+            self.global_hops * costs["Hg"].energy_pj_per_bit
+            + (self.local_hops + self.terminal_hops)
+            * costs["Hl"].energy_pj_per_bit
+            + self.sr_hops * costs["Hsr"].energy_pj_per_bit
+            + self.onchip_hops * costs["Hon-chip"].energy_pj_per_bit
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.global_hops:
+            parts.append(f"{self.global_hops}Hg")
+        if self.local_hops:
+            parts.append(f"{self.local_hops}Hl")
+        if self.terminal_hops:
+            parts.append(f"{self.terminal_hops}Hl*")
+        if self.sr_hops:
+            parts.append(f"{self.sr_hops}Hsr")
+        if self.onchip_hops:
+            parts.append(f"{self.onchip_hops}Hoc")
+        return " + ".join(parts) if parts else "0"
+
+
+def switchless_diameter(cfg: SwitchlessConfig) -> DiameterModel:
+    """Equation (7): D = Hg + 2*Hl + (8m - 2)*Hsr.
+
+    A worst-case minimal route visits four C-groups (source, two
+    intermediates, destination); each 2D-mesh C-group contributes up to
+    ``2(m-1)`` chiplet hops, and every one of the three inter-C-group
+    hops costs two extra SR-LR conversion hops: ``4 * 2(m-1) + 3 * 2 =
+    8m - 2`` short-reach hops in total.
+
+    For single-W-group systems (Sec. III-D1) the diameter is
+    ``Hl + (4m - 2) Hsr``.
+    """
+    m = cfg.paper_m
+    if cfg.num_wgroups_effective == 1:
+        return DiameterModel(
+            global_hops=0, local_hops=1, terminal_hops=0,
+            sr_hops=4 * m - 2,
+        )
+    return DiameterModel(
+        global_hops=1, local_hops=2, terminal_hops=0,
+        sr_hops=8 * m - 2,
+    )

@@ -1,0 +1,140 @@
+"""Command-line interface: quick experiments from the shell.
+
+Examples::
+
+    repro-dragonfly tables                 # Tables I, II, IV
+    repro-dragonfly table3                 # Table III case study
+    repro-dragonfly layout                 # Fig. 9 floorplan summary
+    repro-dragonfly sweep --arch switchless --pattern uniform --scope local
+    repro-dragonfly verify --policy reduced
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import (
+    format_table_i,
+    format_table_ii,
+    format_table_iii,
+    format_table_iv,
+)
+from .core import SwitchlessConfig, build_switchless
+from .layout import plan_cgroup_layout
+from .network import SimParams, sweep_rates
+from .routing import SwitchlessRouting, verify_deadlock_free
+from .topology.dragonfly import DragonflyConfig, build_dragonfly
+from .routing.dragonfly import DragonflyRouting
+from .traffic import UniformTraffic
+
+
+def _cmd_tables(_args) -> int:
+    print(format_table_i())
+    print()
+    print(format_table_ii())
+    print()
+    print(format_table_iv())
+    return 0
+
+
+def _cmd_table3(_args) -> int:
+    print(format_table_iii())
+    return 0
+
+
+def _cmd_layout(_args) -> int:
+    layout = plan_cgroup_layout()
+    print("Fig. 9 C-group floorplan")
+    for key, val in layout.summary().items():
+        print(f"  {key:24s} {val}")
+    print(f"  feasible               {layout.feasible()}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    params = SimParams(
+        warmup_cycles=args.warmup, measure_cycles=args.measure,
+        drain_cycles=500, seed=args.seed,
+    )
+    if args.arch == "switchless":
+        system = build_switchless(SwitchlessConfig.small_equiv())
+        routing = SwitchlessRouting(system, args.routing)
+        graph = system.graph
+    else:
+        system = build_dragonfly(DragonflyConfig.small_equiv())
+        routing = DragonflyRouting(
+            system,
+            "minimal" if args.routing == "minimal" else "valiant",
+            vc_spread=2,
+        )
+        graph = system.graph
+    if args.scope == "local":
+        scope = system.group_nodes(0)
+    else:
+        scope = None
+    traffic = UniformTraffic(graph, scope)
+    rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
+    sweep = sweep_rates(
+        graph, routing, traffic, rates, params,
+        label=f"{args.arch}/{args.scope}/uniform",
+    )
+    print(sweep.format_table())
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    system = build_switchless(SwitchlessConfig.small_equiv())
+    ok = True
+    for mode in ("minimal", "valiant"):
+        routing = SwitchlessRouting(system, mode, policy=args.policy)
+        report = verify_deadlock_free(
+            system.graph, routing, max_pairs=args.max_pairs
+        )
+        print(f"{args.policy}/{mode}: {report.describe(system.graph)}")
+        ok = ok and report.acyclic
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-dragonfly",
+        description="Switch-Less Dragonfly on Wafers (SC'24) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables I, II and IV")
+    sub.add_parser("table3", help="print the Table III case study")
+    sub.add_parser("layout", help="print the Fig. 9 layout summary")
+
+    sweep = sub.add_parser("sweep", help="latency-vs-load sweep")
+    sweep.add_argument("--arch", choices=("switchless", "dragonfly"),
+                       default="switchless")
+    sweep.add_argument("--routing", choices=("minimal", "valiant"),
+                       default="minimal")
+    sweep.add_argument("--scope", choices=("local", "global"),
+                       default="local")
+    sweep.add_argument("--points", type=int, default=6)
+    sweep.add_argument("--max-rate", type=float, default=1.5)
+    sweep.add_argument("--warmup", type=int, default=300)
+    sweep.add_argument("--measure", type=int, default=1000)
+    sweep.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser("verify", help="deadlock-freedom check")
+    verify.add_argument("--policy", choices=("baseline", "reduced"),
+                        default="baseline")
+    verify.add_argument("--max-pairs", type=int, default=2000)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "tables": _cmd_tables,
+        "table3": _cmd_table3,
+        "layout": _cmd_layout,
+        "sweep": _cmd_sweep,
+        "verify": _cmd_verify,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's contribution: wafer-based switch-less Dragonfly."""
+
+from .cgroup import CGroup, PortInfo
+from .config import SwitchlessConfig
+from .labeling import (
+    CGroupLabeling,
+    downonly_reachable_fraction,
+    ring_peel_labels,
+)
+from .system import Channel, SwitchlessSystem, build_switchless
+
+__all__ = [
+    "CGroup",
+    "PortInfo",
+    "SwitchlessConfig",
+    "CGroupLabeling",
+    "downonly_reachable_fraction",
+    "ring_peel_labels",
+    "Channel",
+    "SwitchlessSystem",
+    "build_switchless",
+]

@@ -1,0 +1,218 @@
+"""C-group: an on-wafer mesh of chiplets with labeled external ports.
+
+A C-group replaces one Dragonfly switch (Sec. III-A2).  Its ``k`` external
+ports are ordered per Property 2 — local ports toward lower C-groups,
+then global ports, then local ports toward higher C-groups — and attached
+to perimeter nodes clockwise in rank order, so port rank order coincides
+with perimeter position order and with the ring-peel label order.  That
+alignment is what makes monotone (all-up / all-down) boundary walks exist
+between any two ports (the constructive Property 1(c2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..topology.graph import NetworkGraph
+from ..topology.mesh import MeshBlock, MeshSpec, build_mesh, xy_links
+from .config import SwitchlessConfig
+from .labeling import CGroupLabeling
+
+__all__ = ["PortInfo", "CGroup"]
+
+
+@dataclass(frozen=True)
+class PortInfo:
+    """One external port of a C-group."""
+
+    #: Property-2 rank, 0..k-1 (lower locals < globals < higher locals).
+    rank: int
+    #: "local" or "global".
+    role: str
+    #: local: peer C-group index in the W-group; global: port index 0..h-1.
+    peer: int
+    #: node id the port attaches to.
+    attach: int
+    #: perimeter position index of the attach node.
+    position: int
+    #: port label (above every node label, Sec. IV-B).
+    label: int
+
+
+class CGroup:
+    """One C-group instantiated inside the system graph."""
+
+    def __init__(
+        self,
+        cfg: SwitchlessConfig,
+        wgroup: int,
+        index: int,
+        graph: NetworkGraph,
+        chip_base: int,
+    ) -> None:
+        self.cfg = cfg
+        self.wgroup = wgroup
+        self.index = index
+        self.mesh: MeshBlock = build_mesh(
+            MeshSpec(
+                dim=cfg.mesh_dim,
+                chiplet_dim=cfg.chiplet_dim,
+                sr_latency=cfg.sr_latency,
+                onchip_latency=cfg.onchip_latency,
+                capacity=cfg.mesh_capacity,
+            ),
+            graph,
+            chip_base=chip_base,
+            coord_prefix=(wgroup, index),
+        )
+        self.labeling = CGroupLabeling.build(cfg.mesh_dim, cfg.num_ports)
+
+        #: perimeter node ids clockwise from top-left.
+        self.perimeter: List[int] = self.mesh.perimeter_nodes()
+        #: node id -> perimeter position.
+        self.position_of: Dict[int, int] = {
+            nid: i for i, nid in enumerate(self.perimeter)
+        }
+
+        # ---- ports in Property-2 rank order --------------------------
+        ab = cfg.cgroups_per_wgroup
+        order: List[Tuple[str, int]] = []
+        for peer in range(index):
+            order.append(("local", peer))
+        for gp in range(cfg.num_global):
+            order.append(("global", gp))
+        for peer in range(index + 1, ab):
+            order.append(("local", peer))
+
+        k = len(order)
+        P = len(self.perimeter)
+        self.ports: List[PortInfo] = []
+        self._local_by_peer: Dict[int, PortInfo] = {}
+        self._global_by_idx: Dict[int, PortInfo] = {}
+        for rank, (role, peer) in enumerate(order):
+            pos = rank * P // k  # non-decreasing in rank: order preserved
+            port = PortInfo(
+                rank=rank,
+                role=role,
+                peer=peer,
+                attach=self.perimeter[pos],
+                position=pos,
+                label=self.labeling.port_labels[rank],
+            )
+            self.ports.append(port)
+            if role == "local":
+                self._local_by_peer[peer] = port
+            else:
+                self._global_by_idx[peer] = port
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> List[int]:
+        return [nid for row in self.mesh.grid for nid in row]
+
+    def local_port(self, peer: int) -> PortInfo:
+        """Port connecting to C-group ``peer`` of the same W-group."""
+        return self._local_by_peer[peer]
+
+    def global_port(self, idx: int) -> PortInfo:
+        """The ``idx``-th global port (0..h-1)."""
+        return self._global_by_idx[idx]
+
+    def node_label(self, nid: int) -> int:
+        y, x = self.mesh.coords[nid]
+        return self.labeling.label_at(y, x)
+
+    # ------------------------------------------------------------------
+    def boundary_walk(self, src: int, dst: int) -> List[int]:
+        """Monotone perimeter walk between two perimeter nodes.
+
+        Walks the boundary ring from ``src`` to ``dst`` on the arc that
+        never crosses the seam (between positions P-1 and 0), so node
+        labels are strictly increasing (``pos(dst) > pos(src)``: an
+        *up-only* path) or strictly decreasing (*down-only*).  Used for
+        the transit segments of the VC-reduced routing.
+        """
+        p1 = self.position_of[src]
+        p2 = self.position_of[dst]
+        graph = self.mesh.graph
+        links: List[int] = []
+        step = 1 if p2 > p1 else -1
+        pos = p1
+        while pos != p2:
+            nxt = pos + step
+            links.append(
+                graph.link_between(self.perimeter[pos], self.perimeter[nxt])
+            )
+            pos = nxt
+        return links
+
+    def walk_is_up(self, src: int, dst: int) -> Optional[bool]:
+        """Direction of the boundary walk (None when src == dst)."""
+        p1 = self.position_of[src]
+        p2 = self.position_of[dst]
+        if p1 == p2:
+            return None
+        return p2 > p1
+
+    # -- unified path interface used by SwitchlessRouting ---------------
+    def route_links(self, src: int, dst: int) -> List[int]:
+        """Generic shortest intra-C-group path (XY dimension order)."""
+        return xy_links(self.mesh, src, dst)
+
+    def transit_links(self, src: int, dst: int) -> List[int]:
+        """Monotone port-to-port transit path (boundary walk)."""
+        return self.boundary_walk(src, dst)
+
+    def delivery_links(self, src: int, dst: int) -> List[int]:
+        """Dive-first delivery path from a boundary entry to any core.
+
+        Used by the VC-reduced routing for the final port->core segment,
+        which shares a VC with boundary transit walks: the path dives off
+        the boundary ring as fast as possible, routes XY inside the
+        interior subgrid, and re-emerges at the destination, so it shares
+        no boundary-ring link with transit walks except the unavoidable
+        final approach to corner destinations (quantified by the CDG
+        checker in the test suite).  Falls back to plain XY on meshes too
+        small to have an interior.
+        """
+        d = self.cfg.mesh_dim
+        if d < 3 or src == dst:
+            return xy_links(self.mesh, src, dst)
+        graph = self.mesh.graph
+        grid = self.mesh.grid
+        lo, hi = 1, d - 2
+
+        def clamp(v: int) -> int:
+            return min(max(v, lo), hi)
+
+        sy, sx = self.mesh.coords[src]
+        dy, dx = self.mesh.coords[dst]
+        seq = [(sy, sx)]
+        cy, cx = sy, sx
+        # dive into the interior: y first, then x
+        while cy != clamp(cy):
+            cy += 1 if cy < lo else -1
+            seq.append((cy, cx))
+        while cx != clamp(cx):
+            cx += 1 if cx < lo else -1
+            seq.append((cy, cx))
+        # XY inside the interior toward the destination's projection
+        ty, tx = clamp(dy), clamp(dx)
+        while cx != tx:
+            cx += 1 if cx < tx else -1
+            seq.append((cy, cx))
+        while cy != ty:
+            cy += 1 if cy < ty else -1
+            seq.append((cy, cx))
+        # emerge: x first, then y (at most one step each)
+        while cx != dx:
+            cx += 1 if cx < dx else -1
+            seq.append((cy, cx))
+        while cy != dy:
+            cy += 1 if cy < dy else -1
+            seq.append((cy, cx))
+        links: List[int] = []
+        for (ay, ax), (by, bx) in zip(seq, seq[1:]):
+            links.append(graph.link_between(grid[ay][ax], grid[by][bx]))
+        return links

@@ -1,0 +1,31 @@
+"""Physical layout models: wafer floorplanning and PHY bandwidth (Fig. 9)."""
+
+from .cgroup_layout import (
+    WAFER_DIAMETER_MM,
+    CGroupLayout,
+    CGroupLayoutSpec,
+    plan_cgroup_layout,
+)
+from .geometry import Rect, fits_in_circle, no_overlaps
+from .phy import (
+    OPTICAL_CONNECTOR,
+    SERDES_112G_LR,
+    UCIE_X64,
+    ConnectorSpec,
+    PhySpec,
+)
+
+__all__ = [
+    "WAFER_DIAMETER_MM",
+    "CGroupLayout",
+    "CGroupLayoutSpec",
+    "plan_cgroup_layout",
+    "Rect",
+    "fits_in_circle",
+    "no_overlaps",
+    "OPTICAL_CONNECTOR",
+    "SERDES_112G_LR",
+    "UCIE_X64",
+    "ConnectorSpec",
+    "PhySpec",
+]

@@ -1,0 +1,73 @@
+"""Minimal 2D geometry used by the wafer floorplanner."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+__all__ = ["Rect", "no_overlaps", "fits_in_circle"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle (mm)."""
+
+    name: str
+    x: float
+    y: float
+    w: float
+    h: float
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.h
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return (self.x + self.w / 2.0, self.y + self.h / 2.0)
+
+    def overlaps(self, other: "Rect", *, eps: float = 1e-9) -> bool:
+        return not (
+            self.x2 <= other.x + eps
+            or other.x2 <= self.x + eps
+            or self.y2 <= other.y + eps
+            or other.y2 <= self.y + eps
+        )
+
+    def corners(self) -> List[Tuple[float, float]]:
+        return [
+            (self.x, self.y), (self.x2, self.y),
+            (self.x, self.y2), (self.x2, self.y2),
+        ]
+
+
+def no_overlaps(rects: Iterable[Rect]) -> bool:
+    """Whether no two rectangles overlap (O(n^2); floorplans are small)."""
+    rl = list(rects)
+    for i, a in enumerate(rl):
+        for b in rl[i + 1:]:
+            if a.overlaps(b):
+                return False
+    return True
+
+
+def fits_in_circle(
+    rects: Iterable[Rect], diameter_mm: float, center: Tuple[float, float]
+) -> bool:
+    """Whether every rectangle corner lies within the wafer circle."""
+    r = diameter_mm / 2.0
+    cx, cy = center
+    for rect in rects:
+        for (x, y) in rect.corners():
+            if math.hypot(x - cx, y - cy) > r + 1e-9:
+                return False
+    return True

@@ -1,0 +1,72 @@
+"""PHY and IO models used by the C-group layout (Sec. V-A1).
+
+Numbers follow the paper's citations: UCIe 1.1 advanced package
+(55 um bump pitch, 5 um line space, 64 lanes per module at 32 Gb/s)
+[41], OIF CEI-112G long-reach SerDes [42, 47], and standard-packaging
+connector pitch >= 0.3 mm [64-66].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhySpec", "UCIE_X64", "SERDES_112G_LR", "ConnectorSpec",
+           "OPTICAL_CONNECTOR"]
+
+
+@dataclass(frozen=True)
+class PhySpec:
+    """One PHY module type placed along a chiplet or C-group edge."""
+
+    name: str
+    lanes: int
+    gbps_per_lane: float
+    #: die-edge length one module occupies (mm).
+    edge_mm: float
+    #: module depth (mm).
+    depth_mm: float
+    #: whether the lanes are differential pairs (2 wires/lane).
+    differential: bool
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        return self.lanes * self.gbps_per_lane
+
+    def modules_for_bandwidth(self, gbps: float) -> int:
+        return -(-int(gbps) // int(self.bandwidth_gbps))
+
+
+#: UCIe advanced-package 64-lane module at 32 Gb/s: ~2 Tb/s per module,
+#: about 0.8 mm of die edge (1317 GB/s/mm edge density [41]).
+UCIE_X64 = PhySpec(
+    name="UCIe-x64",
+    lanes=64,
+    gbps_per_lane=32.0,
+    edge_mm=0.8,
+    depth_mm=1.2,
+    differential=False,
+)
+
+#: CEI-112G-LR SerDes lane bundle used for off-wafer channels.
+SERDES_112G_LR = PhySpec(
+    name="112G-LR-SerDes",
+    lanes=8,
+    gbps_per_lane=112.0,
+    edge_mm=1.0,
+    depth_mm=2.0,
+    differential=True,
+)
+
+
+@dataclass(frozen=True)
+class ConnectorSpec:
+    """Off-wafer bonding pad / connector / socket geometry."""
+
+    name: str
+    pitch_mm: float
+
+    def pads_per_mm2(self) -> float:
+        return 1.0 / (self.pitch_mm * self.pitch_mm)
+
+
+OPTICAL_CONNECTOR = ConnectorSpec("optical-module", pitch_mm=0.3)

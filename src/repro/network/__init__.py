@@ -1,0 +1,19 @@
+"""Cycle-accurate virtual-channel network simulator (CNSim substitute)."""
+
+from .packet import Hop, Packet
+from .params import SimParams
+from .simulator import Simulator, run_simulation
+from .stats import SimResult
+from .sweep import LoadSweep, find_saturation, sweep_rates
+
+__all__ = [
+    "Hop",
+    "Packet",
+    "SimParams",
+    "Simulator",
+    "run_simulation",
+    "SimResult",
+    "LoadSweep",
+    "find_saturation",
+    "sweep_rates",
+]

@@ -1,0 +1,427 @@
+"""Cycle-accurate flit-level network simulator with virtual channels.
+
+This is the reproduction's substitute for CNSim [72]: an input-buffered,
+credit-flow-controlled, wormhole virtual-channel simulator.  The model per
+cycle is:
+
+1. *Credit return* — credits released ``link latency`` cycles ago arrive
+   back at the upstream arbiter.
+2. *Flit arrival* — flits that finished traversing a link (+ router
+   pipeline) are appended to the downstream input buffer of their
+   ``(link, VC)`` pair.
+3. *Injection* — every active terminal generates a new packet with
+   probability ``rate / (packet_length * nodes_per_chip)`` (Bernoulli
+   process, rate in the paper's flits/cycle/chip unit) and appends it to
+   its source queue.
+4. *Arbitration* — for every router with pending input flits, head flits
+   request their next output.  Each output link grants up to ``capacity``
+   flits per cycle, round-robin over requesting inputs, subject to
+   downstream credits and wormhole VC ownership (an output VC is owned by
+   one packet from head-flit grant until tail-flit grant, which keeps
+   packets contiguous per VC).  Ejection ports grant up to
+   ``ejection_width`` flits per cycle.
+
+Packets are source routed (see :mod:`repro.network.packet`): contention,
+buffer occupancy, credit stalls and VC ownership — the phenomena the
+paper's latency/throughput figures measure — are fully simulated, while
+route *choice* is made at injection, exactly as the paper's oblivious
+minimal/non-minimal algorithms do.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..topology.graph import NetworkGraph
+from .packet import Hop, Packet
+from .params import SimParams
+from .stats import SimResult
+
+__all__ = ["Simulator", "run_simulation"]
+
+
+class Simulator:
+    """One simulation instance binding a graph, routing and traffic.
+
+    Parameters
+    ----------
+    graph:
+        The router network.
+    routing:
+        Object exposing ``num_vcs`` and ``route(src, dst, rng) ->
+        [(link_id, vc), ...]``.
+    traffic:
+        Object exposing ``active_nodes()``, ``dest(src, rng)`` and
+        ``num_active_chips()`` (see :mod:`repro.traffic.base`).
+    params:
+        Router/measurement knobs (Table IV defaults).
+    """
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        routing,
+        traffic,
+        params: SimParams,
+    ) -> None:
+        self.graph = graph
+        self.routing = routing
+        self.traffic = traffic
+        self.params = params
+
+        num_links = graph.num_links
+        num_nodes = graph.num_nodes
+        num_vcs = routing.num_vcs
+        self.num_vcs = num_vcs
+
+        # Per-link constants (flattened for the hot loop).
+        self._link_dst = [l.dst for l in graph.links]
+        # effective in-flight time: wire latency + router pipeline
+        self._hop_delay = [
+            l.latency + params.router_latency for l in graph.links
+        ]
+        # credit return time models the reverse wire of the same channel
+        self._credit_delay = [max(1, l.latency) for l in graph.links]
+        self._cap = [l.capacity for l in graph.links]
+
+        # Per-(link, vc) state.
+        self._buf: List[List[deque]] = [
+            [deque() for _ in range(num_vcs)] for _ in range(num_links)
+        ]
+        self._credits: List[List[int]] = [
+            [params.vc_buffer_size] * num_vcs for _ in range(num_links)
+        ]
+        self._owner: List[List[Optional[Packet]]] = [
+            [None] * num_vcs for _ in range(num_links)
+        ]
+
+        # Per-router dispatch state.
+        self._nonempty: List[Dict[Tuple[int, int], bool]] = [
+            {} for _ in range(num_nodes)
+        ]
+        self._srcq: List[deque] = [deque() for _ in range(num_nodes)]
+        self._hot: Dict[int, bool] = {}
+
+        # Event wheels.
+        max_delay = max(self._hop_delay, default=1)
+        max_delay = max(max_delay, max(self._credit_delay, default=1))
+        self._wheel_size = max_delay + 1
+        self._arrivals: List[list] = [[] for _ in range(self._wheel_size)]
+        self._credit_ret: List[list] = [[] for _ in range(self._wheel_size)]
+
+        # Round-robin pointers per output (link id, or ("E", node)).
+        self._rr: Dict = {}
+
+        # RNGs: numpy for the injection mask, stdlib for route choices.
+        self._np_rng = np.random.default_rng(params.seed)
+        self._py_rng = random.Random(params.seed ^ 0x5EED)
+
+        # Traffic bookkeeping.
+        self._active_nodes = list(traffic.active_nodes())
+        self._active_chips = traffic.num_active_chips()
+        chips = graph.chips()
+        self._nodes_per_chip = {
+            nid: len(chips[graph.nodes[nid].chip]) for nid in self._active_nodes
+        }
+
+        # Measurement.
+        self._pid = 0
+        self._latencies: List[int] = []
+        self._hops: List[int] = []
+        self._packets_measured = 0
+        self._flits_ejected_window = 0
+        self.total_flits_injected = 0
+        self.total_flits_ejected = 0
+
+    # ------------------------------------------------------------------
+    def _make_packet(self, t: int, src: int, measured: bool) -> Optional[Packet]:
+        dst = self.traffic.dest(src, self._py_rng)
+        if dst is None or dst == src:
+            return None
+        path = self.routing.route(src, dst, self._py_rng)
+        pkt = Packet(
+            self._pid, src, dst, self.params.packet_length, path, t, measured
+        )
+        self._pid += 1
+        return pkt
+
+    def _finish_flit(self, pkt: Packet, fidx: int, t: int, in_window: bool) -> None:
+        """Account one flit leaving the network at its destination."""
+        self.total_flits_ejected += 1
+        if in_window:
+            self._flits_ejected_window += 1
+        if fidx == pkt.size - 1:
+            pkt.t_done = t
+            if pkt.measured:
+                self._latencies.append(t - pkt.t_create)
+                self._hops.append(len(pkt.path))
+
+    # ------------------------------------------------------------------
+    def run(self, rate: float) -> SimResult:
+        """Run the full warmup+measure+drain schedule at ``rate``.
+
+        ``rate`` is offered load in flits/cycle/chip over the traffic
+        pattern's active chips.
+        """
+        p = self.params
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        warm, meas = p.warmup_cycles, p.measure_cycles
+        t_end = warm + meas + p.drain_cycles
+        pkt_len = p.packet_length
+
+        # Per-node Bernoulli probability of *starting a packet* this cycle.
+        active = self._active_nodes
+        probs = np.array(
+            [
+                rate / (pkt_len * self._nodes_per_chip[nid])
+                for nid in active
+            ],
+            dtype=np.float64,
+        )
+        if np.any(probs > 1.0):
+            raise ValueError(
+                f"offered rate {rate} exceeds 1 packet/node/cycle; "
+                "increase packet_length or lower the rate"
+            )
+        active_arr = np.array(active, dtype=np.int64)
+        # patterns with inactive nodes offer less than the nominal rate
+        effective_offered = (
+            float(probs.sum()) * pkt_len / self._active_chips
+            if self._active_chips
+            else 0.0
+        )
+
+        wheel_size = self._wheel_size
+        arrivals = self._arrivals
+        credit_ret = self._credit_ret
+        buf = self._buf
+        credits = self._credits
+        owner = self._owner
+        nonempty = self._nonempty
+        srcq = self._srcq
+        hot = self._hot
+        rr = self._rr
+        link_dst = self._link_dst
+        hop_delay = self._hop_delay
+        credit_delay = self._credit_delay
+        cap = self._cap
+        np_rng = self._np_rng
+        inj_w = p.injection_width
+        ej_w = p.ejection_width
+
+        for t in range(t_end):
+            slot = t % wheel_size
+            in_window = warm <= t < warm + meas
+
+            # --- 1. credit returns -------------------------------------
+            crs = credit_ret[slot]
+            if crs:
+                for l, v in crs:
+                    credits[l][v] += 1
+                credit_ret[slot] = []
+
+            # --- 2. flit arrivals --------------------------------------
+            arr_list = arrivals[slot]
+            if arr_list:
+                for f, l, v in arr_list:
+                    b = buf[l][v]
+                    if not b:
+                        r = link_dst[l]
+                        nonempty[r][(l, v)] = True
+                        hot[r] = True
+                    b.append(f)
+                arrivals[slot] = []
+
+            # --- 3. packet generation ----------------------------------
+            if t < warm + meas:
+                mask = np_rng.random(len(active_arr)) < probs
+                if mask.any():
+                    for nid in active_arr[mask]:
+                        nid = int(nid)
+                        pkt = self._make_packet(t, nid, in_window)
+                        if pkt is None:
+                            continue
+                        if in_window:
+                            self._packets_measured += 1
+                        if not pkt.path:
+                            # src and dst share a router: deliver instantly
+                            for fidx in range(pkt.size):
+                                self.total_flits_injected += 1
+                                self._finish_flit(pkt, fidx, t, in_window)
+                            continue
+                        srcq[nid].append([pkt, 0])
+                        hot[nid] = True
+
+            # --- 4. arbitration ----------------------------------------
+            for r in list(hot.keys()):
+                ne = nonempty[r]
+                sq = srcq[r]
+                if not ne and not sq:
+                    del hot[r]
+                    continue
+
+                # Collect requests: out_key -> list of input descriptors.
+                # Descriptor: (l, v) for buffered inputs, None for source.
+                # Key -1 is the router's ejection port (link ids are >= 0).
+                reqs: Dict = {}
+                for lv in ne:
+                    f = buf[lv[0]][lv[1]][0]
+                    pkt = f[0]
+                    nh = f[2] + 1
+                    if nh == pkt.path_len:
+                        key = -1
+                    else:
+                        key = pkt.path[nh][0]
+                    lst = reqs.get(key)
+                    if lst is None:
+                        reqs[key] = [lv]
+                    else:
+                        lst.append(lv)
+                if sq:
+                    pkt = sq[0][0]
+                    key = pkt.path[0][0]
+                    lst = reqs.get(key)
+                    if lst is None:
+                        reqs[key] = [None]
+                    else:
+                        lst.append(None)
+
+                for key, cand in reqs.items():
+                    if key < 0:  # ejection port
+                        budget = ej_w
+                        out_link = -1
+                    else:
+                        out_link = key
+                        budget = cap[out_link]
+                    # rotate candidates for round-robin fairness
+                    if len(cand) > 1:
+                        off = rr.get(key, 0)
+                        rr[key] = off + 1
+                        off %= len(cand)
+                        if off:
+                            cand = cand[off:] + cand[:off]
+
+                    granted = 0
+                    in_used: Dict = {}
+                    # multiple passes allow capacity>1 links to move
+                    # several flits per cycle
+                    for _pass in range(budget):
+                        progressed = False
+                        for desc in cand:
+                            if granted >= budget:
+                                break
+                            # ---- fetch head flit ----
+                            if desc is None:
+                                if not sq:
+                                    continue
+                                entry = sq[0]
+                                pkt, fidx = entry[0], entry[1]
+                                hopi = -1
+                                in_cap = inj_w
+                            else:
+                                b = buf[desc[0]][desc[1]]
+                                if not b:
+                                    continue
+                                f = b[0]
+                                pkt, fidx, hopi = f[0], f[1], f[2]
+                                in_cap = cap[desc[0]]
+                            if budget > 1 and in_used.get(desc, 0) >= in_cap:
+                                continue
+                            nh = hopi + 1
+                            if nh == pkt.path_len:
+                                # eject (key must match; source never here)
+                                if out_link >= 0:
+                                    continue
+                                b.popleft()
+                                if not b:
+                                    del ne[desc]
+                                credit_ret[
+                                    (t + credit_delay[desc[0]]) % wheel_size
+                                ].append(desc)
+                                self._finish_flit(pkt, fidx, t, in_window)
+                                if budget > 1:
+                                    in_used[desc] = in_used.get(desc, 0) + 1
+                                granted += 1
+                                progressed = True
+                                continue
+                            nl, nv = pkt.path[nh]
+                            if nl != out_link:
+                                continue
+                            if credits[nl][nv] <= 0:
+                                continue
+                            own = owner[nl][nv]
+                            if fidx == 0:
+                                if own is not None:
+                                    continue
+                            elif own is not pkt:
+                                continue
+                            # ---- grant ----
+                            if desc is None:
+                                # take flit from the source queue
+                                self.total_flits_injected += 1
+                                entry[1] = fidx + 1
+                                if entry[1] == pkt.size:
+                                    sq.popleft()
+                                f = [pkt, fidx, hopi]
+                            else:
+                                b.popleft()
+                                if not b:
+                                    del ne[desc]
+                                credit_ret[
+                                    (t + credit_delay[desc[0]]) % wheel_size
+                                ].append(desc)
+                            credits[nl][nv] -= 1
+                            if fidx == 0:
+                                owner[nl][nv] = pkt
+                            if fidx == pkt.size - 1:
+                                owner[nl][nv] = None
+                            f[2] = nh
+                            arrivals[(t + hop_delay[nl]) % wheel_size].append(
+                                (f, nl, nv)
+                            )
+                            if budget > 1:
+                                in_used[desc] = in_used.get(desc, 0) + 1
+                            granted += 1
+                            progressed = True
+                        if not progressed or granted >= budget:
+                            break
+
+                if not ne and not sq:
+                    del hot[r]
+
+        return SimResult.from_samples(
+            offered_rate=rate,
+            effective_offered=effective_offered,
+            latencies=self._latencies,
+            hops=self._hops,
+            packets_measured=self._packets_measured,
+            flits_ejected=self._flits_ejected_window,
+            active_chips=self._active_chips,
+            measure_cycles=meas,
+        )
+
+    # ------------------------------------------------------------------
+    def flits_in_flight(self) -> int:
+        """Flits currently buffered or on wires (conservation checks)."""
+        buffered = sum(
+            len(b) for per_link in self._buf for b in per_link
+        )
+        flying = sum(len(slot) for slot in self._arrivals)
+        return buffered + flying
+
+
+def run_simulation(
+    graph: NetworkGraph,
+    routing,
+    traffic,
+    rate: float,
+    params: Optional[SimParams] = None,
+) -> SimResult:
+    """Convenience wrapper: build a fresh :class:`Simulator` and run it."""
+    sim = Simulator(graph, routing, traffic, params or SimParams())
+    return sim.run(rate)

@@ -1,0 +1,122 @@
+"""Injection-rate sweeps: the latency-vs-load curves of Figs. 10-14."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..topology.graph import NetworkGraph
+from .params import SimParams
+from .simulator import Simulator
+from .stats import SimResult
+
+__all__ = ["LoadSweep", "sweep_rates", "find_saturation"]
+
+
+@dataclass
+class LoadSweep:
+    """A measured latency/throughput curve for one network configuration."""
+
+    label: str
+    rates: List[float]
+    results: List[SimResult]
+
+    @property
+    def saturation_rate(self) -> float:
+        """First offered rate at which the run saturated (inf if none)."""
+        for rate, res in zip(self.rates, self.results):
+            if res.saturated:
+                return rate
+        return float("inf")
+
+    @property
+    def max_accepted(self) -> float:
+        """Highest accepted throughput seen across the sweep."""
+        return max((r.accepted_rate for r in self.results), default=0.0)
+
+    def zero_load_latency(self) -> float:
+        """Average latency at the lowest measured rate."""
+        return self.results[0].avg_latency if self.results else float("nan")
+
+    def rows(self) -> List[Tuple[float, float, float]]:
+        """(offered, accepted, avg latency) rows for tabular output."""
+        return [
+            (rate, res.accepted_rate, res.avg_latency)
+            for rate, res in zip(self.rates, self.results)
+        ]
+
+    def format_table(self) -> str:
+        lines = [f"# {self.label}", "offered  accepted  avg_latency"]
+        for rate, acc, lat in self.rows():
+            lines.append(f"{rate:7.3f}  {acc:8.3f}  {lat:11.1f}")
+        return "\n".join(lines)
+
+
+def sweep_rates(
+    graph: NetworkGraph,
+    routing,
+    traffic,
+    rates: Sequence[float],
+    params: Optional[SimParams] = None,
+    *,
+    label: str = "",
+    stop_after_saturation: int = 1,
+) -> LoadSweep:
+    """Simulate each offered rate with a fresh simulator instance.
+
+    ``stop_after_saturation`` aborts the sweep after that many saturated
+    points — past saturation the latency is unbounded anyway, and these
+    runs are the most expensive ones.
+    """
+    params = params or SimParams()
+    out_rates: List[float] = []
+    results: List[SimResult] = []
+    saturated_seen = 0
+    for rate in rates:
+        sim = Simulator(graph, routing, traffic, params)
+        res = sim.run(rate)
+        out_rates.append(rate)
+        results.append(res)
+        if res.saturated:
+            saturated_seen += 1
+            if saturated_seen >= stop_after_saturation:
+                break
+    return LoadSweep(label=label, rates=out_rates, results=results)
+
+
+def find_saturation(
+    graph_factory: Callable[[], Tuple[NetworkGraph, object, object]],
+    *,
+    params: Optional[SimParams] = None,
+    lo: float = 0.05,
+    hi: float = 4.0,
+    tol: float = 0.05,
+    max_iter: int = 12,
+) -> float:
+    """Bisect for the saturation injection rate (flits/cycle/chip).
+
+    ``graph_factory`` returns a fresh ``(graph, routing, traffic)`` triple
+    per probe so simulator state never leaks between probes.  Returns the
+    highest rate that is *not* saturated, within ``tol``.
+    """
+    params = params or SimParams()
+
+    def probe(rate: float) -> bool:
+        graph, routing, traffic = graph_factory()
+        res = Simulator(graph, routing, traffic, params).run(rate)
+        return res.saturated
+
+    if probe(lo):
+        return 0.0
+    if not probe(hi):
+        return hi
+    good, bad = lo, hi
+    for _ in range(max_iter):
+        if bad - good <= tol:
+            break
+        mid = 0.5 * (good + bad)
+        if probe(mid):
+            bad = mid
+        else:
+            good = mid
+    return good

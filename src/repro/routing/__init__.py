@@ -1,0 +1,20 @@
+"""Routing algorithms and deadlock verification."""
+
+from .base import RoutingAlgorithm, path_latency, validate_path
+from .deadlock import DeadlockReport, channel_dependency_graph, verify_deadlock_free
+from .dragonfly import DragonflyRouting
+from .mesh import SwitchStarRouting, XYMeshRouting, xy_links
+from .switchless import SwitchlessRouting
+
+__all__ = [
+    "RoutingAlgorithm",
+    "path_latency",
+    "validate_path",
+    "DeadlockReport",
+    "channel_dependency_graph",
+    "verify_deadlock_free",
+    "DragonflyRouting",
+    "SwitchStarRouting",
+    "XYMeshRouting",
+    "xy_links",
+]

@@ -1,0 +1,78 @@
+"""Routing interface and path validation helpers."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, List, Optional, Sequence
+
+from ..network.packet import Hop
+from ..topology.graph import NetworkGraph
+
+__all__ = ["RoutingAlgorithm", "validate_path", "path_latency"]
+
+
+class RoutingAlgorithm(ABC):
+    """Produces source routes ``[(link id, vc), ...]`` for packets.
+
+    ``num_vcs`` is the number of virtual channels the simulator must
+    provision on every link; it is the quantity the paper's Sec. IV
+    minimises.
+    """
+
+    #: virtual channels required for deadlock freedom.
+    num_vcs: int = 1
+
+    @abstractmethod
+    def route(self, src: int, dst: int, rng: random.Random) -> List[Hop]:
+        """One (possibly randomised) route from ``src`` to ``dst``."""
+
+    def enumerate_routes(self, src: int, dst: int) -> Iterable[List[Hop]]:
+        """All routes the algorithm may produce for this pair.
+
+        Used by the deadlock verifier to build the full channel
+        dependency graph.  Deterministic algorithms yield one path; the
+        default draws a fixed sample of randomised routes, which
+        subclasses with enumerable choice sets should override.
+        """
+        rng = random.Random(0xC0FFEE ^ (src * 1_000_003) ^ dst)
+        seen = set()
+        for _ in range(16):
+            path = tuple(self.route(src, dst, rng))
+            if path not in seen:
+                seen.add(path)
+                yield list(path)
+
+
+def validate_path(
+    graph: NetworkGraph,
+    src: int,
+    dst: int,
+    path: Sequence[Hop],
+    *,
+    num_vcs: Optional[int] = None,
+) -> None:
+    """Raise ValueError unless ``path`` is a connected src->dst walk.
+
+    Checks: consecutive links share endpoints, the walk starts at ``src``
+    and ends at ``dst``, and VC indices are within range.
+    """
+    cur = src
+    for i, (lid, vc) in enumerate(path):
+        if not 0 <= lid < graph.num_links:
+            raise ValueError(f"hop {i}: link {lid} out of range")
+        link = graph.links[lid]
+        if link.src != cur:
+            raise ValueError(
+                f"hop {i}: link {lid} starts at {link.src}, expected {cur}"
+            )
+        if vc < 0 or (num_vcs is not None and vc >= num_vcs):
+            raise ValueError(f"hop {i}: vc {vc} out of range")
+        cur = link.dst
+    if cur != dst:
+        raise ValueError(f"path ends at {cur}, expected {dst}")
+
+
+def path_latency(graph: NetworkGraph, path: Sequence[Hop], router_latency: int = 1) -> int:
+    """Zero-load wire+pipeline latency of a head flit along ``path``."""
+    return sum(graph.links[lid].latency + router_latency for lid, _ in path)

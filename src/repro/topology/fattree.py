@@ -1,0 +1,96 @@
+"""Three-stage folded-Clos (Fat-Tree) builder (Table III comparator).
+
+Builds the k-ary three-stage fat-tree: ``(k/2)^2`` core switches, ``k``
+pods of ``k/2`` aggregation + ``k/2`` edge switches, ``(k/2)^2``
+terminals per pod.  Simulation-grade for small ``k``; the Table III cost
+rows use the closed-form arithmetic in :mod:`repro.analysis.cost`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .graph import NetworkGraph
+from .mesh import DEFAULT_ENERGY
+
+__all__ = ["FatTreeSystem", "build_fattree"]
+
+
+@dataclass
+class FatTreeSystem:
+    radix: int
+    graph: NetworkGraph
+    core: List[int]
+    aggregation: List[List[int]]  # per pod
+    edge: List[List[int]]  # per pod
+    terminals: List[int]
+
+    @property
+    def num_switches(self) -> int:
+        return (
+            len(self.core)
+            + sum(len(p) for p in self.aggregation)
+            + sum(len(p) for p in self.edge)
+        )
+
+
+def build_fattree(
+    radix: int,
+    *,
+    link_latency: int = 8,
+    capacity: int = 1,
+) -> FatTreeSystem:
+    """Construct the full k-ary fat-tree for even ``radix`` >= 2."""
+    if radix < 2 or radix % 2:
+        raise ValueError("fat-tree radix must be even and >= 2")
+    k = radix
+    half = k // 2
+    graph = NetworkGraph(f"fattree-k{k}")
+
+    core = [
+        graph.add_node("core-switch", chip=-1, is_terminal=False)
+        for _ in range(half * half)
+    ]
+    aggregation: List[List[int]] = []
+    edge: List[List[int]] = []
+    terminals: List[int] = []
+    chip = 0
+    for pod in range(k):
+        aggs = [
+            graph.add_node("agg-switch", chip=-1, is_terminal=False)
+            for _ in range(half)
+        ]
+        edges = [
+            graph.add_node("edge-switch", chip=-1, is_terminal=False)
+            for _ in range(half)
+        ]
+        aggregation.append(aggs)
+        edge.append(edges)
+        # edge <-> aggregation full mesh within the pod
+        for e in edges:
+            for a in aggs:
+                graph.add_channel(
+                    e, a, latency=link_latency, capacity=capacity,
+                    energy_pj=DEFAULT_ENERGY["local"], klass="local",
+                )
+        # aggregation i connects to core group i
+        for i, a in enumerate(aggs):
+            for j in range(half):
+                graph.add_channel(
+                    a, core[i * half + j],
+                    latency=link_latency, capacity=capacity,
+                    energy_pj=DEFAULT_ENERGY["global"], klass="global",
+                )
+        # terminals
+        for e in edges:
+            for _ in range(half):
+                t = graph.add_node("terminal", chip, is_terminal=True)
+                chip += 1
+                graph.add_channel(
+                    t, e, latency=link_latency, capacity=capacity,
+                    energy_pj=DEFAULT_ENERGY["terminal"], klass="terminal",
+                )
+                terminals.append(t)
+    graph.validate()
+    return FatTreeSystem(k, graph, core, aggregation, edge, terminals)

@@ -1,0 +1,127 @@
+"""HammingMesh (HxMesh): local 2D-mesh boards + global Fat-Trees [8].
+
+A ``Hx<b>Mesh`` places chips on ``b x b`` 2D-mesh boards; board grids are
+arranged in a ``rows x cols`` array, and every *chip row* (resp. column)
+of the full array is connected by its own Fat-Tree through the chips on
+board edges.  It provides cheap high local bandwidth (the board mesh)
+with Fat-Tree global connectivity — the closest published relative of
+the paper's motivation, hence its appearance in Table III.
+
+This builder produces simulation-grade small instances (row/column trees
+are modeled as single non-blocking switches per row/column, which is
+exact for the scales tests use — a 64-port switch covers them).  The
+Table III cost arithmetic lives in :mod:`repro.analysis.case_study`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .graph import NetworkGraph
+from .mesh import DEFAULT_ENERGY
+
+__all__ = ["HammingMeshConfig", "HammingMeshSystem", "build_hammingmesh"]
+
+
+@dataclass(frozen=True)
+class HammingMeshConfig:
+    """Parameters of an HxMesh instance."""
+
+    #: chips per board side (4 for Hx4Mesh).
+    board_dim: int
+    #: boards per array side.
+    array_rows: int
+    array_cols: int
+    onboard_latency: int = 1
+    tree_latency: int = 8
+    capacity: int = 1
+
+    @property
+    def chip_rows(self) -> int:
+        return self.board_dim * self.array_rows
+
+    @property
+    def chip_cols(self) -> int:
+        return self.board_dim * self.array_cols
+
+    @property
+    def num_chips(self) -> int:
+        return self.chip_rows * self.chip_cols
+
+
+@dataclass
+class HammingMeshSystem:
+    cfg: HammingMeshConfig
+    graph: NetworkGraph
+    #: chip node id at [row][col] of the full array.
+    grid: List[List[int]]
+    row_switches: List[int]
+    col_switches: List[int]
+
+
+def build_hammingmesh(cfg: HammingMeshConfig) -> HammingMeshSystem:
+    """Construct the HxMesh router graph.
+
+    Chips on the west/east edges of each board connect to their chip
+    row's tree switch; chips on north/south edges to their column's tree
+    switch (matching HammingMesh's edge-attached trees).
+    """
+    b = cfg.board_dim
+    graph = NetworkGraph(
+        f"hx{b}mesh-{cfg.array_rows}x{cfg.array_cols}"
+    )
+    grid: List[List[int]] = []
+    chip = 0
+    for r in range(cfg.chip_rows):
+        row = []
+        for c in range(cfg.chip_cols):
+            nid = graph.add_node(
+                "chip", chip, is_terminal=True, coords=(r, c)
+            )
+            chip += 1
+            row.append(nid)
+        grid.append(row)
+
+    # on-board 2D mesh links
+    for r in range(cfg.chip_rows):
+        for c in range(cfg.chip_cols):
+            if c + 1 < cfg.chip_cols and (c + 1) % b != 0:
+                graph.add_channel(
+                    grid[r][c], grid[r][c + 1],
+                    latency=cfg.onboard_latency, capacity=cfg.capacity,
+                    energy_pj=DEFAULT_ENERGY["sr"], klass="sr",
+                )
+            if r + 1 < cfg.chip_rows and (r + 1) % b != 0:
+                graph.add_channel(
+                    grid[r][c], grid[r + 1][c],
+                    latency=cfg.onboard_latency, capacity=cfg.capacity,
+                    energy_pj=DEFAULT_ENERGY["sr"], klass="sr",
+                )
+
+    # row trees: west/east board-edge chips of each chip row
+    row_switches: List[int] = []
+    for r in range(cfg.chip_rows):
+        sw = graph.add_node("switch", chip=-1, is_terminal=False)
+        row_switches.append(sw)
+        for c in range(cfg.chip_cols):
+            if c % b == 0 or (c + 1) % b == 0:
+                graph.add_channel(
+                    grid[r][c], sw,
+                    latency=cfg.tree_latency, capacity=cfg.capacity,
+                    energy_pj=DEFAULT_ENERGY["global"], klass="global",
+                )
+    # column trees: north/south board-edge chips of each chip column
+    col_switches: List[int] = []
+    for c in range(cfg.chip_cols):
+        sw = graph.add_node("switch", chip=-1, is_terminal=False)
+        col_switches.append(sw)
+        for r in range(cfg.chip_rows):
+            if r % b == 0 or (r + 1) % b == 0:
+                graph.add_channel(
+                    grid[r][c], sw,
+                    latency=cfg.tree_latency, capacity=cfg.capacity,
+                    energy_pj=DEFAULT_ENERGY["global"], klass="global",
+                )
+    graph.validate()
+    return HammingMeshSystem(cfg, graph, grid, row_switches, col_switches)

@@ -1,0 +1,110 @@
+"""PolarFly: the diameter-2 Erdős–Rényi polarity-graph topology [2].
+
+The router graph ER(q) has the points of the projective plane PG(2, q)
+as vertices; two distinct points are adjacent iff they are orthogonal
+(x1*x2 + y1*y2 + z1*z2 = 0 over GF(q)).  It has q^2 + q + 1 vertices,
+degree q or q+1 (self-orthogonal "quadric" points have degree q), and
+diameter 2 — asymptotically matching the degree-diameter Moore bound.
+
+This builder supports prime ``q`` (arithmetic over GF(p)); that covers
+the paper's analytical uses and the test-scale instances.  The Table III
+case study uses the paper's own arithmetic (q = 63, 4033 routers of
+radix 64, 32 processors each) via :mod:`repro.analysis.case_study`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .graph import NetworkGraph
+from .mesh import DEFAULT_ENERGY
+
+__all__ = ["PolarFlySystem", "build_polarfly", "polarfly_size"]
+
+
+def _is_prime(n: int) -> bool:
+    if n < 2:
+        return False
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def polarfly_size(q: int) -> int:
+    """Number of routers of ER(q): q^2 + q + 1."""
+    return q * q + q + 1
+
+
+def _projective_points(q: int) -> List[Tuple[int, int, int]]:
+    """Canonical representatives of PG(2, q): (1,y,z), (0,1,z), (0,0,1)."""
+    pts: List[Tuple[int, int, int]] = []
+    for y in range(q):
+        for z in range(q):
+            pts.append((1, y, z))
+    for z in range(q):
+        pts.append((0, 1, z))
+    pts.append((0, 0, 1))
+    return pts
+
+
+@dataclass
+class PolarFlySystem:
+    """Built ER(q) graph with terminals attached to every router."""
+
+    q: int
+    graph: NetworkGraph
+    routers: List[int]
+    terminals: List[List[int]]
+    #: routers on the quadric (self-orthogonal, degree q).
+    quadric: List[int]
+
+
+def build_polarfly(
+    q: int,
+    *,
+    terminals_per_router: int = 1,
+    link_latency: int = 8,
+    capacity: int = 1,
+) -> PolarFlySystem:
+    """Construct ER(q) for prime ``q`` with attached terminals."""
+    if not _is_prime(q):
+        raise ValueError(
+            f"q={q} unsupported: this builder implements prime fields only"
+        )
+    graph = NetworkGraph(f"polarfly-q{q}")
+    pts = _projective_points(q)
+    routers: List[int] = []
+    terminals: List[List[int]] = []
+    chip = 0
+    for i, _p in enumerate(pts):
+        r = graph.add_node("switch", chip=-1, is_terminal=False, coords=(i,))
+        routers.append(r)
+        terms = []
+        for _t in range(terminals_per_router):
+            t = graph.add_node("terminal", chip=chip, is_terminal=True)
+            chip += 1
+            graph.add_channel(
+                t, r, latency=link_latency, capacity=capacity,
+                energy_pj=DEFAULT_ENERGY["terminal"], klass="terminal",
+            )
+            terms.append(t)
+        terminals.append(terms)
+
+    quadric: List[int] = []
+    for i, a in enumerate(pts):
+        if (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]) % q == 0:
+            quadric.append(routers[i])
+        for j in range(i + 1, len(pts)):
+            b = pts[j]
+            if (a[0] * b[0] + a[1] * b[1] + a[2] * b[2]) % q == 0:
+                graph.add_channel(
+                    routers[i], routers[j],
+                    latency=link_latency, capacity=capacity,
+                    energy_pj=DEFAULT_ENERGY["global"], klass="global",
+                )
+    graph.validate()
+    return PolarFlySystem(q, graph, routers, terminals, quadric)

@@ -1,0 +1,65 @@
+"""Graph-level topology properties: diameter, path length, bisection.
+
+Used to cross-check the analytical models (Eqs. 2-7) against the actual
+built router graphs via networkx.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from .graph import NetworkGraph
+
+__all__ = [
+    "hop_diameter",
+    "average_shortest_path",
+    "terminal_diameter",
+    "bisection_channels",
+    "degree_histogram",
+]
+
+
+def hop_diameter(graph: NetworkGraph) -> int:
+    """Diameter in router hops of the undirected channel graph."""
+    return nx.diameter(graph.to_networkx())
+
+
+def average_shortest_path(graph: NetworkGraph) -> float:
+    return nx.average_shortest_path_length(graph.to_networkx())
+
+
+def terminal_diameter(graph: NetworkGraph) -> int:
+    """Max shortest-path hops between any two terminals."""
+    g = graph.to_networkx()
+    terms = graph.terminals()
+    best = 0
+    for src in terms:
+        lengths = nx.single_source_shortest_path_length(g, src)
+        best = max(best, max(lengths[t] for t in terms))
+    return best
+
+
+def bisection_channels(
+    graph: NetworkGraph, partition_a: list, partition_b: list
+) -> int:
+    """Directed channels crossing a given node bipartition."""
+    in_a = set(partition_a)
+    in_b = set(partition_b)
+    count = 0
+    for link in graph.links:
+        if link.src in in_a and link.dst in in_b:
+            count += link.capacity
+        elif link.src in in_b and link.dst in in_a:
+            count += link.capacity
+    return count
+
+
+def degree_histogram(graph: NetworkGraph) -> Dict[int, int]:
+    """Out-degree histogram of the router graph."""
+    hist: Dict[int, int] = {}
+    for node in graph.nodes:
+        d = graph.degree_out(node.id)
+        hist[d] = hist.get(d, 0) + 1
+    return hist

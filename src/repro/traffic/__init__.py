@@ -1,0 +1,27 @@
+"""Traffic patterns: unicast, adversarial and collective workloads."""
+
+from .adversarial import HotspotTraffic, WorstCaseTraffic
+from .base import ChipIndex, TrafficPattern
+from .collectives import RingAllReduceTraffic, RingStepModel, ring_allreduce_steps
+from .patterns import (
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    BitTransposeTraffic,
+    PermutationTraffic,
+    UniformTraffic,
+)
+
+__all__ = [
+    "ChipIndex",
+    "TrafficPattern",
+    "UniformTraffic",
+    "PermutationTraffic",
+    "BitReverseTraffic",
+    "BitShuffleTraffic",
+    "BitTransposeTraffic",
+    "HotspotTraffic",
+    "WorstCaseTraffic",
+    "RingAllReduceTraffic",
+    "RingStepModel",
+    "ring_allreduce_steps",
+]

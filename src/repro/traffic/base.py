@@ -1,0 +1,110 @@
+"""Traffic pattern interface and chip/node indexing helpers.
+
+Patterns operate over a *scope*: an ordered list of terminal nodes (default:
+every terminal in the graph).  The paper's injection rates are normalised
+in flits/cycle/chip, so patterns also expose the number of chips in scope;
+the simulator divides the per-chip rate across a chip's nodes.
+
+Destination conventions:
+
+* permutation patterns are defined over *node indices within the scope*
+  (positions in the scope list).  Fixed points of the permutation do not
+  generate traffic (their nodes are simply inactive); normalisation stays
+  per total chips in scope, matching how offered load is usually reported;
+* chip-granular patterns (rings, worst-case) map a source node ``(chip i,
+  offset j)`` to the *same offset* on the destination chip, which models
+  each on-chip node talking to its counterpart — the mapping the paper's
+  collective analysis (Fig. 4, Sec. V-B5) assumes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..topology.graph import NetworkGraph
+
+__all__ = ["TrafficPattern", "ChipIndex"]
+
+
+class ChipIndex:
+    """Chip/node bookkeeping over a scope of terminal nodes."""
+
+    def __init__(self, graph: NetworkGraph, scope: Optional[Sequence[int]] = None):
+        if scope is None:
+            scope = graph.terminals()
+        self.nodes: List[int] = list(scope)
+        if not self.nodes:
+            raise ValueError("traffic scope is empty")
+        seen = set()
+        for nid in self.nodes:
+            if nid in seen:
+                raise ValueError(f"node {nid} appears twice in scope")
+            seen.add(nid)
+            if not graph.nodes[nid].is_terminal:
+                raise ValueError(f"node {nid} is not a terminal")
+        # group scope nodes by chip, preserving scope order
+        chip_order: List[int] = []
+        chip_nodes: Dict[int, List[int]] = {}
+        for nid in self.nodes:
+            chip = graph.nodes[nid].chip
+            if chip not in chip_nodes:
+                chip_nodes[chip] = []
+                chip_order.append(chip)
+            chip_nodes[chip].append(nid)
+        #: chip ids in scope order.
+        self.chips: List[int] = chip_order
+        #: chip id -> node ids (scope order).
+        self.chip_nodes: Dict[int, List[int]] = chip_nodes
+        #: node id -> (chip position in self.chips, offset within chip).
+        self.node_pos: Dict[int, Tuple[int, int]] = {}
+        for ci, chip in enumerate(chip_order):
+            for off, nid in enumerate(chip_nodes[chip]):
+                self.node_pos[nid] = (ci, off)
+        #: node id -> index in self.nodes.
+        self.node_index: Dict[int, int] = {
+            nid: i for i, nid in enumerate(self.nodes)
+        }
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chips)
+
+    def counterpart(self, src: int, dst_chip_pos: int, rng: random.Random) -> int:
+        """Node on chip ``dst_chip_pos`` at the same offset as ``src``.
+
+        Falls back to a random node of the chip when the offset does not
+        exist there (heterogeneous chip sizes).
+        """
+        _, off = self.node_pos[src]
+        nodes = self.chip_nodes[self.chips[dst_chip_pos]]
+        if off < len(nodes):
+            return nodes[off]
+        return nodes[rng.randrange(len(nodes))]
+
+
+class TrafficPattern(ABC):
+    """Destination generator over a scope of terminal nodes."""
+
+    name: str = "pattern"
+
+    def __init__(self, graph: NetworkGraph, scope: Optional[Sequence[int]] = None):
+        self.graph = graph
+        self.index = ChipIndex(graph, scope)
+
+    def active_nodes(self) -> Sequence[int]:
+        """Nodes that generate traffic (default: the whole scope)."""
+        return self.index.nodes
+
+    def num_active_chips(self) -> int:
+        """Chips used to normalise flits/cycle/chip (default: all in scope)."""
+        return self.index.num_chips
+
+    @abstractmethod
+    def dest(self, src: int, rng: random.Random) -> Optional[int]:
+        """Destination node for a packet from ``src`` (None = drop)."""

@@ -1,0 +1,101 @@
+"""Collective traffic (Sec. V-A3c): ring-based AllReduce streams.
+
+The paper evaluates AllReduce as a steady-state traffic pattern rather than
+a timed collective: in a unidirectional ring each chip ``i`` streams its
+segments to chip ``(i+1) mod N``; in a bidirectional ring it alternates
+halves to ``(i-1)`` and ``(i+1)``.  On-chip node ``j`` of a chip talks to
+node ``j`` of the neighbour chip — one stream per injection port, which is
+how the switch-less architecture converts its 4 injection ports per chip
+into up to 4 flits/cycle/chip of ring bandwidth (Fig. 14).
+
+:func:`ring_allreduce_steps` additionally provides the algorithmic
+step/volume model used by the examples to convert saturation bandwidth
+into AllReduce completion time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..topology.graph import NetworkGraph
+from .base import TrafficPattern
+
+__all__ = ["RingAllReduceTraffic", "ring_allreduce_steps", "RingStepModel"]
+
+
+class RingAllReduceTraffic(TrafficPattern):
+    """Neighbour streams of a (bi)directional ring AllReduce.
+
+    The ring is ordered by chip position in the scope.  With
+    ``bidirectional=True`` each generated packet goes to the +1 or -1
+    neighbour with equal probability, modelling the two half-segments of
+    the bidirectional algorithm.
+    """
+
+    name = "ring-allreduce"
+
+    def __init__(
+        self,
+        graph: NetworkGraph,
+        scope: Optional[Sequence[int]] = None,
+        *,
+        bidirectional: bool = False,
+    ):
+        super().__init__(graph, scope)
+        if self.index.num_chips < 2:
+            raise ValueError("a ring needs at least 2 chips")
+        if bidirectional and self.index.num_chips < 3:
+            raise ValueError("a bidirectional ring needs at least 3 chips")
+        self.bidirectional = bidirectional
+        self.name = "ring-allreduce-bi" if bidirectional else "ring-allreduce-uni"
+
+    def dest(self, src: int, rng: random.Random) -> Optional[int]:
+        idx = self.index
+        ci, _ = idx.node_pos[src]
+        n = idx.num_chips
+        step = 1
+        if self.bidirectional and rng.random() < 0.5:
+            step = -1
+        return idx.counterpart(src, (ci + step) % n, rng)
+
+
+@dataclass(frozen=True)
+class RingStepModel:
+    """Closed-form ring AllReduce cost model.
+
+    For ``n`` ranks and message size ``size`` (flits), ring AllReduce does
+    ``2 (n - 1)`` steps moving ``size / n`` flits each; at a sustained ring
+    bandwidth ``bw`` (flits/cycle/chip, e.g. the Fig. 14 saturation rate)
+    the completion time is ``2 (n-1)/n * size / bw`` cycles.
+    """
+
+    ranks: int
+    message_flits: int
+    ring_bandwidth: float
+
+    @property
+    def steps(self) -> int:
+        return 2 * (self.ranks - 1)
+
+    @property
+    def flits_per_step(self) -> float:
+        return self.message_flits / self.ranks
+
+    @property
+    def completion_cycles(self) -> float:
+        if self.ring_bandwidth <= 0:
+            return float("inf")
+        return self.steps * self.flits_per_step / self.ring_bandwidth
+
+
+def ring_allreduce_steps(
+    ranks: int, message_flits: int, ring_bandwidth: float
+) -> RingStepModel:
+    """Convenience constructor for :class:`RingStepModel`."""
+    if ranks < 2:
+        raise ValueError("AllReduce needs >= 2 ranks")
+    if message_flits < 1:
+        raise ValueError("message must be >= 1 flit")
+    return RingStepModel(ranks, message_flits, ring_bandwidth)

@@ -1,0 +1,61 @@
+"""Table III rows beyond the cost columns: throughput and diameter."""
+
+from repro.analysis import build_table_iii
+
+
+def rows():
+    return {r.name: r for r in build_table_iii()}
+
+
+def test_all_nine_rows_present():
+    assert len(build_table_iii()) == 9
+
+
+def test_dojo_row():
+    r = rows()["2D-Mesh & Switch (DOJO)"]
+    assert r.chip_radix == 8
+    assert r.num_processors == 450
+    assert r.t_global == 0.53
+    assert "18Hsr" in r.diameter
+
+
+def test_fattree_taper_global_throughput():
+    r = rows()["Three-Stage F-T (3:1 Taper)"]
+    assert abs(r.t_global - 4 / 3) < 1e-9
+    assert r.t_local == 4.0
+
+
+def test_hammingmesh_throughput_ratios():
+    one = rows()["1-Plane Hx4Mesh"]
+    four = rows()["4-Plane Hx4Mesh"]
+    assert four.t_local == 4 * one.t_local
+    assert four.t_global == 4 * one.t_global
+
+
+def test_polarfly_lowest_diameter():
+    r = rows()["Co-Packaged PolarFly (p=32)"]
+    assert r.diameter == "2Hg + 2Hsr"
+
+
+def test_switchless_eliminates_switches_only():
+    names = rows()
+    for name, row in names.items():
+        if name == "Switch-less Dragonfly":
+            assert row.num_switches == 0
+        else:
+            assert row.num_switches >= 1
+
+
+def test_dragonfly_diameter_shorter_than_fattree():
+    """Hg + 2Hl + 2Hl* (Dragonfly) vs 2Hg + 2Hl + 2Hl* (Fat-Tree)."""
+    df = rows()["Dragonfly (Slingshot)"]
+    ft = rows()["Three-Stage Fat-Tree"]
+    assert df.diameter.count("Hg") < ft.diameter.count("2Hg") + 1
+    assert df.diameter == "Hg + 2Hl + 2Hl*"
+
+
+def test_format_contains_paper_reference():
+    r = rows()["Switch-less Dragonfly"]
+    assert r.paper == (0, 545, 279040, 419)
+    out = r.format()
+    assert "545" in out and "279040" in out

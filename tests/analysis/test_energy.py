@@ -1,0 +1,94 @@
+"""Fig. 15 energy accounting."""
+
+import pytest
+
+from repro.analysis import (
+    FIG15_ENERGY,
+    TABLE_II_ENERGY,
+    average_energy,
+    path_energy,
+)
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.traffic import UniformTraffic
+
+
+class TestPathEnergy:
+    def test_per_class_sums(self, small_switchless):
+        import random
+
+        sys = small_switchless
+        r = SwitchlessRouting(sys, "minimal")
+        s = sys.group_nodes(0)[0]
+        d = sys.group_nodes(3)[0]
+        path = r.route(s, d, random.Random(0))
+        split = path_energy(sys.graph, path, TABLE_II_ENERGY)
+        assert split.get("global", 0) == 20.0  # exactly one global hop
+        assert split.get("local", 0) <= 40.0
+
+
+class TestAverageEnergy:
+    def test_switchless_cheaper_than_switch_based(
+        self, small_switchless, radix8_dragonfly
+    ):
+        """Fig. 15's conclusion: eliminating switches reduces average
+        transmission energy for minimal routing."""
+        sl = average_energy(
+            small_switchless.graph,
+            SwitchlessRouting(small_switchless, "minimal"),
+            UniformTraffic(small_switchless.graph),
+            samples=1200,
+        )
+        df = average_energy(
+            radix8_dragonfly.graph,
+            DragonflyRouting(radix8_dragonfly, "minimal"),
+            UniformTraffic(radix8_dragonfly.graph),
+            samples=1200,
+        )
+        assert sl.total_pj < df.total_pj
+
+    def test_misrouting_costs_more(self, small_switchless):
+        uni = UniformTraffic(small_switchless.graph)
+        mini = average_energy(
+            small_switchless.graph,
+            SwitchlessRouting(small_switchless, "minimal"),
+            uni, samples=800,
+        )
+        mis = average_energy(
+            small_switchless.graph,
+            SwitchlessRouting(small_switchless, "valiant"),
+            uni, samples=800,
+        )
+        assert mis.total_pj > mini.total_pj
+        assert mis.inter_cgroup_pj > mini.inter_cgroup_pj
+
+    def test_intra_portion_small_for_small_mesh(self, small_switchless):
+        """Fig. 15(a): for 4x4-node C-groups the on-wafer energy is a
+        small fraction of the long-reach energy."""
+        b = average_energy(
+            small_switchless.graph,
+            SwitchlessRouting(small_switchless, "minimal"),
+            UniformTraffic(small_switchless.graph),
+            samples=800,
+        )
+        assert b.intra_cgroup_pj < 0.35 * b.inter_cgroup_pj
+
+    def test_hops_recorded(self, small_switchless):
+        b = average_energy(
+            small_switchless.graph,
+            SwitchlessRouting(small_switchless, "minimal"),
+            UniformTraffic(small_switchless.graph),
+            samples=400,
+        )
+        assert b.samples == 400
+        assert b.hops_per_class.get("global", 0) <= 1.0
+
+    def test_table_choice_matters(self, small_switchless):
+        uni = UniformTraffic(small_switchless.graph)
+        r = SwitchlessRouting(small_switchless, "minimal")
+        fig15 = average_energy(
+            small_switchless.graph, r, uni, table=FIG15_ENERGY, samples=400
+        )
+        raw = average_energy(
+            small_switchless.graph, r, uni, table=TABLE_II_ENERGY, samples=400
+        )
+        assert fig15.intra_cgroup_pj != raw.intra_cgroup_pj

@@ -1,0 +1,45 @@
+"""Equation (1) and the design-space search."""
+
+import pytest
+
+from repro.analysis import search_configurations, total_chiplets, verify_equation_1
+from repro.core import SwitchlessConfig
+
+
+class TestEquationOne:
+    def test_paper_small_config(self):
+        """(a,b,m,n) = (2,4,2,6) reaches ~1K chiplets (Sec. III-B1)."""
+        assert total_chiplets(2, 4, 2, 6) == 1312
+
+    def test_case_study_scale(self):
+        assert total_chiplets(4, 8, 4, 12) == 279040
+
+    def test_matches_built_config(self):
+        for cfg in (
+            SwitchlessConfig.radix16_equiv(),
+            SwitchlessConfig.case_study(),
+        ):
+            formula, built = verify_equation_1(cfg)
+            assert formula == built
+
+    def test_insufficient_ports_rejected(self):
+        with pytest.raises(ValueError):
+            total_chiplets(8, 8, 2, 2)  # k=4 cannot connect ab=64
+
+
+class TestSearch:
+    def test_finds_kilochip_config(self):
+        configs = search_configurations(min_chips=1000, max_chips=5000)
+        assert any(c["N"] == 1312 for c in configs)
+
+    def test_sorted_and_bounded(self):
+        configs = search_configurations(min_chips=100, max_chips=10**6)
+        sizes = [c["N"] for c in configs]
+        assert sizes == sorted(sizes)
+        assert all(100 <= n <= 10**6 for n in sizes)
+
+    def test_balanced_structure(self):
+        for c in search_configurations(min_chips=100, max_chips=10**7):
+            assert c["n"] == 3 * c["m"]
+            assert c["ab"] == 2 * c["m"] ** 2
+            assert c["g"] == c["ab"] * c["h"] + 1

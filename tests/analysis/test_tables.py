@@ -1,0 +1,31 @@
+"""Tables I, II, IV reference data."""
+
+import pytest
+
+from repro.analysis import TABLE_I, format_table_i, format_table_ii, format_table_iv
+
+
+def test_table_i_throughput_arithmetic():
+    by_name = {s.name: s for s in TABLE_I}
+    assert by_name["NVSwitch"].throughput_tbps == pytest.approx(12.8)
+    assert by_name["Tofino2"].throughput_tbps == pytest.approx(12.8)
+    assert by_name["H100"].throughput_tbps == pytest.approx(3.6)
+    assert by_name["DOJO D1"].throughput_tbps == pytest.approx(64.5, abs=0.1)
+
+
+def test_computing_chips_rival_switches():
+    """Table I's point: computing chips match switching chips in IO."""
+    by_cat = {}
+    for s in TABLE_I:
+        by_cat.setdefault(s.category, []).append(s.throughput_tbps)
+    assert max(by_cat["Computing Chip"]) > max(by_cat["Switching Chip"])
+
+
+def test_formatters_contain_rows():
+    t1 = format_table_i()
+    assert "DOJO D1" in t1 and "NVSwitch" in t1
+    t2 = format_table_ii()
+    assert "Hsr" in t2 and "Optical Cable" in t2
+    t4 = format_table_iv()
+    assert "4 flits" in t4
+    assert "10000 cycles after 5000" in t4

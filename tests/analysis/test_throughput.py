@@ -1,0 +1,63 @@
+"""Equations (2)-(6) and the balance condition (3)."""
+
+import pytest
+
+from repro.analysis import (
+    balanced_parameters,
+    cgroup_bisection_bandwidth,
+    global_throughput_bound,
+    intra_cgroup_throughput_bound,
+    is_balanced,
+    local_throughput_bound,
+)
+from repro.core import SwitchlessConfig
+
+
+class TestPaperValues:
+    def test_radix16_equiv_bounds(self):
+        cfg = SwitchlessConfig.radix16_equiv()
+        # m=2, n=6, ab=8: Tcg = n/m = 3, Tlocal = ab/m^2 = 2,
+        # Tglobal = (mn - ab + 1)/m^2 = 5/4
+        assert intra_cgroup_throughput_bound(cfg) == 3.0
+        assert local_throughput_bound(cfg) == 2.0
+        assert global_throughput_bound(cfg) == 1.25
+
+    def test_case_study_bounds(self):
+        cfg = SwitchlessConfig.case_study()
+        # m=4, n=12, ab=32: Tlocal = 2, Tglobal = (48-32+1)/16 > 1
+        assert local_throughput_bound(cfg) == 2.0
+        assert global_throughput_bound(cfg) == pytest.approx(17 / 16)
+        assert intra_cgroup_throughput_bound(cfg) == 3.0
+
+    def test_eq6_bisection_half_of_switch(self):
+        cfg = SwitchlessConfig.radix16_equiv()
+        # B_cg = k/2: half of what a k-port non-blocking switch offers
+        assert cgroup_bisection_bandwidth(cfg) == cfg.num_ports / 2
+
+    def test_2b_scales_mesh_bounds(self):
+        cfg = SwitchlessConfig.radix16_equiv(mesh_capacity=2)
+        assert intra_cgroup_throughput_bound(cfg) == 6.0
+        assert cgroup_bisection_bandwidth(cfg) == 12.0
+
+
+class TestBalance:
+    def test_eq3_reaches_unit_global_throughput(self):
+        for m in (1, 2, 3, 4):
+            params = balanced_parameters(m)
+            # T_global = (mn - ab + 1)/m^2 with n=3m, ab=2m^2
+            t = (m * params["n"] - params["ab"] + 1) / (m * m)
+            # exactly 1 + 1/m^2: approaches the 1 flit/cycle/chip target
+            assert t == pytest.approx(1.0 + 1.0 / (m * m))
+
+    def test_balanced_detection(self):
+        assert is_balanced(SwitchlessConfig.radix16_equiv())
+        # a wildly local-starved config is not balanced
+        lop = SwitchlessConfig(
+            mesh_dim=4, chiplet_dim=1, num_local=1, num_global=11
+        )
+        assert not is_balanced(lop)
+
+    def test_global_local_ratio_near_half(self):
+        params = balanced_parameters(4)
+        ratio = params["h"] / (params["ab"] - 1)
+        assert 0.4 < ratio < 0.7

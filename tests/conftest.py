@@ -1,0 +1,44 @@
+"""Shared fixtures: small systems built once per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.network import SimParams
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+
+
+@pytest.fixture(scope="session")
+def tiny_switchless():
+    """3x3-mesh, 9-W-group system (324 nodes) — fast structural checks."""
+    return build_switchless(SwitchlessConfig.radix8_equiv())
+
+
+@pytest.fixture(scope="session")
+def small_switchless():
+    """4x4-mesh, 9-W-group system (576 nodes) — the CI-scale twin of the
+    radix-16 experiment."""
+    return build_switchless(SwitchlessConfig.small_equiv())
+
+
+@pytest.fixture(scope="session")
+def small_switchless_io():
+    """IO-router-style counterpart of small_switchless."""
+    return build_switchless(
+        SwitchlessConfig.small_equiv(cgroup_style="io-router")
+    )
+
+
+@pytest.fixture(scope="session")
+def radix8_dragonfly():
+    """Switch-based Dragonfly, 9 groups / 72 chips."""
+    return build_dragonfly(DragonflyConfig.radix8())
+
+
+@pytest.fixture()
+def fast_params():
+    """Short simulation schedule for tests."""
+    return SimParams(
+        warmup_cycles=200, measure_cycles=800, drain_cycles=300, seed=7
+    )

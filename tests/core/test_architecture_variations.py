@@ -1,0 +1,112 @@
+"""Sec. III-D architecture variations beyond the flagship configuration."""
+
+import random
+
+import pytest
+
+from repro.analysis import switchless_diameter
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import SwitchlessRouting, verify_deadlock_free
+from repro.routing.base import validate_path
+
+
+class TestSingleWGroupSystem:
+    """Sec. III-D1: small-scale networks as one fully connected W-group."""
+
+    @pytest.fixture(scope="class")
+    def system(self):
+        return build_switchless(SwitchlessConfig(
+            mesh_dim=3, chiplet_dim=1, num_local=5, num_global=0,
+        ))
+
+    def test_routes_need_one_local_hop_max(self, system):
+        r = SwitchlessRouting(system, "minimal")
+        rng = random.Random(0)
+        terms = system.graph.terminals()
+        for _ in range(150):
+            s, d = rng.choice(terms), rng.choice(terms)
+            if s == d:
+                continue
+            path = r.route(s, d, rng)
+            validate_path(system.graph, s, d, path, num_vcs=r.num_vcs)
+            classes = [system.graph.links[l].klass for l, _ in path]
+            assert classes.count("local") <= 1
+            assert classes.count("global") == 0
+
+    def test_deadlock_free(self, system):
+        r = SwitchlessRouting(system, "minimal")
+        assert verify_deadlock_free(system.graph, r, max_pairs=800).acyclic
+
+    def test_diameter_model(self, system):
+        d = switchless_diameter(system.cfg)
+        assert d.global_hops == 0 and d.local_hops == 1
+
+
+class TestUnbalancedConfigs:
+    """Sec. III-D2: parameters can trade local vs global bandwidth."""
+
+    def test_global_heavy_builds_and_routes(self):
+        cfg = SwitchlessConfig(
+            mesh_dim=3, chiplet_dim=1, num_local=2, num_global=5,
+            num_wgroups=6,
+        )
+        system = build_switchless(cfg)
+        r = SwitchlessRouting(system, "minimal")
+        rng = random.Random(1)
+        terms = system.graph.terminals()
+        for _ in range(100):
+            s, d = rng.choice(terms), rng.choice(terms)
+            if s != d:
+                validate_path(
+                    system.graph, s, d, r.route(s, d, rng), num_vcs=r.num_vcs
+                )
+
+    def test_local_heavy_throughput_bounds_shift(self):
+        from repro.analysis import (
+            global_throughput_bound,
+            local_throughput_bound,
+        )
+
+        local_heavy = SwitchlessConfig(
+            mesh_dim=2, chiplet_dim=1, num_local=6, num_global=1,
+        )
+        global_heavy = SwitchlessConfig(
+            mesh_dim=2, chiplet_dim=1, num_local=2, num_global=5,
+        )
+        assert local_throughput_bound(local_heavy) > local_throughput_bound(
+            global_heavy
+        )
+        assert global_throughput_bound(global_heavy) > global_throughput_bound(
+            local_heavy
+        )
+
+
+class TestMeshDimOne:
+    """Degenerate single-node C-groups ("a single-chiplet C-group")."""
+
+    def test_builds_and_routes(self):
+        cfg = SwitchlessConfig(
+            mesh_dim=1, chiplet_dim=1, num_local=3, num_global=2,
+            num_wgroups=4,
+        )
+        system = build_switchless(cfg)
+        r = SwitchlessRouting(system, "minimal")
+        rng = random.Random(2)
+        terms = system.graph.terminals()
+        for _ in range(100):
+            s, d = rng.choice(terms), rng.choice(terms)
+            if s != d:
+                path = r.route(s, d, rng)
+                validate_path(system.graph, s, d, path, num_vcs=r.num_vcs)
+                # no mesh hops exist at all
+                classes = {system.graph.links[l].klass for l, _ in path}
+                assert classes <= {"local", "global"}
+
+    def test_deadlock_free(self):
+        cfg = SwitchlessConfig(
+            mesh_dim=1, chiplet_dim=1, num_local=3, num_global=2,
+            num_wgroups=4,
+        )
+        system = build_switchless(cfg)
+        r = SwitchlessRouting(system, "minimal")
+        assert verify_deadlock_free(system.graph, r, max_pairs=600).acyclic

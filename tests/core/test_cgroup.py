@@ -1,0 +1,152 @@
+"""C-group ports, Property-2 ordering, boundary walks, delivery paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SwitchlessConfig
+from repro.core.cgroup import CGroup
+from repro.routing.base import validate_path
+from repro.topology.graph import NetworkGraph
+
+
+def make_cgroup(mesh_dim=4, num_local=7, num_global=5, index=3, **kw):
+    cfg = SwitchlessConfig(
+        mesh_dim=mesh_dim, chiplet_dim=1,
+        num_local=num_local, num_global=num_global, **kw
+    )
+    graph = NetworkGraph("test")
+    return CGroup(cfg, wgroup=0, index=index, graph=graph, chip_base=0), graph
+
+
+class TestPorts:
+    def test_port_count(self):
+        cg, _ = make_cgroup()
+        assert len(cg.ports) == 12
+
+    def test_property2_order(self):
+        """Locals to lower C-groups, then globals, then locals to higher."""
+        cg, _ = make_cgroup(index=3)
+        roles = [(p.role, p.peer) for p in cg.ports]
+        lowers = [peer for role, peer in roles if role == "local" and peer < 3]
+        highers = [peer for role, peer in roles if role == "local" and peer > 3]
+        first_global = next(
+            i for i, (role, _) in enumerate(roles) if role == "global"
+        )
+        last_global = max(
+            i for i, (role, _) in enumerate(roles) if role == "global"
+        )
+        for i, (role, peer) in enumerate(roles):
+            if role == "local" and peer < 3:
+                assert i < first_global
+            if role == "local" and peer > 3:
+                assert i > last_global
+        assert lowers == sorted(lowers)
+        assert highers == sorted(highers)
+
+    def test_positions_monotone_in_rank(self):
+        cg, _ = make_cgroup()
+        positions = [p.position for p in cg.ports]
+        assert positions == sorted(positions)
+
+    def test_labels_above_nodes(self):
+        cg, _ = make_cgroup()
+        for p in cg.ports:
+            assert p.label >= cg.cfg.nodes_per_cgroup
+
+    def test_no_local_port_to_self(self):
+        cg, _ = make_cgroup(index=2)
+        with pytest.raises(KeyError):
+            cg.local_port(2)
+
+    def test_more_ports_than_perimeter_allowed(self):
+        cg, _ = make_cgroup(mesh_dim=2, num_local=7, num_global=5)
+        assert len(cg.ports) == 12
+        positions = [p.position for p in cg.ports]
+        assert positions == sorted(positions)
+
+
+class TestBoundaryWalk:
+    @given(
+        i=st.integers(0, 11),
+        j=st.integers(0, 11),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_walk_valid_and_monotone(self, i, j):
+        cg, graph = make_cgroup(mesh_dim=4)
+        a, b = cg.perimeter[i], cg.perimeter[j]
+        links = cg.boundary_walk(a, b)
+        validate_path(graph, a, b, [(lid, 0) for lid in links])
+        # positions strictly monotone along the walk (never cross seam)
+        positions = [cg.position_of[a]]
+        for lid in links:
+            positions.append(cg.position_of[graph.links[lid].dst])
+        diffs = {q - p for p, q in zip(positions, positions[1:])}
+        assert diffs <= {1} or diffs <= {-1}
+
+    def test_walk_direction(self):
+        cg, _ = make_cgroup()
+        a, b = cg.perimeter[2], cg.perimeter[7]
+        assert cg.walk_is_up(a, b) is True
+        assert cg.walk_is_up(b, a) is False
+        assert cg.walk_is_up(a, a) is None
+
+
+class TestDelivery:
+    @given(
+        entry=st.integers(0, 11),
+        dsty=st.integers(0, 4),
+        dstx=st.integers(0, 4),
+        dim=st.sampled_from([3, 4, 5]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_delivery_paths_valid(self, entry, dsty, dstx, dim):
+        cg, graph = make_cgroup(mesh_dim=dim)
+        perim = cg.perimeter
+        a = perim[entry % len(perim)]
+        b = cg.mesh.grid[dsty % dim][dstx % dim]
+        links = cg.delivery_links(a, b)
+        validate_path(graph, a, b, [(lid, 0) for lid in links])
+
+    def test_dive_leaves_ring_quickly(self):
+        """Delivery to interior nodes must not ride the boundary ring."""
+        cg, graph = make_cgroup(mesh_dim=5)
+        a = cg.perimeter[2]  # non-corner top node
+        b = cg.mesh.grid[2][2]  # interior
+        links = cg.delivery_links(a, b)
+        perim = set(cg.perimeter)
+        ring_links = sum(
+            1
+            for lid in links
+            if graph.links[lid].src in perim and graph.links[lid].dst in perim
+        )
+        assert ring_links == 0
+
+    def test_corner_delivery_uses_one_ring_hop(self):
+        cg, graph = make_cgroup(mesh_dim=5)
+        a = cg.perimeter[2]
+        corner = cg.mesh.grid[4][4]
+        links = cg.delivery_links(a, corner)
+        perim = set(cg.perimeter)
+        ring_links = sum(
+            1
+            for lid in links
+            if graph.links[lid].src in perim and graph.links[lid].dst in perim
+        )
+        assert ring_links <= 1
+
+
+class TestIORouterCGroup:
+    def test_structure(self):
+        from repro.core.cgroup_io import IORouterCGroup
+
+        cfg = SwitchlessConfig.small_equiv(cgroup_style="io-router")
+        graph = NetworkGraph("io")
+        cg = IORouterCGroup(cfg, 0, 1, graph, chip_base=0)
+        assert len(cg.cores) == cfg.chips_per_cgroup
+        assert all(p.attach == cg.hub for p in cg.ports)
+        assert cg.transit_links(cg.hub, cg.hub) == []
+        path = cg.delivery_links(cg.hub, cg.cores[0])
+        assert len(path) == 1
+        two_hop = cg.route_links(cg.cores[0], cg.cores[1])
+        assert len(two_hop) == 2

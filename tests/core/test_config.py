@@ -1,0 +1,107 @@
+"""SwitchlessConfig derivations and paper configurations."""
+
+import pytest
+
+from repro.core import SwitchlessConfig
+
+
+class TestPaperConfigs:
+    def test_radix16_equiv(self):
+        cfg = SwitchlessConfig.radix16_equiv()
+        assert cfg.cgroups_per_wgroup == 8
+        assert cfg.num_ports == 12
+        assert cfg.num_wgroups_effective == 41
+        assert cfg.num_chips == 1312
+        assert cfg.num_nodes == 5248
+        assert cfg.paper_m == 2
+        assert cfg.paper_n == 6.0
+        # (a, b) = (2, 4) per Sec. III-B1
+        assert cfg.cgroups_per_wafer == 2
+        assert cfg.wafers_per_wgroup == 4
+
+    def test_radix32_equiv(self):
+        cfg = SwitchlessConfig.radix32_equiv()
+        assert cfg.cgroups_per_wgroup == 16
+        assert cfg.num_ports == 24
+        assert cfg.num_wgroups_effective == 145
+        assert cfg.mesh_dim == 7
+
+    def test_case_study(self):
+        cfg = SwitchlessConfig.case_study()
+        assert cfg.num_ports == 48
+        assert cfg.cgroups_per_wgroup == 32
+        assert cfg.num_global == 17
+        assert cfg.num_wgroups_effective == 545
+        assert cfg.num_chips == 279040
+        assert cfg.cgroups_per_wafer == 4
+        assert cfg.wafers_per_wgroup == 8
+
+    def test_small_equiv_matches_baseline(self):
+        from repro.topology.dragonfly import DragonflyConfig
+
+        sl = SwitchlessConfig.small_equiv()
+        df = DragonflyConfig.small_equiv()
+        assert sl.chips_per_cgroup == df.p
+        assert sl.cgroups_per_wgroup == df.a
+        assert sl.num_global == df.h
+        assert sl.num_chips == df.num_chips
+
+
+class TestValidation:
+    def test_chiplet_dim_divides(self):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(
+                mesh_dim=4, chiplet_dim=3, num_local=3, num_global=2
+            )
+
+    def test_too_many_wgroups(self):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(
+                mesh_dim=3, chiplet_dim=1, num_local=3, num_global=2,
+                num_wgroups=100,
+            )
+
+    def test_multi_wgroup_needs_globals(self):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(
+                mesh_dim=3, chiplet_dim=1, num_local=3, num_global=0,
+                num_wgroups=2,
+            )
+
+    def test_single_wgroup_without_globals_ok(self):
+        cfg = SwitchlessConfig(
+            mesh_dim=3, chiplet_dim=1, num_local=3, num_global=0,
+        )
+        assert cfg.num_wgroups_effective == 1
+        assert cfg.max_wgroups == 1
+
+    def test_cgroups_per_wafer_divides(self):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(
+                mesh_dim=3, chiplet_dim=1, num_local=3, num_global=2,
+                cgroups_per_wafer=3,
+            )
+
+    def test_bad_style(self):
+        with pytest.raises(ValueError):
+            SwitchlessConfig(
+                mesh_dim=3, chiplet_dim=1, num_local=3, num_global=2,
+                cgroup_style="torus",
+            )
+
+
+class TestDerived:
+    def test_with_bandwidth(self):
+        cfg = SwitchlessConfig.small_equiv().with_bandwidth(2)
+        assert cfg.mesh_capacity == 2
+        assert cfg.num_chips == SwitchlessConfig.small_equiv().num_chips
+
+    def test_truncated_system(self):
+        cfg = SwitchlessConfig.small_equiv(num_wgroups=4)
+        assert cfg.num_wgroups_effective == 4
+        assert cfg.num_chips == 4 * 4 * 4
+
+    def test_nodes_per_chip(self):
+        cfg = SwitchlessConfig.small_equiv()
+        assert cfg.nodes_per_chip == 4
+        assert cfg.nodes_per_cgroup == 16

@@ -1,0 +1,83 @@
+"""Ring-peel labeling and up/down typing (Sec. IV-B properties)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labeling import (
+    CGroupLabeling,
+    downonly_reachable_fraction,
+    ring_peel_labels,
+)
+
+
+class TestRingPeel:
+    @given(dim=st.integers(1, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_bijection(self, dim):
+        labels = ring_peel_labels(dim)
+        flat = sorted(l for row in labels for l in row)
+        assert flat == list(range(dim * dim))
+
+    @given(dim=st.integers(2, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_perimeter_consecutive_clockwise(self, dim):
+        labels = ring_peel_labels(dim)
+        # clockwise boundary walk from top-left
+        walk = (
+            [(0, x) for x in range(dim)]
+            + [(y, dim - 1) for y in range(1, dim)]
+            + [(dim - 1, x) for x in range(dim - 2, -1, -1)]
+            + [(y, 0) for y in range(dim - 2, 0, -1)]
+        )
+        values = [labels[y][x] for (y, x) in walk]
+        base = dim * dim - len(walk)
+        assert values == list(range(base, dim * dim))
+
+    @given(dim=st.integers(3, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_inner_rings_below_outer(self, dim):
+        labels = ring_peel_labels(dim)
+        outer_min = dim * dim - (4 * (dim - 1))
+        for y in range(1, dim - 1):
+            for x in range(1, dim - 1):
+                assert labels[y][x] < outer_min
+
+
+class TestCGroupLabeling:
+    def test_ports_above_cores(self):
+        lab = CGroupLabeling.build(4, 12)
+        assert min(lab.port_labels) >= 16
+        assert lab.port_labels == sorted(lab.port_labels)
+
+    def test_up_typing(self):
+        lab = CGroupLabeling.build(3, 5)
+        # boundary hop from position 0 to 1 is up
+        assert lab.is_up_mesh_hop((0, 0), (0, 1))
+        assert not lab.is_up_mesh_hop((0, 1), (0, 0))
+
+
+class TestDownOnlyReachability:
+    def test_quantifies_c1_gap(self):
+        """The literal Property 1(c1) cannot hold: from any start, nodes
+        labeled above it are unreachable by down-only paths.  This test
+        pins the reproduction finding."""
+        labels = ring_peel_labels(5)
+        # the global maximum sits at the end of the boundary walk (1, 0)
+        assert labels[1][0] == 24
+        assert downonly_reachable_fraction(labels, (1, 0)) == 1.0
+        # every other perimeter node has labels above it -> gap
+        frac = downonly_reachable_fraction(labels, (0, 2))
+        assert frac < 1.0
+        # a down-only path can never reach more than (label+1) nodes
+        assert frac <= (labels[0][2] + 1) / 25
+
+    @given(dim=st.integers(2, 7))
+    @settings(max_examples=15, deadline=None)
+    def test_max_label_reaches_all(self, dim):
+        labels = ring_peel_labels(dim)
+        # find the max-label node
+        best = max(
+            ((y, x) for y in range(dim) for x in range(dim)),
+            key=lambda p: labels[p[0]][p[1]],
+        )
+        assert downonly_reachable_fraction(labels, best) == 1.0

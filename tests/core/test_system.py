@@ -1,0 +1,120 @@
+"""SwitchlessSystem construction: Fig. 6 interconnection invariants."""
+
+import pytest
+
+from repro.core import SwitchlessConfig, build_switchless
+
+
+class TestStructure:
+    def test_counts(self, small_switchless):
+        cfg = small_switchless.cfg
+        assert small_switchless.graph.num_nodes == cfg.num_nodes
+        assert small_switchless.graph.num_chips == cfg.num_chips
+
+    def test_local_all_to_all(self, small_switchless):
+        sys = small_switchless
+        ab = sys.cfg.cgroups_per_wgroup
+        for w in range(sys.num_wgroups):
+            for i in range(ab):
+                for j in range(ab):
+                    if i != j:
+                        ch = sys.local_channel(w, i, j)
+                        link = sys.graph.links[ch.link]
+                        assert link.klass == "local"
+                        assert sys.location_of(link.src) == (w, i)
+                        assert sys.location_of(link.dst) == (w, j)
+
+    def test_global_all_to_all(self, small_switchless):
+        sys = small_switchless
+        g = sys.num_wgroups
+        for w1 in range(g):
+            for w2 in range(g):
+                if w1 != w2:
+                    ch = sys.global_channel(w1, w2)
+                    link = sys.graph.links[ch.link]
+                    assert link.klass == "global"
+                    assert sys.location_of(link.src)[0] == w1
+                    assert sys.location_of(link.dst)[0] == w2
+
+    def test_channel_symmetry(self, small_switchless):
+        sys = small_switchless
+        for w1 in range(sys.num_wgroups):
+            for w2 in range(sys.num_wgroups):
+                if w1 == w2:
+                    continue
+                fwd = sys.graph.links[sys.global_channel(w1, w2).link]
+                rev = sys.graph.links[sys.global_channel(w2, w1).link]
+                assert (fwd.src, fwd.dst) == (rev.dst, rev.src)
+
+    def test_gateway_owns_global_channel(self, small_switchless):
+        sys = small_switchless
+        for w1 in range(sys.num_wgroups):
+            for w2 in range(sys.num_wgroups):
+                if w1 == w2:
+                    continue
+                gw = sys.gateway_cgroup(w1, w2)
+                ch = sys.global_channel(w1, w2)
+                assert sys.location_of(
+                    sys.graph.links[ch.link].src
+                ) == (w1, gw)
+
+    def test_global_ports_per_cgroup_within_h(self, small_switchless):
+        sys = small_switchless
+        h = sys.cfg.num_global
+        used = {}
+        for (w1, _w2), ch in sys._global.items():
+            loc = sys.location_of(sys.graph.links[ch.link].src)
+            used.setdefault(loc, set()).add(ch.src_port.peer)
+        for ports in used.values():
+            assert len(ports) <= h
+
+    def test_group_nodes_partition(self, small_switchless):
+        sys = small_switchless
+        seen = set()
+        for w in range(sys.num_wgroups):
+            nodes = sys.group_nodes(w)
+            assert not (seen & set(nodes))
+            seen.update(nodes)
+        assert len(seen) == sys.graph.num_nodes
+
+    def test_chip_ids_dense(self, small_switchless):
+        chips = sorted(small_switchless.graph.chips())
+        assert chips == list(range(small_switchless.cfg.num_chips))
+
+
+class TestVariants:
+    def test_single_wgroup_system(self):
+        """Sec. III-D1: a single fully-connected W-group, no globals."""
+        cfg = SwitchlessConfig(
+            mesh_dim=3, chiplet_dim=1, num_local=3, num_global=0,
+        )
+        sys = build_switchless(cfg)
+        assert sys.num_wgroups == 1
+        counts = sys.graph.link_class_counts()
+        assert "global" not in counts
+        assert counts["local"] == 4 * 3  # all-to-all over 4 C-groups
+
+    def test_io_router_variant(self, small_switchless_io):
+        sys = small_switchless_io
+        hubs = [n for n in sys.graph.nodes if n.kind == "io-router"]
+        assert len(hubs) == sys.cfg.num_cgroups
+        # every inter-C-group link terminates on hubs
+        for link in sys.graph.links:
+            if link.klass in ("local", "global"):
+                assert sys.graph.nodes[link.src].kind == "io-router"
+                assert sys.graph.nodes[link.dst].kind == "io-router"
+
+    def test_truncated_wgroups(self):
+        cfg = SwitchlessConfig.small_equiv(num_wgroups=3)
+        sys = build_switchless(cfg)
+        assert sys.num_wgroups == 3
+        sys.graph.validate()
+
+    def test_2b_capacity_applied(self):
+        cfg = SwitchlessConfig.small_equiv(mesh_capacity=2)
+        sys = build_switchless(cfg)
+        for link in sys.graph.links:
+            if link.klass in ("onchip", "sr"):
+                assert link.capacity == 2
+            else:
+                assert link.capacity == 1

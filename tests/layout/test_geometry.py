@@ -1,0 +1,43 @@
+"""Geometry primitives."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout import Rect, fits_in_circle, no_overlaps
+
+
+class TestRect:
+    def test_basic_props(self):
+        r = Rect("a", 1, 2, 3, 4)
+        assert r.x2 == 4 and r.y2 == 6
+        assert r.area == 12
+        assert r.center == (2.5, 4.0)
+
+    def test_overlap_detection(self):
+        a = Rect("a", 0, 0, 2, 2)
+        assert a.overlaps(Rect("b", 1, 1, 2, 2))
+        assert not a.overlaps(Rect("c", 2, 0, 2, 2))  # touching edges
+        assert not a.overlaps(Rect("d", 5, 5, 1, 1))
+
+    @given(
+        x=st.floats(-10, 10), y=st.floats(-10, 10),
+        w=st.floats(0.1, 5), h=st.floats(0.1, 5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_symmetric(self, x, y, w, h):
+        a = Rect("a", 0, 0, 3, 3)
+        b = Rect("b", x, y, w, h)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+def test_no_overlaps():
+    rects = [Rect(str(i), 3 * i, 0, 2, 2) for i in range(4)]
+    assert no_overlaps(rects)
+    rects.append(Rect("x", 0.5, 0.5, 1, 1))
+    assert not no_overlaps(rects)
+
+
+def test_fits_in_circle():
+    inner = [Rect("a", -1, -1, 2, 2)]
+    assert fits_in_circle(inner, diameter_mm=4, center=(0, 0))
+    assert not fits_in_circle(inner, diameter_mm=2, center=(0, 0))

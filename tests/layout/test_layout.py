@@ -1,0 +1,65 @@
+"""Fig. 9 C-group floorplan: the paper's feasibility numbers."""
+
+import pytest
+
+from repro.layout import (
+    SERDES_112G_LR,
+    UCIE_X64,
+    CGroupLayoutSpec,
+    plan_cgroup_layout,
+)
+
+
+class TestPaperNumbers:
+    def test_default_layout_matches_fig9(self):
+        layout = plan_cgroup_layout()
+        s = layout.summary()
+        assert s["chiplets"] == 16
+        # "a C-group of ~60mm x 60mm"
+        assert 55 <= s["edge_mm"] <= 70
+        # "4096 Gb/s/port intra-C-group" (two x64 UCIe PHYs)
+        assert s["onwafer_channel_gbps"] == 4096
+        # "896 Gb/s/port long-reach" (8 lanes of 112G)
+        assert s["offwafer_channel_gbps"] == 896
+        # "leads out 1536 pairs of differential ports"
+        assert s["offwafer_diff_pairs"] == 1536
+        # "total bisection ... 12TB/s"
+        assert s["bisection_tbps"] == pytest.approx(12.3, abs=0.5)
+        # "aggregation bandwidth ... 20.9TB/s"
+        assert s["aggregate_tbps"] == pytest.approx(21.0, abs=1.0)
+        # "~5500 IOs including power and ground"
+        assert 5000 <= s["io_pads"] <= 6000
+
+    def test_default_layout_feasible(self):
+        assert plan_cgroup_layout().feasible()
+
+    def test_beats_highest_end_switches(self):
+        """Sec. V-A1: 'much larger than the highest-end switches'
+        (12.8 Tb/s = 1.6 TB/s)."""
+        layout = plan_cgroup_layout()
+        assert layout.bisection_tbps > 1.6
+        assert layout.aggregate_tbps > 1.6
+
+
+class TestFeasibilityChecks:
+    def test_oversized_chiplets_infeasible(self):
+        spec = CGroupLayoutSpec(chiplets_per_side=8, chiplet_mm=30.0)
+        layout = plan_cgroup_layout(spec)
+        assert not layout.feasible()
+
+    def test_placement_has_no_overlaps(self):
+        from repro.layout import no_overlaps
+
+        layout = plan_cgroup_layout()
+        assert no_overlaps(layout.chiplets)
+        assert no_overlaps(layout.chiplets + layout.conversion_modules)
+
+
+class TestPhySpecs:
+    def test_ucie_module(self):
+        assert UCIE_X64.bandwidth_gbps == 2048
+        assert UCIE_X64.modules_for_bandwidth(4096) == 2
+
+    def test_serdes(self):
+        assert SERDES_112G_LR.bandwidth_gbps == 896
+        assert SERDES_112G_LR.differential

@@ -1,0 +1,37 @@
+"""Packet model invariants."""
+
+from repro.network.packet import Packet
+
+
+def make(path=((0, 0), (1, 0)), size=4):
+    return Packet(1, 10, 20, size, path, t_create=100, measured=True)
+
+
+def test_path_is_immutable_tuple():
+    p = make(path=[(0, 0), (1, 1)])
+    assert isinstance(p.path, tuple)
+    assert p.path_len == 2
+    assert p.hop_count() == 2
+
+
+def test_latency_before_and_after_delivery():
+    p = make()
+    assert not p.delivered
+    assert p.latency == -1
+    p.t_done = 150
+    assert p.delivered
+    assert p.latency == 50
+
+
+def test_slots_prevent_arbitrary_attrs():
+    p = make()
+    try:
+        p.color = "red"
+    except AttributeError:
+        return
+    raise AssertionError("Packet must use __slots__")
+
+
+def test_empty_path_allowed():
+    p = make(path=())
+    assert p.path_len == 0

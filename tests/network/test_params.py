@@ -1,0 +1,41 @@
+"""SimParams: Table IV defaults and validation."""
+
+import pytest
+
+from repro.network import SimParams
+
+
+def test_table_iv_defaults():
+    p = SimParams()
+    assert p.packet_length == 4
+    assert p.vc_buffer_size == 32
+    assert p.warmup_cycles == 5000
+    assert p.measure_cycles == 10000
+
+
+def test_scaled_copy():
+    p = SimParams().scaled(measure_cycles=100, seed=9)
+    assert p.measure_cycles == 100
+    assert p.seed == 9
+    assert p.packet_length == 4
+
+
+def test_total_cycles():
+    p = SimParams(warmup_cycles=10, measure_cycles=20, drain_cycles=5)
+    assert p.total_cycles == 35
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"packet_length": 0},
+        {"vc_buffer_size": 2},  # smaller than a packet
+        {"injection_width": 0},
+        {"ejection_width": 0},
+        {"warmup_cycles": -1},
+        {"router_latency": -1},
+    ],
+)
+def test_validation(kw):
+    with pytest.raises(ValueError):
+        SimParams(**kw)

@@ -1,0 +1,218 @@
+"""Cycle-accurate simulator: conservation, latency, contention physics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import SimParams, Simulator
+from repro.routing.base import path_latency
+from repro.routing.mesh import SwitchStarRouting, XYMeshRouting
+from repro.topology.graph import NetworkGraph
+from repro.topology.mesh import (
+    MeshSpec,
+    build_mesh,
+    build_switch_with_terminals,
+)
+from repro.traffic import UniformTraffic
+
+
+def line_graph(n=2, latency=3):
+    """n terminals in a row, unit-capacity links."""
+    g = NetworkGraph("line")
+    for i in range(n):
+        g.add_node("core", chip=i)
+    for i in range(n - 1):
+        g.add_channel(i, i + 1, latency=latency, klass="sr")
+    return g
+
+
+class LineRouting:
+    num_vcs = 1
+
+    def __init__(self, g):
+        self.g = g
+
+    def route(self, src, dst, rng):
+        step = 1 if dst > src else -1
+        return [
+            (self.g.link_between(i, i + step), 0)
+            for i in range(src, dst, step)
+        ]
+
+
+class FixedTraffic:
+    """Every node sends to a fixed destination."""
+
+    def __init__(self, mapping, chips):
+        self.mapping = mapping
+        self.chips = chips
+
+    def active_nodes(self):
+        return list(self.mapping)
+
+    def num_active_chips(self):
+        return self.chips
+
+    def dest(self, src, rng):
+        return self.mapping[src]
+
+
+def quick(seed=1, **kw):
+    base = dict(
+        warmup_cycles=200, measure_cycles=1000, drain_cycles=300, seed=seed
+    )
+    base.update(kw)
+    return SimParams(**base)
+
+
+class TestBasics:
+    def test_flit_conservation(self):
+        g = line_graph(4)
+        sim = Simulator(g, LineRouting(g), UniformTraffic(g), quick())
+        sim.run(0.4)
+        assert (
+            sim.total_flits_injected
+            == sim.total_flits_ejected + sim.flits_in_flight()
+        )
+
+    def test_deterministic_with_seed(self):
+        g = line_graph(4)
+        results = []
+        for _ in range(2):
+            sim = Simulator(g, LineRouting(g), UniformTraffic(g), quick(5))
+            results.append(sim.run(0.3))
+        assert results[0].avg_latency == results[1].avg_latency
+        assert results[0].flits_ejected == results[1].flits_ejected
+
+    def test_different_seeds_differ(self):
+        g = line_graph(4)
+        r1 = Simulator(g, LineRouting(g), UniformTraffic(g), quick(1)).run(0.3)
+        r2 = Simulator(g, LineRouting(g), UniformTraffic(g), quick(2)).run(0.3)
+        assert r1.flits_ejected != r2.flits_ejected
+
+    def test_zero_rate(self):
+        g = line_graph(3)
+        res = Simulator(g, LineRouting(g), UniformTraffic(g), quick()).run(0.0)
+        assert res.packets_measured == 0
+        assert res.accepted_rate == 0.0
+
+    def test_excessive_rate_rejected(self):
+        g = line_graph(2)
+        sim = Simulator(g, LineRouting(g), UniformTraffic(g), quick())
+        with pytest.raises(ValueError):
+            sim.run(10.0)
+
+
+class TestLatency:
+    def test_zero_load_latency_matches_analytics(self):
+        """One isolated sender: latency = wire+router latency of the path
+        plus (packet_length - 1) serialization cycles."""
+        g = line_graph(3, latency=4)
+        params = quick(seed=3)
+        mapping = {0: 2}  # only node 0 sends, to node 2
+        traffic = FixedTraffic(mapping, chips=3)
+        sim = Simulator(g, LineRouting(g), traffic, params)
+        res = sim.run(0.05)
+        path = LineRouting(g).route(0, 2, None)
+        expect = path_latency(g, path, params.router_latency)
+        expect += params.packet_length - 1
+        assert res.avg_latency == pytest.approx(expect, abs=0.5)
+
+    def test_latency_grows_with_load(self):
+        g = line_graph(5, latency=1)
+        lats = []
+        for rate in (0.1, 0.5, 0.8):
+            res = Simulator(
+                g, LineRouting(g), UniformTraffic(g), quick()
+            ).run(rate)
+            lats.append(res.avg_latency)
+        assert lats[0] < lats[1] < lats[2]
+
+
+class TestContention:
+    def test_single_link_shared_by_two_senders(self):
+        """Nodes 0 and 1 both send through link (1->2): accepted sum
+        capped at 1 flit/cycle."""
+        g = line_graph(3, latency=1)
+        traffic = FixedTraffic({0: 2, 1: 2}, chips=3)
+        res = Simulator(g, LineRouting(g), traffic, quick()).run(0.9)
+        # per chip accepted; total flits/cycle over the shared link <= 1
+        assert res.accepted_rate * 3 <= 1.05
+
+    def test_capacity_two_doubles_throughput(self):
+        g1 = line_graph(3, latency=1)
+        t1 = FixedTraffic({0: 2, 1: 2}, chips=3)
+        r1 = Simulator(g1, LineRouting(g1), t1, quick()).run(0.9)
+
+        g2 = NetworkGraph("line2")
+        for i in range(3):
+            g2.add_node("core", chip=i)
+        for i in range(2):
+            g2.add_channel(i, i + 1, latency=1, capacity=2, klass="sr")
+        t2 = FixedTraffic({0: 2, 1: 2}, chips=3)
+        params = quick(injection_width=2, ejection_width=2)
+        r2 = Simulator(g2, LineRouting(g2), t2, params).run(1.8)
+        assert r2.accepted_rate > 1.6 * r1.accepted_rate
+
+    def test_ejection_width_limits_delivery(self):
+        """Two senders to one destination: ejection port is the cap."""
+        g = NetworkGraph("star")
+        for i in range(3):
+            g.add_node("core", chip=i)
+        g.add_channel(0, 2, latency=1, klass="sr")
+        g.add_channel(1, 2, latency=1, klass="sr")
+
+        class Direct:
+            num_vcs = 1
+
+            def route(self, src, dst, rng):
+                return [(g.link_between(src, dst), 0)]
+
+        traffic = FixedTraffic({0: 2, 1: 2}, chips=3)
+        res = Simulator(g, Direct(), traffic, quick()).run(0.9)
+        assert res.accepted_rate * 3 <= 1.05
+
+
+class TestWormhole:
+    def test_packets_do_not_interleave_on_a_vc(self):
+        """With a single VC and two upstream senders merging, delivered
+        flit order per packet must be contiguous (checked indirectly:
+        all measured packets deliver, none stall forever at low load)."""
+        g = line_graph(4, latency=2)
+        res = Simulator(
+            g, LineRouting(g), UniformTraffic(g), quick()
+        ).run(0.15)
+        assert res.delivered_fraction == 1.0
+
+
+class TestMeshAndSwitch:
+    def test_mesh_beats_switch_locally(self, fast_params):
+        """Fig. 10(a) headline at test scale: the 4x4 node mesh saturates
+        well above the 4-terminal switch baseline."""
+        mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+        mesh_res = Simulator(
+            mesh.graph, XYMeshRouting(mesh), UniformTraffic(mesh.graph),
+            fast_params,
+        ).run(2.0)
+        sw = build_switch_with_terminals(4, terminal_latency=1)
+        sw_res = Simulator(
+            sw.graph, SwitchStarRouting(sw), UniformTraffic(sw.graph),
+            fast_params,
+        ).run(2.0)
+        assert mesh_res.accepted_rate > 1.5 * sw_res.accepted_rate
+
+
+@given(rate=st.floats(0.05, 0.5), seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_conservation_property(rate, seed):
+    g = line_graph(3)
+    sim = Simulator(
+        g, LineRouting(g), UniformTraffic(g),
+        SimParams(warmup_cycles=50, measure_cycles=200, drain_cycles=100,
+                  seed=seed),
+    )
+    sim.run(rate)
+    assert (
+        sim.total_flits_injected
+        == sim.total_flits_ejected + sim.flits_in_flight()
+    )

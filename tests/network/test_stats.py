@@ -1,0 +1,67 @@
+"""SimResult aggregation and saturation heuristics."""
+
+import math
+
+from repro.network.stats import SimResult
+
+
+def make(offered=0.5, latencies=None, measured=100, delivered_flits=400,
+         chips=10, cycles=100):
+    latencies = latencies if latencies is not None else [10] * measured
+    return SimResult.from_samples(
+        offered_rate=offered,
+        latencies=latencies,
+        hops=[3] * len(latencies),
+        packets_measured=measured,
+        flits_ejected=delivered_flits,
+        active_chips=chips,
+        measure_cycles=cycles,
+    )
+
+
+def test_accepted_rate_normalisation():
+    res = make(delivered_flits=400, chips=10, cycles=100)
+    assert res.accepted_rate == 0.4
+
+
+def test_latency_percentiles():
+    res = make(latencies=list(range(1, 101)))
+    assert res.avg_latency == 50.5
+    assert res.p50_latency == 50.5
+    assert res.p99_latency > 98
+
+
+def test_empty_latencies_give_nan():
+    res = make(latencies=[], measured=0, delivered_flits=0)
+    assert math.isnan(res.avg_latency)
+    assert res.delivered_fraction == 1.0
+
+
+def test_saturation_needs_samples():
+    # tiny populations never flag saturation from throughput noise
+    res = make(offered=1.0, measured=30, latencies=[5] * 10,
+               delivered_flits=10, chips=2, cycles=100)
+    assert not res.saturated
+
+
+def test_saturation_on_undelivered():
+    res = make(offered=0.5, measured=400, latencies=[9] * 100,
+               delivered_flits=4000, chips=10, cycles=100)
+    assert res.delivered_fraction == 0.25
+    assert res.saturated
+
+
+def test_saturation_on_low_accept():
+    res = make(offered=1.0, measured=500, latencies=[9] * 500,
+               delivered_flits=100, chips=10, cycles=100)
+    assert res.accepted_rate == 0.1
+    assert res.saturated
+
+
+def test_zero_offered_never_saturated():
+    assert not make(offered=0.0).saturated
+
+
+def test_str_roundtrip():
+    s = str(make())
+    assert "rate=0.500" in s and "lat=" in s

@@ -1,0 +1,62 @@
+"""validate_path / path_latency helpers."""
+
+import pytest
+
+from repro.routing.base import path_latency, validate_path
+from repro.topology.graph import NetworkGraph
+
+
+@pytest.fixture()
+def line():
+    g = NetworkGraph("line")
+    for i in range(3):
+        g.add_node("core", chip=i)
+    g.add_channel(0, 1, latency=2)
+    g.add_channel(1, 2, latency=3)
+    return g
+
+
+def test_valid_path_passes(line):
+    path = [(line.link_between(0, 1), 0), (line.link_between(1, 2), 0)]
+    validate_path(line, 0, 2, path, num_vcs=1)
+
+
+def test_wrong_start_detected(line):
+    path = [(line.link_between(1, 2), 0)]
+    with pytest.raises(ValueError, match="starts at"):
+        validate_path(line, 0, 2, path)
+
+
+def test_wrong_end_detected(line):
+    path = [(line.link_between(0, 1), 0)]
+    with pytest.raises(ValueError, match="ends at"):
+        validate_path(line, 0, 2, path)
+
+
+def test_disconnected_hop_detected(line):
+    path = [(line.link_between(1, 2), 0), (line.link_between(0, 1), 0)]
+    with pytest.raises(ValueError):
+        validate_path(line, 1, 1, path)
+
+
+def test_vc_out_of_range_detected(line):
+    path = [(line.link_between(0, 1), 5)]
+    with pytest.raises(ValueError, match="vc"):
+        validate_path(line, 0, 1, path, num_vcs=2)
+
+
+def test_bad_link_id_detected(line):
+    with pytest.raises(ValueError, match="out of range"):
+        validate_path(line, 0, 1, [(99, 0)])
+
+
+def test_empty_path_same_node(line):
+    validate_path(line, 1, 1, [])
+    with pytest.raises(ValueError):
+        validate_path(line, 0, 1, [])
+
+
+def test_path_latency_sums_wire_and_router(line):
+    path = [(line.link_between(0, 1), 0), (line.link_between(1, 2), 0)]
+    assert path_latency(line, path, router_latency=1) == (2 + 1) + (3 + 1)
+    assert path_latency(line, path, router_latency=0) == 5

@@ -1,0 +1,124 @@
+"""Dragonfly minimal/Valiant routing: validity, structure, deadlock."""
+
+import random
+
+import pytest
+
+from repro.routing import DragonflyRouting, verify_deadlock_free
+from repro.routing.base import validate_path
+
+
+def sample_pairs(sys, n=300, seed=0):
+    rng = random.Random(seed)
+    terms = sys.graph.terminals()
+    out = []
+    while len(out) < n:
+        s, d = rng.choice(terms), rng.choice(terms)
+        if s != d:
+            out.append((s, d))
+    return out
+
+
+class TestMinimal:
+    def test_paths_valid(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "minimal")
+        for s, d in sample_pairs(radix8_dragonfly):
+            path = r.route(s, d, random.Random(0))
+            validate_path(radix8_dragonfly.graph, s, d, path, num_vcs=r.num_vcs)
+
+    def test_hop_structure(self, radix8_dragonfly):
+        """t-l?-g?-l?-t: at most 1 global, 2 locals, 2 terminal hops."""
+        sys = radix8_dragonfly
+        r = DragonflyRouting(sys, "minimal")
+        for s, d in sample_pairs(sys, 200):
+            path = r.route(s, d, random.Random(0))
+            classes = [sys.graph.links[l].klass for l, _ in path]
+            assert classes.count("global") <= 1
+            assert classes.count("local") <= 2
+            assert classes.count("terminal") == 2
+            inter = sys.group_of(s) != sys.group_of(d)
+            assert classes.count("global") == (1 if inter else 0)
+
+    def test_vcs_nondecreasing(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "minimal")
+        for s, d in sample_pairs(radix8_dragonfly, 100):
+            vcs = [vc for _, vc in r.route(s, d, random.Random(0))]
+            assert vcs == sorted(vcs)
+
+    def test_deadlock_free(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "minimal")
+        report = verify_deadlock_free(
+            radix8_dragonfly.graph, r, max_pairs=600
+        )
+        assert report.acyclic, report.describe(radix8_dragonfly.graph)
+
+    def test_two_vcs(self, radix8_dragonfly):
+        assert DragonflyRouting(radix8_dragonfly, "minimal").num_vcs == 2
+
+
+class TestValiant:
+    def test_paths_valid(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "valiant")
+        rng = random.Random(1)
+        for s, d in sample_pairs(radix8_dragonfly, 200):
+            path = r.route(s, d, rng)
+            validate_path(radix8_dragonfly.graph, s, d, path, num_vcs=r.num_vcs)
+
+    def test_at_most_two_globals(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        r = DragonflyRouting(sys, "valiant")
+        rng = random.Random(2)
+        for s, d in sample_pairs(sys, 200):
+            classes = [sys.graph.links[l].klass for l, _ in r.route(s, d, rng)]
+            assert classes.count("global") <= 2
+
+    def test_intermediates_cover_groups(self, radix8_dragonfly):
+        """Valiant must actually spread over intermediate groups."""
+        sys = radix8_dragonfly
+        r = DragonflyRouting(sys, "valiant")
+        rng = random.Random(3)
+        s = sys.terminals[0][0][0]
+        d = sys.terminals[1][0][0]
+        used = set()
+        for _ in range(300):
+            path = r.route(s, d, rng)
+            groups = {
+                sys.group_of(sys.graph.links[l].dst) for l, _ in path
+            }
+            used |= groups - {0, 1}
+        assert len(used) >= sys.num_groups - 3
+
+    def test_deadlock_free(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "valiant")
+        report = verify_deadlock_free(
+            radix8_dragonfly.graph, r, max_pairs=250
+        )
+        assert report.acyclic
+
+    def test_three_vc_classes(self, radix8_dragonfly):
+        assert DragonflyRouting(radix8_dragonfly, "valiant").num_vcs == 3
+
+
+class TestVCSpread:
+    def test_spread_multiplies_vcs(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "minimal", vc_spread=4)
+        assert r.num_vcs == 8
+
+    def test_spread_paths_valid_and_safe(self, radix8_dragonfly):
+        r = DragonflyRouting(radix8_dragonfly, "valiant", vc_spread=2)
+        rng = random.Random(5)
+        for s, d in sample_pairs(radix8_dragonfly, 100):
+            validate_path(
+                radix8_dragonfly.graph, s, d, r.route(s, d, rng),
+                num_vcs=r.num_vcs,
+            )
+        report = verify_deadlock_free(
+            radix8_dragonfly.graph, r, max_pairs=200
+        )
+        assert report.acyclic
+
+    def test_bad_args(self, radix8_dragonfly):
+        with pytest.raises(ValueError):
+            DragonflyRouting(radix8_dragonfly, "adaptive")
+        with pytest.raises(ValueError):
+            DragonflyRouting(radix8_dragonfly, "minimal", vc_spread=0)

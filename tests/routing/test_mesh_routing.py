@@ -1,0 +1,65 @@
+"""Standalone mesh XY routing and the single-switch star."""
+
+import random
+
+from repro.routing import (
+    SwitchStarRouting,
+    XYMeshRouting,
+    verify_deadlock_free,
+)
+from repro.routing.base import path_latency, validate_path
+from repro.topology.mesh import (
+    MeshSpec,
+    build_mesh,
+    build_switch_with_terminals,
+)
+
+
+class TestXYMeshRouting:
+    def test_all_pairs_valid(self):
+        block = build_mesh(MeshSpec(dim=4))
+        r = XYMeshRouting(block)
+        nodes = block.graph.terminals()
+        for s in nodes:
+            for d in nodes:
+                if s != d:
+                    validate_path(
+                        block.graph, s, d, r.route(s, d, random.Random(0))
+                    )
+
+    def test_single_vc_deadlock_free(self):
+        block = build_mesh(MeshSpec(dim=4))
+        r = XYMeshRouting(block)
+        assert r.num_vcs == 1
+        assert verify_deadlock_free(block.graph, r).acyclic
+
+    def test_path_latency_helper(self):
+        block = build_mesh(MeshSpec(dim=3))
+        r = XYMeshRouting(block)
+        path = r.route(block.grid[0][0], block.grid[2][2], random.Random(0))
+        # 4 hops x (1 wire + 1 router)
+        assert path_latency(block.graph, path) == 8
+
+
+class TestSwitchStar:
+    def test_voq_assignment(self):
+        sw = build_switch_with_terminals(8)
+        r = SwitchStarRouting(sw, voq_vcs=4)
+        assert r.num_vcs == 4
+        vcs = set()
+        for d in sw.terminals:
+            if d == sw.terminals[0]:
+                continue
+            path = r.route(sw.terminals[0], d, random.Random(0))
+            assert len(path) == 2
+            vcs.add(path[0][1])
+        assert vcs == {0, 1, 2, 3}
+
+    def test_deadlock_free(self):
+        sw = build_switch_with_terminals(4)
+        r = SwitchStarRouting(sw)
+        assert verify_deadlock_free(sw.graph, r).acyclic
+
+    def test_voq_capped_by_terminals(self):
+        sw = build_switch_with_terminals(2)
+        assert SwitchStarRouting(sw, voq_vcs=8).num_vcs == 2

@@ -1,0 +1,91 @@
+"""Property-based checks of the switch-less routing over random configs."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.routing import SwitchlessRouting
+from repro.routing.base import validate_path
+
+
+@st.composite
+def small_configs(draw):
+    mesh_dim = draw(st.integers(2, 4))
+    num_local = draw(st.integers(1, 4))
+    num_global = draw(st.integers(1, 3))
+    max_w = (num_local + 1) * num_global + 1
+    num_wgroups = draw(st.integers(2, min(5, max_w)))
+    style = draw(st.sampled_from(["mesh", "io-router"]))
+    return SwitchlessConfig(
+        mesh_dim=mesh_dim,
+        chiplet_dim=1,
+        num_local=num_local,
+        num_global=num_global,
+        num_wgroups=num_wgroups,
+        cgroup_style=style,
+    )
+
+
+@given(cfg=small_configs(), seed=st.integers(0, 10**6))
+@settings(max_examples=25, deadline=None)
+def test_routes_valid_on_random_configs(cfg, seed):
+    """Any random small system: every sampled route is a connected walk
+    with in-range VCs, for every policy/mode combination."""
+    system = build_switchless(cfg)
+    rng = random.Random(seed)
+    terms = system.graph.terminals()
+    pairs = [
+        (rng.choice(terms), rng.choice(terms)) for _ in range(12)
+    ]
+    for policy, mode in (
+        ("baseline", "minimal"),
+        ("baseline", "valiant"),
+        ("reduced", "minimal"),
+        ("reduced", "valiant"),
+    ):
+        r = SwitchlessRouting(system, mode, policy=policy)
+        for s, d in pairs:
+            if s == d:
+                continue
+            path = r.route(s, d, rng)
+            validate_path(system.graph, s, d, path, num_vcs=r.num_vcs)
+
+
+@given(cfg=small_configs(), seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_minimal_visits_at_most_four_cgroups(cfg, seed):
+    """Algorithm 1: a minimal route touches <= 4 C-groups."""
+    system = build_switchless(cfg)
+    rng = random.Random(seed)
+    terms = system.graph.terminals()
+    r = SwitchlessRouting(system, "minimal")
+    for _ in range(10):
+        s, d = rng.choice(terms), rng.choice(terms)
+        if s == d:
+            continue
+        path = r.route(s, d, rng)
+        cgroups = {system.location_of(s)}
+        for lid, _vc in path:
+            link = system.graph.links[lid]
+            dst = link.dst
+            if dst in system._node_loc:
+                cgroups.add(system.location_of(dst))
+        assert len(cgroups) <= 4
+
+
+@given(cfg=small_configs(), seed=st.integers(0, 10**6))
+@settings(max_examples=20, deadline=None)
+def test_vcs_within_budget(cfg, seed):
+    system = build_switchless(cfg)
+    rng = random.Random(seed)
+    terms = system.graph.terminals()
+    for policy, mode in (("baseline", "valiant"), ("reduced", "valiant")):
+        r = SwitchlessRouting(system, mode, policy=policy)
+        for _ in range(8):
+            s, d = rng.choice(terms), rng.choice(terms)
+            if s == d:
+                continue
+            for _lid, vc in r.route(s, d, rng):
+                assert 0 <= vc < r.num_vcs

@@ -1,0 +1,44 @@
+"""CLI entry points."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_tables(capsys):
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out and "Table IV" in out
+
+
+def test_table3(capsys):
+    assert main(["table3"]) == 0
+    assert "Switch-less Dragonfly" in capsys.readouterr().out
+
+
+def test_layout(capsys):
+    assert main(["layout"]) == 0
+    out = capsys.readouterr().out
+    assert "bisection_tbps" in out
+    assert "True" in out
+
+
+def test_verify(capsys):
+    assert main(["verify", "--policy", "baseline", "--max-pairs", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "deadlock-free" in out
+
+
+def test_sweep_smoke(capsys):
+    rc = main([
+        "sweep", "--arch", "switchless", "--scope", "local",
+        "--points", "2", "--max-rate", "0.4",
+        "--warmup", "100", "--measure", "250",
+    ])
+    assert rc == 0
+    assert "offered" in capsys.readouterr().out
+
+
+def test_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,111 @@
+"""Cross-module integration: paper claims at test scale.
+
+These are miniature versions of the benchmark experiments, small enough
+for the unit-test suite, asserting the load-bearing *relationships* the
+paper claims rather than absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis import (
+    global_throughput_bound,
+    local_throughput_bound,
+)
+from repro.core import SwitchlessConfig, build_switchless
+from repro.network import SimParams, Simulator
+from repro.routing import DragonflyRouting, SwitchlessRouting
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.traffic import RingAllReduceTraffic, UniformTraffic, WorstCaseTraffic
+
+PARAMS = SimParams(
+    warmup_cycles=250, measure_cycles=900, drain_cycles=350, seed=21
+)
+
+
+@pytest.fixture(scope="module")
+def sless():
+    return build_switchless(SwitchlessConfig.radix8_equiv())
+
+
+@pytest.fixture(scope="module")
+def dfly():
+    return build_dragonfly(DragonflyConfig.radix8())
+
+
+class TestThroughputBoundsHold:
+    def test_global_saturation_below_eq2(self, small_switchless):
+        """Measured accepted throughput never exceeds the Eq. (2) bound."""
+        cfg = small_switchless.cfg
+        routing = SwitchlessRouting(small_switchless, "minimal")
+        res = Simulator(
+            small_switchless.graph, routing,
+            UniformTraffic(small_switchless.graph), PARAMS,
+        ).run(0.8)
+        assert res.accepted_rate <= global_throughput_bound(cfg) * 1.05
+
+    def test_local_saturation_below_eq4(self, small_switchless):
+        cfg = small_switchless.cfg
+        routing = SwitchlessRouting(small_switchless, "minimal")
+        scope = small_switchless.group_nodes(0)
+        res = Simulator(
+            small_switchless.graph, routing,
+            UniformTraffic(small_switchless.graph, scope), PARAMS,
+        ).run(1.6)
+        assert res.accepted_rate <= local_throughput_bound(cfg) * 1.05
+
+
+class TestMisroutingClaim:
+    def test_valiant_beats_minimal_on_worst_case(self, sless):
+        """Fig. 13(b) at test scale."""
+        wc = WorstCaseTraffic(sless.graph, sless.group_nodes,
+                              sless.num_wgroups)
+        rate = 0.25
+        res_min = Simulator(
+            sless.graph, SwitchlessRouting(sless, "minimal"), wc, PARAMS
+        ).run(rate)
+        res_val = Simulator(
+            sless.graph, SwitchlessRouting(sless, "valiant"), wc, PARAMS
+        ).run(rate)
+        assert res_val.accepted_rate > 1.5 * res_min.accepted_rate
+
+
+class TestAllReduceClaim:
+    def test_switch_based_ring_caps_at_one(self, dfly):
+        """Sec. III-B4: the single terminal channel caps the ring."""
+        ring = RingAllReduceTraffic(dfly.graph, dfly.group_nodes(0))
+        res = Simulator(
+            dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
+            ring, PARAMS,
+        ).run(1.5)
+        assert res.accepted_rate <= 1.05
+        assert res.accepted_rate > 0.8
+
+
+class TestRoutingPoliciesAgree:
+    def test_policies_deliver_same_traffic(self, small_switchless):
+        """Baseline and reduced VC policies at low load must both deliver
+        everything with comparable latency (same minimal path lengths)."""
+        uni = UniformTraffic(small_switchless.graph)
+        out = {}
+        for policy in ("baseline", "reduced"):
+            routing = SwitchlessRouting(
+                small_switchless, "minimal", policy=policy
+            )
+            out[policy] = Simulator(
+                small_switchless.graph, routing, uni, PARAMS
+            ).run(0.1)
+        assert out["baseline"].delivered_fraction == 1.0
+        assert out["reduced"].delivered_fraction == 1.0
+        assert out["reduced"].avg_latency == pytest.approx(
+            out["baseline"].avg_latency, rel=0.25
+        )
+
+    def test_io_router_style_simulates(self, small_switchless_io):
+        routing = SwitchlessRouting(
+            small_switchless_io, "minimal", policy="reduced"
+        )
+        res = Simulator(
+            small_switchless_io.graph, routing,
+            UniformTraffic(small_switchless_io.graph), PARAMS,
+        ).run(0.2)
+        assert res.delivered_fraction > 0.95

@@ -1,0 +1,108 @@
+"""Switch-based Dragonfly builder: paper-scale counts and arrangement."""
+
+import pytest
+
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.topology.properties import terminal_diameter
+
+
+class TestConfig:
+    def test_radix16_paper_numbers(self):
+        cfg = DragonflyConfig.radix16()
+        assert cfg.radix == 16
+        assert (cfg.p, cfg.a, cfg.h) == (4, 8, 5)
+        assert cfg.num_groups == 41
+        assert cfg.num_switches == 328
+        assert cfg.num_chips == 1312
+
+    def test_radix32_paper_numbers(self):
+        cfg = DragonflyConfig.radix32()
+        assert cfg.radix == 32
+        assert cfg.num_groups == 145
+        assert cfg.num_chips == 18560
+
+    def test_slingshot_numbers(self):
+        from repro.analysis.case_study import slingshot_config
+
+        cfg = slingshot_config()
+        assert cfg.radix == 64
+        assert cfg.num_groups == 545
+        assert cfg.num_switches == 17440
+        assert cfg.num_chips == 279040
+
+    def test_too_many_groups_rejected(self):
+        with pytest.raises(ValueError):
+            DragonflyConfig(p=2, a=2, h=1, g=10)
+
+    def test_truncated_groups_allowed(self):
+        cfg = DragonflyConfig(p=2, a=4, h=2, g=5)
+        sys = build_dragonfly(cfg)
+        assert sys.num_groups == 5
+
+
+class TestArrangement:
+    def test_global_links_pair_consistently(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        g = sys.cfg.num_groups
+        for w1 in range(g):
+            for w2 in range(g):
+                if w1 == w2:
+                    continue
+                fwd = sys.global_link(w1, w2)
+                rev = sys.global_link(w2, w1)
+                lf = sys.graph.links[fwd]
+                lr = sys.graph.links[rev]
+                assert (lf.src, lf.dst) == (lr.dst, lr.src)
+
+    def test_every_group_pair_connected_once(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        count = sys.graph.link_class_counts()["global"]
+        g = sys.cfg.num_groups
+        assert count == g * (g - 1)  # one duplex channel per ordered pair
+
+    def test_gateway_owns_channel(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        for w1 in range(sys.cfg.num_groups):
+            for w2 in range(sys.cfg.num_groups):
+                if w1 == w2:
+                    continue
+                gw = sys.gateway_switch(w1, w2)
+                link = sys.graph.links[sys.global_link(w1, w2)]
+                assert link.src == sys.switches[w1][gw]
+
+    def test_local_all_to_all(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        a = sys.cfg.a
+        for gi in range(sys.cfg.num_groups):
+            for i in range(a):
+                for j in range(a):
+                    if i != j:
+                        assert sys.graph.has_link(
+                            sys.switches[gi][i], sys.switches[gi][j]
+                        )
+
+    def test_global_ports_within_radix(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        for row in sys.switches:
+            for sw in row:
+                globals_used = sum(
+                    1 for l in sys.graph.out_links(sw) if l.klass == "global"
+                )
+                assert globals_used <= sys.cfg.h
+
+
+class TestStructure:
+    def test_terminal_diameter_is_five_hops(self, radix8_dragonfly):
+        # terminal-switch, local, global, local, switch-terminal
+        assert terminal_diameter(radix8_dragonfly.graph) == 5
+
+    def test_group_nodes(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        nodes = sys.group_nodes(0)
+        assert len(nodes) == sys.cfg.a * sys.cfg.p
+        assert all(sys.group_of(n) == 0 for n in nodes)
+
+    def test_switch_of_terminal(self, radix8_dragonfly):
+        sys = radix8_dragonfly
+        t = sys.terminals[2][1][0]
+        assert sys.switch_of_terminal(t) == sys.switches[2][1]

@@ -1,0 +1,55 @@
+"""Property-based Dragonfly construction checks over random configs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+
+
+@st.composite
+def dfly_configs(draw):
+    p = draw(st.integers(1, 3))
+    a = draw(st.integers(2, 5))
+    h = draw(st.integers(1, 3))
+    gmax = a * h + 1
+    g = draw(st.integers(2, min(gmax, 8)))
+    return DragonflyConfig(p=p, a=a, h=h, g=g)
+
+
+@given(cfg=dfly_configs())
+@settings(max_examples=25, deadline=None)
+def test_counts_match_formulas(cfg):
+    sys = build_dragonfly(cfg)
+    assert sys.graph.num_chips == cfg.num_chips
+    switches = sum(1 for n in sys.graph.nodes if n.kind == "switch")
+    assert switches == cfg.num_switches
+
+
+@given(cfg=dfly_configs())
+@settings(max_examples=25, deadline=None)
+def test_arrangement_consistent(cfg):
+    """Forward and reverse global channels always agree endpoint-wise."""
+    sys = build_dragonfly(cfg)
+    for w1 in range(cfg.num_groups):
+        for w2 in range(cfg.num_groups):
+            if w1 == w2:
+                continue
+            fwd = sys.graph.links[sys.global_link(w1, w2)]
+            rev = sys.graph.links[sys.global_link(w2, w1)]
+            assert (fwd.src, fwd.dst) == (rev.dst, rev.src)
+            assert fwd.klass == "global"
+
+
+@given(cfg=dfly_configs())
+@settings(max_examples=20, deadline=None)
+def test_radix_budget_respected(cfg):
+    """No switch exceeds its configured port budget."""
+    sys = build_dragonfly(cfg)
+    for row in sys.switches:
+        for sw in row:
+            counts = {}
+            for link in sys.graph.out_links(sw):
+                counts[link.klass] = counts.get(link.klass, 0) + 1
+            assert counts.get("terminal", 0) == cfg.p
+            assert counts.get("local", 0) == cfg.a - 1
+            assert counts.get("global", 0) <= cfg.h

@@ -1,0 +1,39 @@
+"""Three-stage fat-tree builder checks."""
+
+import pytest
+
+from repro.topology.fattree import build_fattree
+from repro.topology.properties import terminal_diameter
+
+
+def test_k4_counts():
+    sys = build_fattree(4)
+    assert len(sys.core) == 4
+    assert sys.num_switches == 4 + 4 * (2 + 2)
+    assert len(sys.terminals) == 16
+
+
+def test_terminal_count_formula():
+    for k in (2, 4, 6):
+        sys = build_fattree(k)
+        assert len(sys.terminals) == k ** 3 // 4
+
+
+def test_diameter_six_hops():
+    # terminal-edge-agg-core-agg-edge-terminal
+    assert terminal_diameter(build_fattree(4).graph) == 6
+
+
+def test_odd_radix_rejected():
+    with pytest.raises(ValueError):
+        build_fattree(5)
+
+
+def test_full_bisection_port_budget():
+    sys = build_fattree(6)
+    for pod in sys.edge:
+        for e in pod:
+            links = list(sys.graph.out_links(e))
+            down = sum(1 for l in links if l.klass == "terminal")
+            up = sum(1 for l in links if l.klass == "local")
+            assert down == up == 3

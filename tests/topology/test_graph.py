@@ -1,0 +1,137 @@
+"""NetworkGraph substrate: construction, validation, export."""
+
+import pytest
+
+from repro.topology.graph import LINK_CLASSES, Link, NetworkGraph
+
+
+def ring(n=4, **link_kw):
+    g = NetworkGraph("ring")
+    for i in range(n):
+        g.add_node("core", chip=i)
+    for i in range(n):
+        g.add_channel(i, (i + 1) % n, latency=1, **link_kw)
+    return g
+
+
+class TestConstruction:
+    def test_node_ids_dense(self):
+        g = NetworkGraph()
+        ids = [g.add_node("core", chip=i) for i in range(5)]
+        assert ids == [0, 1, 2, 3, 4]
+        assert g.num_nodes == 5
+
+    def test_channel_creates_two_links(self):
+        g = ring(3)
+        assert g.num_links == 6
+        for link in g.links:
+            assert g.has_link(link.dst, link.src)
+
+    def test_links_between_order(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        g.add_node("b", 1)
+        l1, _ = g.add_channel(0, 1, latency=1)
+        l2, _ = g.add_channel(0, 1, latency=2)
+        assert g.links_between(0, 1) == [l1, l2]
+        assert g.link_between(0, 1, 1) == l2
+
+    def test_link_between_missing_raises(self):
+        g = ring(4)
+        with pytest.raises(KeyError):
+            g.link_between(0, 2)
+        with pytest.raises(KeyError):
+            g.link_between(0, 1, index=5)
+
+    def test_self_link_rejected(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        with pytest.raises(ValueError):
+            g.add_link(0, 0, latency=1)
+
+    def test_unknown_node_rejected(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        with pytest.raises(KeyError):
+            g.add_link(0, 9, latency=1)
+
+    def test_bad_link_class_rejected(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        g.add_node("b", 1)
+        with pytest.raises(ValueError):
+            g.add_link(0, 1, latency=1, klass="warp")
+
+    def test_bad_latency_capacity_rejected(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        g.add_node("b", 1)
+        with pytest.raises(ValueError):
+            g.add_link(0, 1, latency=0)
+        with pytest.raises(ValueError):
+            g.add_link(0, 1, latency=1, capacity=0)
+
+
+class TestChipsAndTerminals:
+    def test_chips_grouping(self):
+        g = NetworkGraph()
+        for i in range(6):
+            g.add_node("core", chip=i // 2)
+        chips = g.chips()
+        assert set(chips) == {0, 1, 2}
+        assert all(len(v) == 2 for v in chips.values())
+
+    def test_non_terminal_not_in_chips(self):
+        g = NetworkGraph()
+        g.add_node("switch", chip=-1, is_terminal=False)
+        g.add_node("core", chip=0)
+        assert g.terminals() == [1]
+        assert -1 not in g.chips()
+
+
+class TestValidation:
+    def test_missing_reverse_detected(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        g.add_node("b", 1)
+        g.add_link(0, 1, latency=1)
+        with pytest.raises(ValueError, match="reverse"):
+            g.validate()
+
+    def test_no_terminals_detected(self):
+        g = NetworkGraph()
+        g.add_node("s", -1, is_terminal=False)
+        g.add_node("s2", -1, is_terminal=False)
+        g.add_channel(0, 1, latency=1)
+        with pytest.raises(ValueError, match="terminal"):
+            g.validate()
+
+    def test_valid_ring_passes(self):
+        ring(5).validate()
+
+
+class TestExport:
+    def test_to_networkx_simple(self):
+        g = ring(6)
+        nxg = g.to_networkx()
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 6
+
+    def test_to_networkx_multigraph_keeps_parallels(self):
+        g = NetworkGraph()
+        g.add_node("a", 0)
+        g.add_node("b", 1)
+        g.add_channel(0, 1, latency=1)
+        g.add_channel(0, 1, latency=1)
+        assert g.to_networkx(multigraph=True).number_of_edges() == 2
+        assert g.to_networkx().number_of_edges() == 1
+
+    def test_link_class_counts(self):
+        g = ring(4, klass="sr")
+        assert g.link_class_counts() == {"sr": 8}
+
+    def test_degree_and_neighbors(self):
+        g = ring(4)
+        assert g.degree_out(0) == 2
+        assert sorted(g.neighbors_out(0)) == [1, 3]
+        assert len(g.in_links(0)) == 2

@@ -1,0 +1,44 @@
+"""HammingMesh builder structure checks."""
+
+from repro.topology.hammingmesh import HammingMeshConfig, build_hammingmesh
+from repro.topology.properties import terminal_diameter
+
+
+def test_counts():
+    cfg = HammingMeshConfig(board_dim=4, array_rows=2, array_cols=3)
+    sys = build_hammingmesh(cfg)
+    assert cfg.num_chips == 4 * 4 * 2 * 3
+    assert len(sys.row_switches) == 8
+    assert len(sys.col_switches) == 12
+    sys.graph.validate()
+
+
+def test_onboard_links_do_not_cross_boards():
+    cfg = HammingMeshConfig(board_dim=2, array_rows=2, array_cols=2)
+    sys = build_hammingmesh(cfg)
+    for link in sys.graph.links:
+        if link.klass != "sr":
+            continue
+        (r1, c1) = sys.graph.nodes[link.src].coords
+        (r2, c2) = sys.graph.nodes[link.dst].coords
+        assert (r1 // 2, c1 // 2) == (r2 // 2, c2 // 2)
+
+
+def test_edge_chips_reach_trees():
+    cfg = HammingMeshConfig(board_dim=4, array_rows=2, array_cols=2)
+    sys = build_hammingmesh(cfg)
+    # west-edge chip of board (0,0), row 1
+    nid = sys.grid[1][0]
+    assert sys.graph.has_link(nid, sys.row_switches[1])
+    # interior chip has no tree link
+    interior = sys.grid[1][1]
+    assert not sys.graph.has_link(interior, sys.row_switches[1])
+    assert not sys.graph.has_link(interior, sys.col_switches[1])
+
+
+def test_diameter_bounded():
+    cfg = HammingMeshConfig(board_dim=2, array_rows=3, array_cols=3)
+    sys = build_hammingmesh(cfg)
+    # any chip reaches any other within: to board edge (<=2), row tree,
+    # across, column tree, to destination (<= 8 total at this scale)
+    assert terminal_diameter(sys.graph) <= 8

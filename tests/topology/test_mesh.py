@@ -1,0 +1,121 @@
+"""Mesh/switch/DOJO builders and XY paths."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.base import validate_path
+from repro.topology.mesh import (
+    DojoSpec,
+    MeshSpec,
+    build_dojo_mesh_with_switch,
+    build_mesh,
+    build_switch_with_terminals,
+    xy_links,
+)
+
+
+class TestMeshSpec:
+    def test_chiplet_must_divide(self):
+        with pytest.raises(ValueError):
+            MeshSpec(dim=4, chiplet_dim=3)
+
+    def test_counts(self):
+        s = MeshSpec(dim=4, chiplet_dim=2)
+        assert s.num_nodes == 16
+        assert s.num_chips == 4
+        assert s.chips_per_side == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            MeshSpec(dim=2, capacity=0)
+
+
+class TestBuildMesh:
+    def test_link_count(self):
+        block = build_mesh(MeshSpec(dim=4))
+        # 2 * d * (d-1) channels, two directed links each
+        assert block.graph.num_links == 2 * 2 * 4 * 3
+
+    def test_chiplet_boundary_classes(self):
+        block = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+        counts = block.graph.link_class_counts()
+        # per row: 3 x-links, 1 crossing a chiplet boundary; same for cols
+        assert counts["sr"] == 2 * 4 * 1 * 2
+        assert counts["onchip"] == 2 * 4 * 2 * 2
+
+    def test_chip_blocks(self):
+        block = build_mesh(MeshSpec(dim=4, chiplet_dim=2), chip_base=10)
+        chips = block.graph.chips()
+        assert sorted(chips) == [10, 11, 12, 13]
+        assert all(len(nodes) == 4 for nodes in chips.values())
+
+    def test_perimeter_clockwise(self):
+        block = build_mesh(MeshSpec(dim=3))
+        perim = block.perimeter_nodes()
+        coords = [block.coords[n] for n in perim]
+        assert coords == [
+            (0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 1), (2, 0), (1, 0),
+        ]
+
+    def test_perimeter_adjacent_pairs(self):
+        block = build_mesh(MeshSpec(dim=5))
+        perim = block.perimeter_nodes()
+        for a, b in zip(perim, perim[1:] + perim[:1]):
+            ya, xa = block.coords[a]
+            yb, xb = block.coords[b]
+            assert abs(ya - yb) + abs(xa - xb) == 1
+
+    def test_dim1(self):
+        block = build_mesh(MeshSpec(dim=1))
+        assert block.perimeter_nodes() == [block.grid[0][0]]
+        assert block.graph.num_links == 0
+
+
+class TestXYLinks:
+    @given(
+        dim=st.integers(2, 6),
+        src=st.integers(0, 35),
+        dst=st.integers(0, 35),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_xy_paths_valid_and_shortest(self, dim, src, dst):
+        src %= dim * dim
+        dst %= dim * dim
+        block = build_mesh(MeshSpec(dim=dim))
+        path = [(lid, 0) for lid in xy_links(block, src, dst)]
+        validate_path(block.graph, src, dst, path)
+        sy, sx = block.coords[src]
+        dy, dx = block.coords[dst]
+        assert len(path) == abs(sy - dy) + abs(sx - dx)
+
+    def test_xy_goes_x_first(self):
+        block = build_mesh(MeshSpec(dim=3))
+        links = xy_links(block, block.grid[0][0], block.grid[2][2])
+        first = block.graph.links[links[0]]
+        assert block.coords[first.dst] == (0, 1)
+
+
+class TestSwitchBlock:
+    def test_structure(self):
+        sw = build_switch_with_terminals(6)
+        assert len(sw.terminals) == 6
+        assert sw.graph.degree_out(sw.switch) == 6
+        assert not sw.graph.nodes[sw.switch].is_terminal
+        sw.graph.validate()
+
+
+class TestDojo:
+    def test_structure(self):
+        dojo = build_dojo_mesh_with_switch(DojoSpec(dim=4))
+        # every perimeter node gets a switch channel
+        assert dojo.graph.degree_out(dojo.switch) == 12
+        dojo.graph.validate()
+
+    def test_switch_cuts_diameter(self):
+        from repro.topology.properties import terminal_diameter
+
+        spec = DojoSpec(dim=6)
+        with_sw = build_dojo_mesh_with_switch(spec)
+        plain = build_mesh(MeshSpec(dim=6))
+        assert terminal_diameter(with_sw.graph) < terminal_diameter(plain.graph)

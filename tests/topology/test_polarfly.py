@@ -1,0 +1,50 @@
+"""PolarFly ER(q): Moore-bound structure checks."""
+
+import pytest
+
+from repro.topology.polarfly import build_polarfly, polarfly_size
+from repro.topology.properties import degree_histogram
+
+
+@pytest.mark.parametrize("q", [3, 5, 7])
+class TestPolarFly:
+    def test_router_count(self, q):
+        sys = build_polarfly(q)
+        assert len(sys.routers) == polarfly_size(q) == q * q + q + 1
+
+    def test_diameter_two(self, q):
+        import networkx as nx
+
+        sys = build_polarfly(q)
+        router_graph = nx.Graph()
+        for link in sys.graph.links:
+            if link.klass == "global":
+                router_graph.add_edge(link.src, link.dst)
+        assert nx.diameter(router_graph) == 2
+
+    def test_degrees(self, q):
+        sys = build_polarfly(q)
+        for r in sys.routers:
+            deg = sum(
+                1 for l in sys.graph.out_links(r) if l.klass == "global"
+            )
+            if r in sys.quadric:
+                assert deg == q
+            else:
+                assert deg == q + 1
+
+    def test_quadric_count(self, q):
+        # PG(2,q) has exactly q+1 self-orthogonal points
+        assert len(build_polarfly(q).quadric) == q + 1
+
+
+class TestValidation:
+    def test_non_prime_rejected(self):
+        with pytest.raises(ValueError):
+            build_polarfly(4)
+        with pytest.raises(ValueError):
+            build_polarfly(63)
+
+    def test_terminals_attached(self):
+        sys = build_polarfly(3, terminals_per_router=2)
+        assert sys.graph.num_chips == 2 * polarfly_size(3)

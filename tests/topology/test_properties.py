@@ -1,0 +1,55 @@
+"""Graph property helpers cross-checked on known topologies."""
+
+from repro.topology.graph import NetworkGraph
+from repro.topology.mesh import MeshSpec, build_mesh
+from repro.topology.properties import (
+    average_shortest_path,
+    bisection_channels,
+    degree_histogram,
+    hop_diameter,
+    terminal_diameter,
+)
+
+
+def test_mesh_diameter():
+    block = build_mesh(MeshSpec(dim=4))
+    assert hop_diameter(block.graph) == 6  # 2*(4-1)
+    assert terminal_diameter(block.graph) == 6
+
+
+def test_average_shortest_path_positive():
+    block = build_mesh(MeshSpec(dim=3))
+    avg = average_shortest_path(block.graph)
+    assert 1.0 < avg < 4.0
+
+
+def test_bisection_channels_mesh():
+    block = build_mesh(MeshSpec(dim=4))
+    left = [block.grid[y][x] for y in range(4) for x in range(2)]
+    right = [block.grid[y][x] for y in range(4) for x in range(2, 4)]
+    # 4 rows x 1 crossing channel x 2 directions
+    assert bisection_channels(block.graph, left, right) == 8
+
+
+def test_bisection_respects_capacity():
+    block = build_mesh(MeshSpec(dim=4, capacity=2))
+    left = [block.grid[y][x] for y in range(4) for x in range(2)]
+    right = [block.grid[y][x] for y in range(4) for x in range(2, 4)]
+    assert bisection_channels(block.graph, left, right) == 16
+
+
+def test_degree_histogram():
+    block = build_mesh(MeshSpec(dim=3))
+    hist = degree_histogram(block.graph)
+    # 4 corners (deg 2), 4 edges (deg 3), 1 centre (deg 4)
+    assert hist == {2: 4, 3: 4, 4: 1}
+
+
+def test_snake_chip_nodes_adjacency():
+    """Consecutive chips in snake order share a mesh boundary."""
+    block = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    order = block.snake_chip_nodes()
+    assert len(order) == 16
+    # chips of 4 nodes each; check chip order is 0,1,3,2 (row-major ids)
+    chips = [block.graph.nodes[n].chip for n in order]
+    assert chips == [0] * 4 + [1] * 4 + [3] * 4 + [2] * 4

@@ -1,0 +1,58 @@
+"""Hotspot and worst-case traffic (Sec. V-A3b)."""
+
+import random
+
+import pytest
+
+from repro.traffic import HotspotTraffic, WorstCaseTraffic
+
+
+class TestHotspot:
+    def test_scope_confined(self, small_switchless):
+        sys = small_switchless
+        t = HotspotTraffic(
+            sys.graph, sys.group_nodes, sys.num_wgroups, num_hot=4
+        )
+        hot_nodes = set()
+        for w in range(4):
+            hot_nodes.update(sys.group_nodes(w))
+        assert set(t.active_nodes()) == hot_nodes
+        rng = random.Random(0)
+        for src in list(t.active_nodes())[::7]:
+            for _ in range(10):
+                assert t.dest(src, rng) in hot_nodes
+
+    def test_active_chips_counted_over_hot_groups(self, small_switchless):
+        sys = small_switchless
+        t = HotspotTraffic(sys.graph, sys.group_nodes, sys.num_wgroups, 4)
+        assert t.num_active_chips() == 4 * 4 * 4  # 4 W-groups x 4 CG x 4 chips
+
+    def test_validation(self, small_switchless):
+        sys = small_switchless
+        with pytest.raises(ValueError):
+            HotspotTraffic(sys.graph, sys.group_nodes, sys.num_wgroups, 1)
+        with pytest.raises(ValueError):
+            HotspotTraffic(sys.graph, sys.group_nodes, sys.num_wgroups, 99)
+
+
+class TestWorstCase:
+    def test_targets_next_group(self, small_switchless):
+        sys = small_switchless
+        t = WorstCaseTraffic(sys.graph, sys.group_nodes, sys.num_wgroups)
+        rng = random.Random(0)
+        for w in range(sys.num_wgroups):
+            src = sys.group_nodes(w)[3]
+            for _ in range(10):
+                d = t.dest(src, rng)
+                assert sys.group_of(d) == (w + 1) % sys.num_wgroups
+
+    def test_all_nodes_active(self, small_switchless):
+        sys = small_switchless
+        t = WorstCaseTraffic(sys.graph, sys.group_nodes, sys.num_wgroups)
+        assert len(t.active_nodes()) == sys.graph.num_nodes
+
+    def test_needs_two_groups(self, small_switchless):
+        with pytest.raises(ValueError):
+            WorstCaseTraffic(
+                small_switchless.graph, small_switchless.group_nodes, 1
+            )

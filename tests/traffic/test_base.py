@@ -1,0 +1,42 @@
+"""Traffic scope/indexing edge cases."""
+
+import pytest
+
+from repro.topology.mesh import MeshSpec, build_mesh
+from repro.traffic.base import ChipIndex
+
+
+def test_empty_scope_rejected():
+    g = build_mesh(MeshSpec(dim=2)).graph
+    with pytest.raises(ValueError, match="empty"):
+        ChipIndex(g, [])
+
+
+def test_scope_preserves_order():
+    g = build_mesh(MeshSpec(dim=2)).graph
+    terms = g.terminals()
+    idx = ChipIndex(g, list(reversed(terms)))
+    assert idx.nodes == list(reversed(terms))
+
+
+def test_partial_chip_scope():
+    """A scope may contain only part of a chip's nodes."""
+    block = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    scope = block.graph.terminals()[:6]
+    idx = ChipIndex(block.graph, scope)
+    assert idx.num_nodes == 6
+    assert sum(len(v) for v in idx.chip_nodes.values()) == 6
+
+
+def test_counterpart_fallback_for_missing_offset():
+    """Heterogeneous chip populations fall back to a random node."""
+    import random
+
+    block = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
+    # chip 0 contributes 4 nodes, chip 1 only 1
+    chips = block.graph.chips()
+    scope = chips[0] + chips[1][:1]
+    idx = ChipIndex(block.graph, scope)
+    src = chips[0][3]  # offset 3 does not exist on chip 1
+    peer = idx.counterpart(src, 1, random.Random(0))
+    assert peer == chips[1][0]

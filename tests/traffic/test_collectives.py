@@ -1,0 +1,73 @@
+"""Ring AllReduce traffic and the step model (Sec. V-B5)."""
+
+import random
+
+import pytest
+
+from repro.topology.mesh import MeshSpec, build_mesh
+from repro.traffic import RingAllReduceTraffic, ring_allreduce_steps
+
+
+def mesh16():
+    return build_mesh(MeshSpec(dim=4, chiplet_dim=2)).graph
+
+
+class TestRingTraffic:
+    def test_unidirectional_neighbors(self):
+        g = mesh16()
+        t = RingAllReduceTraffic(g)
+        idx = t.index
+        rng = random.Random(0)
+        for src in t.active_nodes():
+            ci, off = idx.node_pos[src]
+            d = t.dest(src, rng)
+            di, doff = idx.node_pos[d]
+            assert di == (ci + 1) % idx.num_chips
+            assert doff == off  # same on-chip injection port
+
+    def test_bidirectional_uses_both_sides(self):
+        g = mesh16()
+        t = RingAllReduceTraffic(g, bidirectional=True)
+        idx = t.index
+        rng = random.Random(1)
+        src = t.active_nodes()[0]
+        ci, _ = idx.node_pos[src]
+        seen = {idx.node_pos[t.dest(src, rng)][0] for _ in range(100)}
+        assert seen == {(ci + 1) % idx.num_chips, (ci - 1) % idx.num_chips}
+
+    def test_ring_needs_two_chips(self):
+        g = build_mesh(MeshSpec(dim=2, chiplet_dim=2)).graph
+        with pytest.raises(ValueError):
+            RingAllReduceTraffic(g)
+
+    def test_bidirectional_needs_three_chips(self):
+        g = build_mesh(MeshSpec(dim=2, chiplet_dim=1)).graph
+        # 4 chips: fine
+        RingAllReduceTraffic(g, bidirectional=True)
+        g2 = build_mesh(MeshSpec(dim=2, chiplet_dim=2)).graph
+        with pytest.raises(ValueError):
+            RingAllReduceTraffic(g2, bidirectional=True)
+
+
+class TestStepModel:
+    def test_steps_and_volume(self):
+        m = ring_allreduce_steps(8, 1024, ring_bandwidth=2.0)
+        assert m.steps == 14
+        assert m.flits_per_step == 128
+        assert m.completion_cycles == 14 * 128 / 2.0
+
+    def test_faster_ring_is_faster(self):
+        slow = ring_allreduce_steps(8, 1024, 1.0)
+        fast = ring_allreduce_steps(8, 1024, 4.0)
+        assert fast.completion_cycles == slow.completion_cycles / 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_steps(1, 100, 1.0)
+        with pytest.raises(ValueError):
+            ring_allreduce_steps(4, 0, 1.0)
+
+    def test_zero_bandwidth(self):
+        assert ring_allreduce_steps(4, 100, 0.0).completion_cycles == float(
+            "inf"
+        )

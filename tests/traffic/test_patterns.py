@@ -1,0 +1,143 @@
+"""Unicast traffic patterns: uniform and bit permutations."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.mesh import MeshSpec, build_mesh
+from repro.traffic import (
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    BitTransposeTraffic,
+    UniformTraffic,
+)
+from repro.traffic.base import ChipIndex
+
+
+def mesh16():
+    return build_mesh(MeshSpec(dim=4, chiplet_dim=2)).graph
+
+
+class TestChipIndex:
+    def test_grouping(self):
+        idx = ChipIndex(mesh16())
+        assert idx.num_chips == 4
+        assert idx.num_nodes == 16
+        for nid in idx.nodes:
+            ci, off = idx.node_pos[nid]
+            assert idx.chip_nodes[idx.chips[ci]][off] == nid
+
+    def test_rejects_duplicates(self):
+        g = mesh16()
+        with pytest.raises(ValueError):
+            ChipIndex(g, [0, 0])
+
+    def test_rejects_non_terminals(self):
+        from repro.topology.mesh import build_switch_with_terminals
+
+        sw = build_switch_with_terminals(2)
+        with pytest.raises(ValueError):
+            ChipIndex(sw.graph, [sw.switch])
+
+    def test_counterpart_same_offset(self):
+        idx = ChipIndex(mesh16())
+        src = idx.chip_nodes[idx.chips[0]][2]
+        peer = idx.counterpart(src, 3, random.Random(0))
+        assert idx.node_pos[peer] == (3, 2)
+
+
+class TestUniform:
+    def test_never_self(self):
+        g = mesh16()
+        t = UniformTraffic(g)
+        rng = random.Random(0)
+        for src in t.active_nodes():
+            for _ in range(20):
+                assert t.dest(src, rng) != src
+
+    def test_exclude_chip_mode(self):
+        g = mesh16()
+        t = UniformTraffic(g, exclude="chip")
+        rng = random.Random(0)
+        idx = t.index
+        for src in t.active_nodes():
+            for _ in range(20):
+                d = t.dest(src, rng)
+                assert idx.node_pos[d][0] != idx.node_pos[src][0]
+
+    def test_node_mode_covers_everything(self):
+        g = mesh16()
+        t = UniformTraffic(g)
+        rng = random.Random(1)
+        seen = {t.dest(0, rng) for _ in range(800)}
+        assert len(seen) == 15
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            UniformTraffic(mesh16(), exclude="rack")
+
+
+class TestPermutations:
+    def test_bit_reverse_known_values(self):
+        g = mesh16()  # 16 nodes -> 4 bits
+        t = BitReverseTraffic(g)
+        idx = t.index
+        # node at position 1 (0b0001) -> position 8 (0b1000)
+        src = idx.nodes[1]
+        assert t.dest(src, random.Random(0)) == idx.nodes[8]
+
+    def test_bit_shuffle_known_values(self):
+        g = mesh16()
+        t = BitShuffleTraffic(g)
+        idx = t.index
+        # 0b0110 -> rotate left -> 0b1100
+        assert t.dest(idx.nodes[6], random.Random(0)) == idx.nodes[12]
+
+    def test_bit_transpose_known_values(self):
+        g = mesh16()
+        t = BitTransposeTraffic(g)
+        idx = t.index
+        # 0b0001 -> swap halves -> 0b0100
+        assert t.dest(idx.nodes[1], random.Random(0)) == idx.nodes[4]
+
+    @pytest.mark.parametrize(
+        "cls", [BitReverseTraffic, BitShuffleTraffic, BitTransposeTraffic]
+    )
+    def test_bijective_on_active(self, cls):
+        g = mesh16()
+        t = cls(g)
+        rng = random.Random(0)
+        dests = [t.dest(s, rng) for s in t.active_nodes()]
+        assert len(set(dests)) == len(dests)
+
+    @pytest.mark.parametrize(
+        "cls", [BitReverseTraffic, BitShuffleTraffic, BitTransposeTraffic]
+    )
+    def test_fixed_points_inactive(self, cls):
+        g = mesh16()
+        t = cls(g)
+        idx = t.index
+        active = set(t.active_nodes())
+        rng = random.Random(0)
+        for nid in active:
+            assert t.dest(nid, rng) != nid
+        # bit-reverse of 0 and 15 are fixed in any of the three patterns
+        assert idx.nodes[0] not in active
+        assert idx.nodes[15] not in active
+
+    def test_non_power_of_two_fallback(self):
+        """Nodes beyond the 2^b prefix send uniformly."""
+        g = mesh16()
+        scope = g.terminals()[:10]  # 10 nodes -> 8-node permutation
+        t = BitReverseTraffic(g, scope)
+        rng = random.Random(0)
+        seen = {t.dest(scope[9], rng) for _ in range(300)}
+        assert len(seen) > 3  # genuinely random
+        assert scope[9] not in seen
+
+    def test_normalisation_uses_all_chips(self):
+        g = mesh16()
+        t = BitReverseTraffic(g)
+        assert t.num_active_chips() == 4
