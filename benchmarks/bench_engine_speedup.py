@@ -1,0 +1,156 @@
+"""Engine micro-benchmark: serial vs. parallel sweep wall-clock.
+
+Runs a Fig. 10(c)-style local uniform sweep (SW-based vs SW-less vs
+SW-less-2B) through :func:`repro.engine.run_experiments` twice — once
+with ``workers=1`` (serial in-process path) and once with a pool — and
+records both wall-clocks, the speedup, and a cache-replay pass to
+``BENCH_engine.json``.
+
+Usage::
+
+    python benchmarks/bench_engine_speedup.py [--workers N]
+        [--scale quick|default|full] [--out BENCH_engine.json]
+
+On a multi-core machine the parallel pass is expected to be >= 2x the
+serial one; on a single core it only measures pool overhead (the JSON
+records ``cpu_count`` so readers can tell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine import ExperimentSpec, ResultCache, run_experiments  # noqa: E402
+from repro.network import SimParams  # noqa: E402
+
+SCALES = {
+    "quick": SimParams(warmup_cycles=150, measure_cycles=400,
+                       drain_cycles=200, seed=11),
+    "default": SimParams(warmup_cycles=300, measure_cycles=900,
+                         drain_cycles=400, seed=11),
+    "full": SimParams(seed=11),
+}
+
+
+def fig10_specs(params: SimParams) -> list:
+    """The Fig. 10(c) local-uniform trio at 2 W-groups.
+
+    Spelled out rather than imported from conftest so this script stays
+    runnable with only numpy installed (conftest pulls in pytest).
+    """
+    rates = [0.3, 0.6, 0.9, 1.2, 1.6, 2.0]
+    sless = {"preset": "radix16_equiv", "num_wgroups": 2,
+             "cgroups_per_wafer": 1}
+    arches = {
+        "SW-based": {
+            "topology": "dragonfly",
+            "topology_opts": {"preset": "radix16", "g": 2},
+            "routing": "dragonfly",
+            "routing_opts": {"mode": "minimal", "vc_spread": 2},
+        },
+        "SW-less": {
+            "topology": "switchless", "topology_opts": sless,
+            "routing": "switchless", "routing_opts": {"mode": "minimal"},
+        },
+        "SW-less-2B": {
+            "topology": "switchless",
+            "topology_opts": {**sless, "mesh_capacity": 2},
+            "routing": "switchless", "routing_opts": {"mode": "minimal"},
+        },
+    }
+    return [
+        ExperimentSpec.create(
+            traffic="uniform", traffic_opts={"scope": ("group", 0)},
+            params=params, rates=rates, label=label, **arch,
+        )
+        for label, arch in arches.items()
+    ]
+
+
+def timed_run(specs, **kwargs):
+    t0 = time.perf_counter()
+    sweeps = run_experiments(specs, **kwargs)
+    return time.perf_counter() - t0, sweeps
+
+
+def sweeps_equal(a, b) -> bool:
+    """Point-wise equality via to_dict(), which maps NaN to None —
+    plain ``==`` on SimResult is false for identical runs whose
+    saturated points delivered no packets (NaN latencies)."""
+    return a.rates == b.rates and len(a.results) == len(b.results) and all(
+        x.to_dict() == y.to_dict() for x, y in zip(a.results, b.results)
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--workers", type=int,
+                    default=min(4, os.cpu_count() or 1),
+                    help="pool size for the parallel pass")
+    ap.add_argument("--scale", choices=sorted(SCALES), default="default")
+    ap.add_argument("--out", default="BENCH_engine.json")
+    args = ap.parse_args(argv)
+
+    specs = fig10_specs(SCALES[args.scale])
+    n_points = sum(len(s.rates) for s in specs)
+    print(f"{len(specs)} specs / {n_points} points, scale={args.scale}")
+
+    t_serial, serial = timed_run(specs, workers=1)
+    print(f"serial   (workers=1): {t_serial:8.2f}s")
+    t_par, parallel = timed_run(specs, workers=args.workers)
+    print(f"parallel (workers={args.workers}): {t_par:8.2f}s "
+          f"-> speedup {t_serial / t_par:.2f}x")
+
+    identical = all(
+        sweeps_equal(a, b) for a, b in zip(serial, parallel)
+    )
+    print(f"serial/parallel results identical: {identical}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        t_fill, _ = timed_run(specs, workers=1, cache=cache)
+        cache2 = ResultCache(tmp)
+        stored = len(cache2)
+        t_replay, replay = timed_run(specs, workers=1, cache=cache2)
+        # a clean replay writes no new entries (nothing was simulated)
+        # and reproduces the uncached sweeps exactly
+        replay_ok = (
+            len(cache2) == stored
+            and all(sweeps_equal(a, b) for a, b in zip(serial, replay))
+        )
+    print(f"cache replay: {t_replay:.3f}s for {cache2.hits} point(s), "
+          f"clean={replay_ok}")
+
+    payload = {
+        "benchmark": "engine_speedup_fig10_local_uniform",
+        "scale": args.scale,
+        "specs": len(specs),
+        "points": n_points,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "workers": args.workers,
+        "serial_seconds": round(t_serial, 3),
+        "parallel_seconds": round(t_par, 3),
+        "speedup": round(t_serial / t_par, 3),
+        "results_identical": identical,
+        "cache_fill_seconds": round(t_fill, 3),
+        "cache_replay_seconds": round(t_replay, 3),
+        "cache_replay_clean": replay_ok,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if identical and replay_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,36 +6,37 @@ Paper result: mesh saturates at ~3.0 (uniform) / ~2.0 (bit-reverse)
 flits/cycle/chip, the switch at ~1.0 — "over 3x more".
 """
 
-from conftest import once, pick_rates, print_figure, run_curves, sim_params
+from conftest import (
+    MESH_ARCH,
+    SWITCH_ARCH,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+)
 
-from repro.routing import SwitchStarRouting, XYMeshRouting
-from repro.topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
-from repro.traffic import BitReverseTraffic, UniformTraffic
+
+def _curves(traffic, rates, params):
+    return run_spec_curves(
+        {
+            "Switch": make_spec(
+                "Switch", traffic=traffic, rates=rates, params=params,
+                **SWITCH_ARCH,
+            ),
+            "2D-Mesh": make_spec(
+                "2D-Mesh", traffic=traffic, rates=rates, params=params,
+                **MESH_ARCH,
+            ),
+        },
+        stop_after_saturation=2,
+    )
 
 
 def _run():
     params = sim_params()
-    mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
-    sw = build_switch_with_terminals(4, terminal_latency=1)
-
-    def configs(pattern_cls):
-        return {
-            "Switch": (sw.graph, SwitchStarRouting(sw),
-                       pattern_cls(sw.graph)),
-            "2D-Mesh": (mesh.graph, XYMeshRouting(mesh),
-                        pattern_cls(mesh.graph)),
-        }
-
-    uni = run_curves(
-        configs(UniformTraffic),
-        pick_rates([0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]),
-        params=params, stop_after_saturation=2,
-    )
-    rev = run_curves(
-        configs(BitReverseTraffic),
-        pick_rates([0.4, 0.8, 1.2, 1.6, 2.0, 2.4]),
-        params=params, stop_after_saturation=2,
-    )
+    uni = _curves("uniform", [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5], params)
+    rev = _curves("bit_reverse", [0.4, 0.8, 1.2, 1.6, 2.0, 2.4], params)
     return uni, rev
 
 

@@ -7,71 +7,53 @@ uniform / bit-reverse / bit-transpose; bit-shuffle is inter-C-group-link
 bound, so 2B does not help there.
 """
 
-import os
-
-from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
-
-from repro.core import SwitchlessConfig, build_switchless
-from repro.routing import DragonflyRouting, SwitchlessRouting
-from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
-from repro.traffic import (
-    BitReverseTraffic,
-    BitShuffleTraffic,
-    BitTransposeTraffic,
-    UniformTraffic,
+from conftest import (
+    SCALE,
+    dragonfly_arch,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+    switchless_arch,
 )
 
 PATTERNS = {
-    "uniform": (UniformTraffic, [0.3, 0.6, 0.9, 1.2, 1.6, 2.0]),
-    "bit-reverse": (BitReverseTraffic, [0.3, 0.6, 0.9, 1.2, 1.6]),
-    "bit-shuffle": (BitShuffleTraffic, [0.1, 0.2, 0.3, 0.4, 0.5]),
-    "bit-transpose": (BitTransposeTraffic, [0.3, 0.6, 0.9, 1.2, 1.6]),
+    "uniform": ("uniform", [0.3, 0.6, 0.9, 1.2, 1.6, 2.0]),
+    "bit-reverse": ("bit_reverse", [0.3, 0.6, 0.9, 1.2, 1.6]),
+    "bit-shuffle": ("bit_shuffle", [0.1, 0.2, 0.3, 0.4, 0.5]),
+    "bit-transpose": ("bit_transpose", [0.3, 0.6, 0.9, 1.2, 1.6]),
 }
 
 
-def _build():
+def _arches():
     wgroups = 41 if SCALE == "full" else 2
-    dfly = build_dragonfly(DragonflyConfig.radix16(g=wgroups))
-    sless = build_switchless(
-        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
-                                       cgroups_per_wafer=1)
-    )
-    sless2b = build_switchless(
-        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
-                                       cgroups_per_wafer=1, mesh_capacity=2)
-    )
-    return dfly, sless, sless2b
+    sless = {"preset": "radix16_equiv", "num_wgroups": wgroups,
+             "cgroups_per_wafer": 1}
+    return {
+        "SW-based": dragonfly_arch(preset="radix16", g=wgroups),
+        "SW-less": switchless_arch(**sless),
+        "SW-less-2B": switchless_arch(mesh_capacity=2, **sless),
+    }
 
 
 def _run():
     params = sim_params()
-    dfly, sless, sless2b = _build()
+    arches = _arches()
     results = {}
     names = list(PATTERNS)
     if SCALE == "quick":
         names = ["uniform", "bit-reverse"]
     for name in names:
-        cls, rates = PATTERNS[name]
-        configs = {
-            "SW-based": (
-                dfly.graph,
-                DragonflyRouting(dfly, "minimal", vc_spread=2),
-                cls(dfly.graph, dfly.group_nodes(0)),
-            ),
-            "SW-less": (
-                sless.graph,
-                SwitchlessRouting(sless, "minimal"),
-                cls(sless.graph, sless.group_nodes(0)),
-            ),
-            "SW-less-2B": (
-                sless2b.graph,
-                SwitchlessRouting(sless2b, "minimal"),
-                cls(sless2b.graph, sless2b.group_nodes(0)),
-            ),
-        }
-        results[name] = run_curves(
-            configs, pick_rates(rates), params=params
-        )
+        traffic, rates = PATTERNS[name]
+        results[name] = run_spec_curves({
+            label: make_spec(
+                label, traffic=traffic,
+                traffic_opts={"scope": ("group", 0)},
+                rates=rates, params=params, **arch,
+            )
+            for label, arch in arches.items()
+        })
     return results
 
 

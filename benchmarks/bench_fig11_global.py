@@ -11,51 +11,44 @@ Default scale substitutes the structurally identical 9-W-group
 ratio); ``REPRO_SCALE=full`` runs the paper-exact radix-16 systems.
 """
 
-from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+from conftest import (
+    SCALE,
+    dragonfly_arch,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+    switchless_arch,
+)
 
-from repro.core import SwitchlessConfig, build_switchless
-from repro.routing import DragonflyRouting, SwitchlessRouting
-from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
-from repro.traffic import BitReverseTraffic, UniformTraffic
 
-
-def _build():
-    if SCALE == "full":
-        return (
-            build_dragonfly(DragonflyConfig.radix16()),
-            build_switchless(SwitchlessConfig.radix16_equiv()),
-            build_switchless(SwitchlessConfig.radix16_equiv(mesh_capacity=2)),
-        )
-    return (
-        build_dragonfly(DragonflyConfig.small_equiv()),
-        build_switchless(SwitchlessConfig.small_equiv()),
-        build_switchless(SwitchlessConfig.small_equiv(mesh_capacity=2)),
-    )
+def _arches():
+    dfly_preset = "radix16" if SCALE == "full" else "small_equiv"
+    sless_preset = "radix16_equiv" if SCALE == "full" else "small_equiv"
+    return {
+        "SW-based": dragonfly_arch(preset=dfly_preset),
+        "SW-less": switchless_arch(preset=sless_preset),
+        "SW-less-2B": switchless_arch(
+            preset=sless_preset, mesh_capacity=2
+        ),
+    }
 
 
 def _run():
     params = sim_params()
-    dfly, sless, sless2b = _build()
+    arches = _arches()
     out = {}
-    for name, cls, rates in (
-        ("uniform", UniformTraffic, [0.1, 0.25, 0.4, 0.55, 0.7, 0.85]),
-        ("bit-reverse", BitReverseTraffic, [0.1, 0.2, 0.3, 0.45, 0.6]),
+    for name, traffic, rates in (
+        ("uniform", "uniform", [0.1, 0.25, 0.4, 0.55, 0.7, 0.85]),
+        ("bit-reverse", "bit_reverse", [0.1, 0.2, 0.3, 0.45, 0.6]),
     ):
-        configs = {
-            "SW-based": (
-                dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
-                cls(dfly.graph),
-            ),
-            "SW-less": (
-                sless.graph, SwitchlessRouting(sless, "minimal"),
-                cls(sless.graph),
-            ),
-            "SW-less-2B": (
-                sless2b.graph, SwitchlessRouting(sless2b, "minimal"),
-                cls(sless2b.graph),
-            ),
-        }
-        out[name] = run_curves(configs, pick_rates(rates), params=params)
+        out[name] = run_spec_curves({
+            label: make_spec(
+                label, traffic=traffic, rates=rates, params=params, **arch,
+            )
+            for label, arch in arches.items()
+        })
     return out
 
 

@@ -14,52 +14,54 @@ default-scale 2B/4B recovery is real but capped by the global channels
 (EXPERIMENTS.md, deviation 5).
 """
 
-from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
+from conftest import (
+    SCALE,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+    switchless_arch,
+)
 
-from repro.core import SwitchlessConfig, build_switchless
-from repro.routing import SwitchlessRouting
-from repro.traffic import UniformTraffic
 
-
-def _cfg(capacity: int) -> SwitchlessConfig:
+def _topo_opts(capacity: int) -> dict:
     if SCALE == "full":
-        return SwitchlessConfig.radix32_equiv(mesh_capacity=capacity)
-    return SwitchlessConfig(
-        mesh_dim=5, chiplet_dim=1, num_local=7, num_global=4,
-        num_wgroups=8, mesh_capacity=capacity,
+        return {"preset": "radix32_equiv", "mesh_capacity": capacity}
+    return {
+        "mesh_dim": 5, "chiplet_dim": 1, "num_local": 7, "num_global": 4,
+        "num_wgroups": 8, "mesh_capacity": capacity,
+    }
+
+
+def _spec(label, cap, traffic_opts, rates, params):
+    return make_spec(
+        label,
+        traffic="uniform", traffic_opts=traffic_opts,
+        rates=rates, params=params,
+        **switchless_arch(**_topo_opts(cap)),
     )
 
 
 def _run():
     params = sim_params()
-    systems = {
-        label: build_switchless(_cfg(cap))
-        for label, cap in (("SW-less", 1), ("SW-less-2B", 2),
-                           ("SW-less-4B", 4))
-    }
-    local_cfg = {
-        label: (
-            sys.graph,
-            SwitchlessRouting(sys, "minimal"),
-            UniformTraffic(sys.graph, sys.group_nodes(0)),
+    caps = {"SW-less": 1, "SW-less-2B": 2, "SW-less-4B": 4}
+    local = run_spec_curves({
+        label: _spec(
+            label, cap, {"scope": ("group", 0)},
+            [0.2, 0.4, 0.6, 0.9, 1.2], params,
         )
-        for label, sys in systems.items()
+        for label, cap in caps.items()
         if label != "SW-less-4B"
-    }
-    local = run_curves(
-        local_cfg, pick_rates([0.2, 0.4, 0.6, 0.9, 1.2]), params=params
-    )
-    global_cfg = {
-        label: (
-            sys.graph,
-            SwitchlessRouting(sys, "minimal"),
-            UniformTraffic(sys.graph),
-        )
-        for label, sys in systems.items()
-    }
-    glob = run_curves(
-        global_cfg, pick_rates([0.04, 0.08, 0.12, 0.18, 0.25]),
-        params=params, stop_after_saturation=2,
+    })
+    glob = run_spec_curves(
+        {
+            label: _spec(
+                label, cap, None, [0.04, 0.08, 0.12, 0.18, 0.25], params,
+            )
+            for label, cap in caps.items()
+        },
+        stop_after_saturation=2,
     )
     return local, glob
 

@@ -7,67 +7,49 @@ saturation by an order of magnitude, and extra intra-C-group bandwidth
 helps the hotspot case further.
 """
 
-from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
-
-from repro.core import SwitchlessConfig, build_switchless
-from repro.routing import DragonflyRouting, SwitchlessRouting
-from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
-from repro.traffic import HotspotTraffic, WorstCaseTraffic
-
-
-def _build():
-    if SCALE == "full":
-        return (
-            build_dragonfly(DragonflyConfig.radix16()),
-            build_switchless(SwitchlessConfig.radix16_equiv()),
-            build_switchless(SwitchlessConfig.radix16_equiv(mesh_capacity=2)),
-        )
-    return (
-        build_dragonfly(DragonflyConfig.small_equiv()),
-        build_switchless(SwitchlessConfig.small_equiv()),
-        build_switchless(SwitchlessConfig.small_equiv(mesh_capacity=2)),
-    )
+from conftest import (
+    SCALE,
+    dragonfly_arch,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+    switchless_arch,
+)
 
 
-def _traffic(kind, sys, num_groups):
-    if kind == "hotspot":
-        return HotspotTraffic(sys.graph, sys.group_nodes, num_groups, 4)
-    return WorstCaseTraffic(sys.graph, sys.group_nodes, num_groups)
+def _arches():
+    dfly_preset = "radix16" if SCALE == "full" else "small_equiv"
+    sless_preset = "radix16_equiv" if SCALE == "full" else "small_equiv"
+    return {
+        "SW-based-Min": dragonfly_arch("minimal", preset=dfly_preset),
+        "SW-less-Min": switchless_arch("minimal", preset=sless_preset),
+        "SW-based-Mis": dragonfly_arch("valiant", preset=dfly_preset),
+        "SW-less-Mis": switchless_arch("valiant", preset=sless_preset),
+        "SW-less-2B-Mis": switchless_arch(
+            "valiant", preset=sless_preset, mesh_capacity=2
+        ),
+    }
 
 
 def _run():
     params = sim_params()
-    dfly, sless, sless2b = _build()
+    arches = _arches()
     out = {}
-    for kind, rates in (
-        ("hotspot", [0.05, 0.15, 0.3, 0.5, 0.7]),
-        ("worst-case", [0.03, 0.08, 0.16, 0.26, 0.4]),
+    for kind, traffic, traffic_opts, rates in (
+        ("hotspot", "hotspot", {"num_hot": 4},
+         [0.05, 0.15, 0.3, 0.5, 0.7]),
+        ("worst-case", "worst_case", None,
+         [0.03, 0.08, 0.16, 0.26, 0.4]),
     ):
-        groups_df = dfly.num_groups
-        groups_sl = sless.num_wgroups
-        configs = {
-            "SW-based-Min": (
-                dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
-                _traffic(kind, dfly, groups_df),
-            ),
-            "SW-less-Min": (
-                sless.graph, SwitchlessRouting(sless, "minimal"),
-                _traffic(kind, sless, groups_sl),
-            ),
-            "SW-based-Mis": (
-                dfly.graph, DragonflyRouting(dfly, "valiant", vc_spread=2),
-                _traffic(kind, dfly, groups_df),
-            ),
-            "SW-less-Mis": (
-                sless.graph, SwitchlessRouting(sless, "valiant"),
-                _traffic(kind, sless, groups_sl),
-            ),
-            "SW-less-2B-Mis": (
-                sless2b.graph, SwitchlessRouting(sless2b, "valiant"),
-                _traffic(kind, sless2b, sless2b.num_wgroups),
-            ),
-        }
-        out[kind] = run_curves(configs, pick_rates(rates), params=params)
+        out[kind] = run_spec_curves({
+            label: make_spec(
+                label, traffic=traffic, traffic_opts=traffic_opts,
+                rates=rates, params=params, **arch,
+            )
+            for label, arch in arches.items()
+        })
     return out
 
 

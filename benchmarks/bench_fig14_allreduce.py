@@ -10,73 +10,64 @@ Paper results:
     it to ~2 — twice the switch-based Dragonfly.
 """
 
-from conftest import SCALE, once, pick_rates, print_figure, run_curves, sim_params
-
-from repro.core import SwitchlessConfig, build_switchless
-from repro.routing import (
-    DragonflyRouting,
-    SwitchlessRouting,
-    SwitchStarRouting,
-    XYMeshRouting,
+from conftest import (
+    MESH_ARCH,
+    SCALE,
+    SWITCH_ARCH,
+    dragonfly_arch,
+    make_spec,
+    once,
+    print_figure,
+    run_spec_curves,
+    sim_params,
+    switchless_arch,
 )
-from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
-from repro.topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
-from repro.traffic import RingAllReduceTraffic
 
 
 def _run_intra_cgroup(params):
-    mesh = build_mesh(MeshSpec(dim=4, chiplet_dim=2))
-    sw = build_switch_with_terminals(4, terminal_latency=1)
-    configs = {}
+    rates = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
+    specs = {}
     for bi, tag in ((False, "Uni"), (True, "Bi")):
-        configs[f"SW-based-{tag}"] = (
-            sw.graph, SwitchStarRouting(sw),
-            RingAllReduceTraffic(sw.graph, bidirectional=bi),
+        specs[f"SW-based-{tag}"] = make_spec(
+            f"SW-based-{tag}", traffic="ring_allreduce",
+            traffic_opts={"bidirectional": bi},
+            rates=rates, params=params, **SWITCH_ARCH,
         )
-        configs[f"SW-less-{tag}"] = (
-            mesh.graph, XYMeshRouting(mesh),
-            RingAllReduceTraffic(
-                mesh.graph, mesh.snake_chip_nodes(), bidirectional=bi
-            ),
+        specs[f"SW-less-{tag}"] = make_spec(
+            f"SW-less-{tag}", traffic="ring_allreduce",
+            traffic_opts={"bidirectional": bi, "scope": "snake"},
+            rates=rates, params=params, **MESH_ARCH,
         )
-    return run_curves(
-        configs, pick_rates([0.5, 1.0, 1.5, 2.0, 3.0, 4.0]),
-        params=params, stop_after_saturation=2,
-    )
+    return run_spec_curves(specs, stop_after_saturation=2)
 
 
 def _run_intra_wgroup(params):
     wgroups = 41 if SCALE == "full" else 2
-    dfly = build_dragonfly(DragonflyConfig.radix16(g=wgroups))
-    sless = build_switchless(
-        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
-                                       cgroups_per_wafer=1)
-    )
-    sless2b = build_switchless(
-        SwitchlessConfig.radix16_equiv(num_wgroups=wgroups,
-                                       cgroups_per_wafer=1, mesh_capacity=2)
-    )
-    configs = {}
+    rates = [0.4, 0.8, 1.1, 1.5, 2.0]
+    sless = {"preset": "radix16_equiv", "num_wgroups": wgroups,
+             "cgroups_per_wafer": 1}
+    dfly_arch = dragonfly_arch(preset="radix16", g=wgroups)
+    sless_arch = switchless_arch(**sless)
+    sless2b_arch = switchless_arch(mesh_capacity=2, **sless)
+
+    def ring(bi):
+        return {"bidirectional": bi, "scope": ("group", 0)}
+
+    specs = {}
     for bi, tag in ((False, "Uni"), (True, "Bi")):
-        configs[f"SW-based-{tag}"] = (
-            dfly.graph, DragonflyRouting(dfly, "minimal", vc_spread=2),
-            RingAllReduceTraffic(dfly.graph, dfly.group_nodes(0),
-                                 bidirectional=bi),
+        specs[f"SW-based-{tag}"] = make_spec(
+            f"SW-based-{tag}", traffic="ring_allreduce",
+            traffic_opts=ring(bi), rates=rates, params=params, **dfly_arch,
         )
-        configs[f"SW-less-{tag}"] = (
-            sless.graph, SwitchlessRouting(sless, "minimal"),
-            RingAllReduceTraffic(sless.graph, sless.group_nodes(0),
-                                 bidirectional=bi),
+        specs[f"SW-less-{tag}"] = make_spec(
+            f"SW-less-{tag}", traffic="ring_allreduce",
+            traffic_opts=ring(bi), rates=rates, params=params, **sless_arch,
         )
-    configs["SW-less-Bi-2B"] = (
-        sless2b.graph, SwitchlessRouting(sless2b, "minimal"),
-        RingAllReduceTraffic(sless2b.graph, sless2b.group_nodes(0),
-                             bidirectional=True),
+    specs["SW-less-Bi-2B"] = make_spec(
+        "SW-less-Bi-2B", traffic="ring_allreduce",
+        traffic_opts=ring(True), rates=rates, params=params, **sless2b_arch,
     )
-    return run_curves(
-        configs, pick_rates([0.4, 0.8, 1.1, 1.5, 2.0]),
-        params=params, stop_after_saturation=2,
-    )
+    return run_spec_curves(specs, stop_after_saturation=2)
 
 
 def bench_fig14_allreduce(benchmark):

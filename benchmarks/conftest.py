@@ -12,13 +12,23 @@ smoke-level pass.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import pytest
 
+from repro.engine import ExperimentSpec, ResultCache, run_experiments
 from repro.network import LoadSweep, SimParams, sweep_rates
 
 SCALE = os.environ.get("REPRO_SCALE", "default")
+
+#: worker processes for spec-based benches (None = engine default:
+#: REPRO_WORKERS env, then CPU count).
+WORKERS = None
+
+#: point-result cache shared by all spec-based benches when
+#: ``REPRO_CACHE_DIR`` is set (re-running a figure then only simulates
+#: missing points).
+CACHE_DIR = os.environ.get("REPRO_CACHE_DIR")
 
 
 def sim_params(seed: int = 11) -> SimParams:
@@ -49,7 +59,12 @@ def run_curves(
     params: SimParams,
     stop_after_saturation: int = 1,
 ) -> Dict[str, LoadSweep]:
-    """Sweep each labeled (graph, routing, traffic) triple."""
+    """Sweep each labeled (graph, routing, traffic) triple in-process.
+
+    Legacy path for benches that build live objects; the figure benches
+    use :func:`run_spec_curves`, which adds process parallelism and
+    caching.
+    """
     out: Dict[str, LoadSweep] = {}
     for label, (graph, routing, traffic) in configs.items():
         out[label] = sweep_rates(
@@ -57,6 +72,79 @@ def run_curves(
             label=label, stop_after_saturation=stop_after_saturation,
         )
     return out
+
+
+def make_spec(
+    label: str,
+    *,
+    topology: str,
+    routing: str,
+    traffic: str,
+    rates: Sequence[float],
+    params: SimParams,
+    topology_opts: Optional[Dict] = None,
+    routing_opts: Optional[Dict] = None,
+    traffic_opts: Optional[Dict] = None,
+) -> ExperimentSpec:
+    """Benchmark-flavoured :meth:`ExperimentSpec.create` shorthand."""
+    return ExperimentSpec.create(
+        topology=topology,
+        topology_opts=topology_opts,
+        routing=routing,
+        routing_opts=routing_opts,
+        traffic=traffic,
+        traffic_opts=traffic_opts,
+        params=params,
+        rates=pick_rates(rates),
+        label=label,
+    )
+
+
+# -- shared architecture spec fragments for make_spec(**arch) ----------
+
+#: Fig. 10(a)/14(a) intra-C-group contenders.
+MESH_ARCH = {
+    "topology": "mesh", "topology_opts": {"dim": 4, "chiplet_dim": 2},
+    "routing": "xy_mesh",
+}
+SWITCH_ARCH = {
+    "topology": "switch",
+    "topology_opts": {"num_terminals": 4, "terminal_latency": 1},
+    "routing": "switch_star",
+}
+
+
+def dragonfly_arch(mode: str = "minimal", **topology_opts) -> Dict:
+    """Switch-based baseline (ideal router emulated via vc_spread=2)."""
+    return {
+        "topology": "dragonfly", "topology_opts": topology_opts,
+        "routing": "dragonfly",
+        "routing_opts": {"mode": mode, "vc_spread": 2},
+    }
+
+
+def switchless_arch(mode: str = "minimal", **topology_opts) -> Dict:
+    """The paper's switch-less Dragonfly."""
+    return {
+        "topology": "switchless", "topology_opts": topology_opts,
+        "routing": "switchless", "routing_opts": {"mode": mode},
+    }
+
+
+def run_spec_curves(
+    specs: Dict[str, ExperimentSpec],
+    *,
+    stop_after_saturation: int = 1,
+) -> Dict[str, LoadSweep]:
+    """Run labeled specs through the parallel experiment engine."""
+    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+    sweeps = run_experiments(
+        list(specs.values()),
+        workers=WORKERS,
+        cache=cache,
+        stop_after_saturation=stop_after_saturation,
+    )
+    return dict(zip(specs, sweeps))
 
 
 def print_figure(title: str, sweeps: Dict[str, LoadSweep], notes: str = "") -> None:

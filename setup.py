@@ -1,4 +1,9 @@
-"""Shim for legacy editable installs in offline environments without wheel."""
+"""Shim for legacy editable installs in offline environments without wheel.
+
+All metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` where the ``wheel`` package (and a
+network to fetch it) is unavailable.
+"""
 
 from setuptools import setup
 

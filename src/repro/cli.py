@@ -6,12 +6,14 @@ Examples::
     repro-dragonfly table3                 # Table III case study
     repro-dragonfly layout                 # Fig. 9 floorplan summary
     repro-dragonfly sweep --arch switchless --pattern uniform --scope local
+    repro-dragonfly sweep --workers 8 --cache-dir .repro-cache
     repro-dragonfly verify --policy reduced
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from .analysis import (
@@ -21,12 +23,10 @@ from .analysis import (
     format_table_iv,
 )
 from .core import SwitchlessConfig, build_switchless
+from .engine import ExperimentSpec, ResultCache, run_experiments
 from .layout import plan_cgroup_layout
-from .network import SimParams, sweep_rates
+from .network import SimParams
 from .routing import SwitchlessRouting, verify_deadlock_free
-from .topology.dragonfly import DragonflyConfig, build_dragonfly
-from .routing.dragonfly import DragonflyRouting
-from .traffic import UniformTraffic
 
 
 def _cmd_tables(_args) -> int:
@@ -53,33 +53,46 @@ def _cmd_layout(_args) -> int:
 
 
 def _cmd_sweep(args) -> int:
+    if args.verbose:
+        logging.basicConfig(level=logging.DEBUG, format="%(message)s")
+        logging.getLogger("repro.engine").setLevel(logging.DEBUG)
     params = SimParams(
         warmup_cycles=args.warmup, measure_cycles=args.measure,
         drain_cycles=500, seed=args.seed,
     )
     if args.arch == "switchless":
-        system = build_switchless(SwitchlessConfig.small_equiv())
-        routing = SwitchlessRouting(system, args.routing)
-        graph = system.graph
+        topology = "switchless"
+        routing = "switchless"
+        routing_opts = {"mode": args.routing}
     else:
-        system = build_dragonfly(DragonflyConfig.small_equiv())
-        routing = DragonflyRouting(
-            system,
-            "minimal" if args.routing == "minimal" else "valiant",
-            vc_spread=2,
-        )
-        graph = system.graph
+        topology = "dragonfly"
+        routing = "dragonfly"
+        routing_opts = {"mode": args.routing, "vc_spread": 2}
+    traffic_opts = {}
     if args.scope == "local":
-        scope = system.group_nodes(0)
-    else:
-        scope = None
-    traffic = UniformTraffic(graph, scope)
+        traffic_opts["scope"] = ("group", 0)
     rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
-    sweep = sweep_rates(
-        graph, routing, traffic, rates, params,
-        label=f"{args.arch}/{args.scope}/uniform",
+    spec = ExperimentSpec.create(
+        topology=topology,
+        topology_opts={"preset": "small_equiv"},
+        routing=routing,
+        routing_opts=routing_opts,
+        traffic=args.pattern.replace("-", "_"),
+        traffic_opts=traffic_opts,
+        params=params,
+        rates=rates,
+        label=f"{args.arch}/{args.scope}/{args.pattern}",
+    )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    [sweep] = run_experiments(
+        [spec], workers=args.workers, cache=cache,
     )
     print(sweep.format_table())
+    if cache is not None:
+        print(
+            f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"({cache.root})"
+        )
     return 0
 
 
@@ -114,11 +127,27 @@ def main(argv=None) -> int:
                        default="minimal")
     sweep.add_argument("--scope", choices=("local", "global"),
                        default="local")
+    sweep.add_argument(
+        "--pattern",
+        choices=("uniform", "bit-reverse", "bit-shuffle", "bit-transpose"),
+        default="uniform",
+    )
     sweep.add_argument("--points", type=int, default=6)
     sweep.add_argument("--max-rate", type=float, default=1.5)
     sweep.add_argument("--warmup", type=int, default=300)
     sweep.add_argument("--measure", type=int, default=1000)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation processes (default: REPRO_WORKERS or CPU count; "
+        "1 = serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="reuse/store per-point results in this directory",
+    )
+    sweep.add_argument("-v", "--verbose", action="store_true",
+                       help="engine progress logging")
 
     verify = sub.add_parser("verify", help="deadlock-freedom check")
     verify.add_argument("--policy", choices=("baseline", "reduced"),

@@ -1,0 +1,87 @@
+"""On-disk JSON store for simulated points.
+
+One file per ``(spec, rate)`` point, named by its :func:`~
+repro.engine.spec.point_key` digest, so concurrent writers (pool
+workers, parallel benchmark jobs) never contend on a shared file.
+Writes are atomic (temp file + ``os.replace``); a corrupt or truncated
+entry is treated as a miss and overwritten on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..network.stats import SimResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Directory-backed result store keyed by point digests."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise ValueError(
+                f"cache path {self.root} exists and is not a directory"
+            )
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """Stored result for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with path.open() as fh:
+                data = json.load(fh)
+            result = SimResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimResult, meta: Optional[Dict] = None) -> None:
+        """Store ``result`` under ``key`` atomically."""
+        payload = {"key": key, "result": result.to_dict()}
+        if meta:
+            payload["meta"] = meta
+        # .part suffix (not .json) so a write abandoned by a killed run
+        # is never globbed as a cache entry by __len__/clear
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=".tmp-", suffix=".part"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            n += 1
+        for leftover in self.root.glob(".tmp-*.part"):
+            leftover.unlink()
+        return n

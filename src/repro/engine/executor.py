@@ -1,0 +1,355 @@
+"""Batch execution of experiment specs over a multiprocessing pool.
+
+The unit of work is one ``(spec, rate)`` point.  Points are simulated
+with :func:`~repro.engine.spec.point_seed`-derived seeds, so a point's
+result is a pure function of the spec and rate — identical whether it
+runs in this process, in a pool worker, or in a previous session whose
+result is replayed from the :class:`~repro.engine.cache.ResultCache`.
+
+Sweep semantics match :func:`repro.network.sweep.sweep_rates`: rates
+are walked in order and the sweep is cut off after
+``stop_after_saturation`` saturated points.  The parallel scheduler may
+*speculatively* simulate a few points past the eventual cutoff (they
+are cached but excluded from the returned sweep), which is what lets a
+single sweep's points run concurrently.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import sys
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.simulator import Simulator
+from ..network.stats import SimResult
+from ..network.sweep import LoadSweep, assemble_sweep, cutoff_walk
+from .cache import ResultCache
+from .spec import (
+    ExperimentSpec,
+    build_experiment,
+    build_routing,
+    build_system,
+    point_key,
+    point_seed,
+)
+
+__all__ = ["run_experiments", "simulate_point", "spec_saturation"]
+
+logger = logging.getLogger("repro.engine")
+
+#: environment override for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+# Worker-local reuse of built topologies and routings: building a graph
+# can cost as much as simulating a low-rate point, every point of a
+# sweep shares one, and a reused deterministic routing carries its
+# (src, dst) -> path memo from point to point.  Keyed by the spec
+# fields that define each object.
+_SYSTEM_LRU_SIZE = 4
+_systems: "OrderedDict[Tuple, object]" = OrderedDict()
+_routings: "OrderedDict[Tuple, object]" = OrderedDict()
+
+
+def _lru_get(table: "OrderedDict[Tuple, object]", key: Tuple, build):
+    obj = table.get(key)
+    if obj is None:
+        obj = build()
+        table[key] = obj
+        while len(table) > _SYSTEM_LRU_SIZE:
+            table.popitem(last=False)
+    else:
+        table.move_to_end(key)
+    return obj
+
+
+def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
+    """Simulate one point with its deterministic derived seed."""
+    topo_key = (spec.topology, spec.topology_opts)
+    system = _lru_get(_systems, topo_key, lambda: build_system(spec))
+    routing = _lru_get(
+        _routings,
+        topo_key + (spec.routing, spec.routing_opts),
+        lambda: build_routing(spec, system),
+    )
+    graph, routing, traffic = build_experiment(
+        spec, system=system, routing=routing
+    )
+    params = spec.params.scaled(seed=point_seed(spec, rate))
+    return Simulator(graph, routing, traffic, params).run(rate)
+
+
+def _point_task(task: Tuple[int, int, ExperimentSpec, float]):
+    si, ri, spec, rate = task
+    return si, ri, simulate_point(spec, rate)
+
+
+def _resolve_workers(workers: Optional[int], total_points: int) -> int:
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env:
+            workers = int(env)
+        else:
+            workers = os.cpu_count() or 1
+    return max(1, min(workers, total_points))
+
+
+def _pool_context():
+    # fork is the cheap path but is only reliably safe on Linux; macOS
+    # made spawn the default because forking a process with Objective-C
+    # / Accelerate state aborts or hangs in the child.
+    if sys.platform.startswith("linux"):
+        methods = mp.get_all_start_methods()
+        if "fork" in methods:
+            return mp.get_context("fork")
+    return mp.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# the executor
+# ----------------------------------------------------------------------
+def run_experiments(
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    stop_after_saturation: int = 1,
+) -> List[LoadSweep]:
+    """Run every spec's sweep, fanning points out over a process pool.
+
+    Parameters
+    ----------
+    specs:
+        Experiments to run; one :class:`LoadSweep` is returned per spec,
+        in order.
+    workers:
+        Pool size.  ``None`` reads ``REPRO_WORKERS`` and falls back to
+        the CPU count; ``<= 1`` selects the serial in-process path,
+        which runs points strictly in rate order (no speculation).
+    cache:
+        Optional on-disk store; previously simulated points are loaded
+        instead of re-run, and fresh points are written back.
+    stop_after_saturation:
+        Cut each sweep off after this many saturated points, exactly as
+        :func:`repro.network.sweep.sweep_rates` does.
+    """
+    if stop_after_saturation < 1:
+        raise ValueError("stop_after_saturation must be >= 1")
+    specs = list(specs)
+    have: List[Dict[int, SimResult]] = [{} for _ in specs]
+
+    # Replay every cached point first: cutoffs may already be decided.
+    if cache is not None:
+        for si, spec in enumerate(specs):
+            for ri, rate in enumerate(spec.rates):
+                res = cache.get(point_key(spec, rate))
+                if res is not None:
+                    have[si][ri] = res
+
+    total_missing = sum(
+        1
+        for si, spec in enumerate(specs)
+        for ri in range(len(spec.rates))
+        if ri not in have[si]
+    )
+    workers = _resolve_workers(workers, total_missing)
+    t0 = time.perf_counter()
+
+    if total_missing == 0:
+        pass  # everything replayed from cache
+    elif workers <= 1:
+        _run_serial(specs, have, cache, stop_after_saturation)
+    else:
+        _run_parallel(specs, have, cache, stop_after_saturation, workers)
+
+    sweeps = [
+        assemble_sweep(
+            spec.label or spec.describe(),
+            spec.rates,
+            have[si],
+            stop_after_saturation,
+        )
+        for si, spec in enumerate(specs)
+    ]
+    logger.info(
+        "ran %d spec(s) (%d points missing of %d) with %d worker(s) "
+        "in %.2fs",
+        len(specs),
+        total_missing,
+        sum(len(s.rates) for s in specs),
+        workers,
+        time.perf_counter() - t0,
+    )
+    return sweeps
+
+
+def _store(
+    cache: Optional[ResultCache],
+    spec: ExperimentSpec,
+    rate: float,
+    res: SimResult,
+) -> None:
+    if cache is not None:
+        cache.put(
+            point_key(spec, rate),
+            res,
+            meta={"label": spec.label, "rate": rate},
+        )
+
+
+def _run_serial(
+    specs: Sequence[ExperimentSpec],
+    have: List[Dict[int, SimResult]],
+    cache: Optional[ResultCache],
+    stop_after_saturation: int,
+) -> None:
+    for si, spec in enumerate(specs):
+        while True:
+            complete, ri = cutoff_walk(
+                len(spec.rates), have[si], stop_after_saturation
+            )
+            if complete:
+                break
+            rate = spec.rates[ri]
+            t0 = time.perf_counter()
+            res = simulate_point(spec, rate)
+            logger.debug(
+                "%s rate=%.3f done in %.2fs",
+                spec.describe(), rate, time.perf_counter() - t0,
+            )
+            have[si][ri] = res
+            _store(cache, spec, rate, res)
+
+
+def _run_parallel(
+    specs: Sequence[ExperimentSpec],
+    have: List[Dict[int, SimResult]],
+    cache: Optional[ResultCache],
+    stop_after_saturation: int,
+    workers: int,
+) -> None:
+    """Completion-driven scheduler: workers never idle on a barrier.
+
+    Up to ``workers`` points are in flight at once, drawn round-robin
+    across incomplete sweeps in rate order; each completion immediately
+    refills the freed worker.  Saturation cutoffs are re-evaluated on
+    every completion, so a sweep that saturates stops feeding new points
+    (in-flight ones finish, are cached, and are simply excluded by the
+    final assembly — results are order-independent thanks to the
+    per-point derived seeds).
+    """
+    done = threading.Condition()
+    finished: List[Tuple[int, int, SimResult]] = []
+    failures: List[BaseException] = []
+
+    def _on_result(res: Tuple[int, int, SimResult]) -> None:
+        with done:
+            finished.append(res)
+            done.notify()
+
+    def _on_error(exc: BaseException) -> None:
+        with done:
+            failures.append(exc)
+            done.notify()
+
+    def _refill(inflight: set) -> None:
+        """Submit points round-robin across incomplete sweeps."""
+        queues = []
+        for si, spec in enumerate(specs):
+            complete, first = cutoff_walk(
+                len(spec.rates), have[si], stop_after_saturation
+            )
+            if complete:
+                continue
+            queue = [
+                (si, ri)
+                for ri in range(first, len(spec.rates))
+                if ri not in have[si] and (si, ri) not in inflight
+            ]
+            if queue:
+                queues.append(queue)
+        depth = 0
+        while len(inflight) < workers and queues:
+            progressed = False
+            for queue in queues:
+                if depth >= len(queue) or len(inflight) >= workers:
+                    continue
+                si, ri = queue[depth]
+                inflight.add((si, ri))
+                pool.apply_async(
+                    _point_task,
+                    ((si, ri, specs[si], specs[si].rates[ri]),),
+                    callback=_on_result,
+                    error_callback=_on_error,
+                )
+                progressed = True
+            if not progressed:
+                break
+            depth += 1
+
+    ctx = _pool_context()
+    with ctx.Pool(processes=workers) as pool:
+        inflight: set = set()
+        _refill(inflight)
+        while inflight:
+            with done:
+                while not finished and not failures:
+                    done.wait()
+                if failures:
+                    raise failures[0]
+                batch, finished[:] = list(finished), []
+            for si, ri, res in batch:
+                inflight.discard((si, ri))
+                have[si][ri] = res
+                _store(cache, specs[si], specs[si].rates[ri], res)
+                logger.debug(
+                    "%s rate=%.3f done (%d in flight)",
+                    specs[si].describe(), specs[si].rates[ri], len(inflight),
+                )
+            _refill(inflight)
+
+
+def spec_saturation(
+    spec: ExperimentSpec,
+    *,
+    lo: float = 0.05,
+    hi: float = 4.0,
+    tol: float = 0.05,
+    max_iter: int = 12,
+    cache: Optional[ResultCache] = None,
+) -> float:
+    """Bisect a spec's saturation rate (engine twin of
+    :func:`repro.network.sweep.find_saturation`).
+
+    Probes reuse the worker-local system and, when a ``cache`` is given,
+    are persisted like any other point, so repeated searches converge
+    from cached probes.
+    """
+
+    def probe(rate: float) -> bool:
+        res = None
+        if cache is not None:
+            res = cache.get(point_key(spec, rate))
+        if res is None:
+            res = simulate_point(spec, rate)
+            _store(cache, spec, rate, res)
+        return res.saturated
+
+    if probe(lo):
+        return 0.0
+    if not probe(hi):
+        return hi
+    good, bad = lo, hi
+    for _ in range(max_iter):
+        if bad - good <= tol:
+            break
+        mid = 0.5 * (good + bad)
+        if probe(mid):
+            bad = mid
+        else:
+            good = mid
+    return good

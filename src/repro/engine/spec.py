@@ -1,0 +1,417 @@
+"""Declarative experiment specs and the factories that realise them.
+
+An :class:`ExperimentSpec` names a ``(topology, routing, traffic)``
+triple symbolically — kind strings plus keyword options — instead of
+holding live objects, so it can be pickled into a worker process (or
+hashed into a cache key) and rebuilt there from the registries below.
+
+Registered kinds (see :func:`list_topologies` & friends):
+
+========== =========================================================
+topology   ``switchless``, ``dragonfly``, ``mesh``, ``switch``
+routing    ``switchless``, ``dragonfly``, ``xy_mesh``, ``switch_star``
+traffic    ``uniform``, ``bit_reverse``, ``bit_shuffle``,
+           ``bit_transpose``, ``hotspot``, ``worst_case``,
+           ``ring_allreduce``
+========== =========================================================
+
+Topology options may name a config preset (``preset="radix16_equiv"``)
+with further keywords forwarded as overrides.  Traffic options accept a
+declarative ``scope``: ``None`` (all terminals), ``("group", i)``
+(W-group / Dragonfly group ``i``) or ``"snake"`` (a mesh block's
+snake-ordered chips, for ring collectives).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import SwitchlessConfig, build_switchless
+from ..network.params import SimParams
+from ..routing import (
+    DragonflyRouting,
+    SwitchlessRouting,
+    SwitchStarRouting,
+    XYMeshRouting,
+)
+from ..topology.dragonfly import DragonflyConfig, build_dragonfly
+from ..topology.mesh import MeshSpec, build_mesh, build_switch_with_terminals
+from ..traffic import (
+    BitReverseTraffic,
+    BitShuffleTraffic,
+    BitTransposeTraffic,
+    HotspotTraffic,
+    RingAllReduceTraffic,
+    UniformTraffic,
+    WorstCaseTraffic,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "build_experiment",
+    "build_routing",
+    "build_system",
+    "build_traffic",
+    "list_routings",
+    "list_topologies",
+    "list_traffics",
+    "point_key",
+    "point_seed",
+    "register_routing",
+    "register_topology",
+    "register_traffic",
+]
+
+#: bump when the spec -> simulation mapping changes incompatibly, so
+#: stale cache entries are never mistaken for current results.
+ENGINE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# option freezing: keyword dicts become hashable, canonically ordered
+# ----------------------------------------------------------------------
+def _freeze(value):
+    """Freeze one keyword dict of options (top level only)."""
+    return tuple(sorted((k, _freeze_value(v)) for k, v in value.items()))
+
+
+def _freeze_value(value):
+    if isinstance(value, dict):
+        # a frozen nested dict would thaw back as a tuple of pairs and
+        # silently corrupt the factory's kwargs — fail loudly instead
+        raise TypeError(
+            "nested dict option values are not supported; pass scalars, "
+            "lists/tuples, or flatten the structure into the options"
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"option value {value!r} is not spec-serialisable")
+
+
+def _thaw_opts(opts: Tuple) -> Dict:
+    return {k: _thaw(v) for k, v in opts}
+
+
+def _thaw(value):
+    if isinstance(value, tuple):
+        return tuple(_thaw(v) for v in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+_TOPOLOGIES: Dict[str, Callable] = {}
+_ROUTINGS: Dict[str, Callable] = {}
+_TRAFFICS: Dict[str, Callable] = {}
+
+
+def _register(table: Dict[str, Callable], name: str) -> Callable:
+    def deco(fn: Callable) -> Callable:
+        if name in table:
+            raise ValueError(f"{name!r} is already registered")
+        table[name] = fn
+        return fn
+
+    return deco
+
+
+def register_topology(name: str) -> Callable:
+    """Register ``fn(**options) -> system`` under ``name``."""
+    return _register(_TOPOLOGIES, name)
+
+
+def register_routing(name: str) -> Callable:
+    """Register ``fn(system, **options) -> routing`` under ``name``."""
+    return _register(_ROUTINGS, name)
+
+
+def register_traffic(name: str) -> Callable:
+    """Register ``fn(system, scope, **options) -> traffic``."""
+    return _register(_TRAFFICS, name)
+
+
+def list_topologies() -> List[str]:
+    return sorted(_TOPOLOGIES)
+
+
+def list_routings() -> List[str]:
+    return sorted(_ROUTINGS)
+
+
+def list_traffics() -> List[str]:
+    return sorted(_TRAFFICS)
+
+
+# ----------------------------------------------------------------------
+# the spec itself
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One latency-vs-load experiment, reconstructible from data alone."""
+
+    topology: str
+    routing: str
+    traffic: str
+    topology_opts: Tuple = ()
+    routing_opts: Tuple = ()
+    traffic_opts: Tuple = ()
+    params: SimParams = field(default_factory=SimParams)
+    rates: Tuple[float, ...] = ()
+    label: str = ""
+
+    @classmethod
+    def create(
+        cls,
+        *,
+        topology: str,
+        routing: str,
+        traffic: str,
+        topology_opts: Optional[Dict] = None,
+        routing_opts: Optional[Dict] = None,
+        traffic_opts: Optional[Dict] = None,
+        params: Optional[SimParams] = None,
+        rates: Sequence[float] = (),
+        label: str = "",
+    ) -> "ExperimentSpec":
+        """Build a spec from keyword dicts, validating the kind names."""
+        for kind, table, what in (
+            (topology, _TOPOLOGIES, "topology"),
+            (routing, _ROUTINGS, "routing"),
+            (traffic, _TRAFFICS, "traffic"),
+        ):
+            if kind not in table:
+                raise ValueError(
+                    f"unknown {what} kind {kind!r}; "
+                    f"registered: {sorted(table)}"
+                )
+        return cls(
+            topology=topology,
+            routing=routing,
+            traffic=traffic,
+            topology_opts=_freeze(topology_opts or {}),
+            routing_opts=_freeze(routing_opts or {}),
+            traffic_opts=_freeze(traffic_opts or {}),
+            params=params or SimParams(),
+            rates=tuple(float(r) for r in rates),
+            label=label,
+        )
+
+    def with_rates(self, rates: Sequence[float]) -> "ExperimentSpec":
+        return replace(self, rates=tuple(float(r) for r in rates))
+
+    def with_label(self, label: str) -> "ExperimentSpec":
+        return replace(self, label=label)
+
+    # -- hashing -------------------------------------------------------
+    def config_key(self) -> str:
+        """Stable digest of everything that affects simulation results.
+
+        The label and rate list are excluded: per-*point* results are
+        keyed by :func:`point_key`, so extending a rate list reuses the
+        points already simulated.
+        """
+        payload = {
+            "engine_version": ENGINE_VERSION,
+            "topology": [self.topology, self.topology_opts],
+            "routing": [self.routing, self.routing_opts],
+            "traffic": [self.traffic, self.traffic_opts],
+            "params": {
+                k: getattr(self.params, k)
+                for k in self.params.__dataclass_fields__
+            },
+        }
+        blob = json.dumps(payload, sort_keys=True, default=list)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def describe(self) -> str:
+        base = (
+            f"{self.topology}/{self.routing}/{self.traffic}"
+            f"[{len(self.rates)} rates]"
+        )
+        return f"{self.label} ({base})" if self.label else base
+
+
+def point_key(spec: ExperimentSpec, rate: float) -> str:
+    """Cache key of one ``(spec, rate)`` point."""
+    digest = hashlib.sha256(
+        f"{spec.config_key()}|rate={float(rate)!r}".encode()
+    ).hexdigest()
+    return digest
+
+
+def point_seed(spec: ExperimentSpec, rate: float) -> int:
+    """Deterministic per-point RNG seed, derived from the spec hash.
+
+    Every point of a sweep gets its own seed stream, identical whether
+    the point runs serially, in a worker process, or in a later session
+    — which is what makes parallel execution bit-identical to serial.
+    """
+    return int(point_key(spec, rate)[:15], 16)
+
+
+# ----------------------------------------------------------------------
+# realisation
+# ----------------------------------------------------------------------
+def build_system(spec: ExperimentSpec):
+    """Build just the topology/system object of a spec."""
+    return _TOPOLOGIES[spec.topology](**_thaw_opts(spec.topology_opts))
+
+
+def build_routing(spec: ExperimentSpec, system):
+    """Build just the routing algorithm of a spec against ``system``."""
+    return _ROUTINGS[spec.routing](system, **_thaw_opts(spec.routing_opts))
+
+
+def build_traffic(spec: ExperimentSpec, system):
+    """Build just the traffic pattern of a spec against ``system``."""
+    topts = _thaw_opts(spec.traffic_opts)
+    scope = _resolve_scope(system, topts.pop("scope", None))
+    return _TRAFFICS[spec.traffic](system, scope, **topts)
+
+
+def build_experiment(spec: ExperimentSpec, system=None, routing=None):
+    """Realise ``(graph, routing, traffic)`` from a spec.
+
+    ``system`` / ``routing`` short-circuit the corresponding builds when
+    the caller already holds them (worker-local reuse across the points
+    of a sweep — a deterministic routing's route memo then carries over).
+    """
+    if system is None:
+        system = build_system(spec)
+    if routing is None:
+        routing = build_routing(spec, system)
+    traffic = build_traffic(spec, system)
+    return system.graph, routing, traffic
+
+
+def _resolve_scope(system, scope):
+    """Turn a declarative scope into a node-id list."""
+    if scope is None:
+        return None
+    if scope == "snake":
+        return system.snake_chip_nodes()
+    if isinstance(scope, tuple) and len(scope) == 2 and scope[0] == "group":
+        return system.group_nodes(int(scope[1]))
+    if isinstance(scope, tuple) and scope and scope[0] == "nodes":
+        return [int(n) for n in scope[1]]
+    raise ValueError(f"unknown traffic scope {scope!r}")
+
+
+def _system_groups(system) -> int:
+    """Group count of a system, across architecture families."""
+    for attr in ("num_wgroups", "num_groups"):
+        if hasattr(system, attr):
+            return getattr(system, attr)
+    raise TypeError(f"{type(system).__name__} has no group structure")
+
+
+# ----------------------------------------------------------------------
+# built-in topology factories
+# ----------------------------------------------------------------------
+def _config_from(config_cls, opts: Dict):
+    preset = opts.pop("preset", None)
+    if preset is not None:
+        factory = getattr(config_cls, preset, None)
+        if factory is None:
+            raise ValueError(
+                f"{config_cls.__name__} has no preset {preset!r}"
+            )
+        return factory(**opts)
+    return config_cls(**opts)
+
+
+@register_topology("switchless")
+def _topo_switchless(**opts):
+    return build_switchless(_config_from(SwitchlessConfig, opts))
+
+
+@register_topology("dragonfly")
+def _topo_dragonfly(**opts):
+    return build_dragonfly(_config_from(DragonflyConfig, opts))
+
+
+@register_topology("mesh")
+def _topo_mesh(**opts):
+    return build_mesh(MeshSpec(**opts))
+
+
+@register_topology("switch")
+def _topo_switch(num_terminals: int, **opts):
+    return build_switch_with_terminals(num_terminals, **opts)
+
+
+# ----------------------------------------------------------------------
+# built-in routing factories
+# ----------------------------------------------------------------------
+@register_routing("switchless")
+def _route_switchless(system, mode: str = "minimal", **opts):
+    return SwitchlessRouting(system, mode, **opts)
+
+
+@register_routing("dragonfly")
+def _route_dragonfly(system, mode: str = "minimal", **opts):
+    return DragonflyRouting(system, mode, **opts)
+
+
+@register_routing("xy_mesh")
+def _route_xy_mesh(system):
+    return XYMeshRouting(system)
+
+
+@register_routing("switch_star")
+def _route_switch_star(system, **opts):
+    return SwitchStarRouting(system, **opts)
+
+
+# ----------------------------------------------------------------------
+# built-in traffic factories
+# ----------------------------------------------------------------------
+@register_traffic("uniform")
+def _traffic_uniform(system, scope, **opts):
+    return UniformTraffic(system.graph, scope, **opts)
+
+
+@register_traffic("bit_reverse")
+def _traffic_bit_reverse(system, scope):
+    return BitReverseTraffic(system.graph, scope)
+
+
+@register_traffic("bit_shuffle")
+def _traffic_bit_shuffle(system, scope):
+    return BitShuffleTraffic(system.graph, scope)
+
+
+@register_traffic("bit_transpose")
+def _traffic_bit_transpose(system, scope):
+    return BitTransposeTraffic(system.graph, scope)
+
+
+@register_traffic("hotspot")
+def _traffic_hotspot(system, scope, num_hot: int = 4):
+    if scope is not None:
+        raise ValueError("hotspot derives its own scope from num_hot")
+    return HotspotTraffic(
+        system.graph, system.group_nodes, _system_groups(system), num_hot
+    )
+
+
+@register_traffic("worst_case")
+def _traffic_worst_case(system, scope):
+    if scope is not None:
+        raise ValueError("worst_case spans all groups; scope must be None")
+    return WorstCaseTraffic(
+        system.graph, system.group_nodes, _system_groups(system)
+    )
+
+
+@register_traffic("ring_allreduce")
+def _traffic_ring_allreduce(system, scope, *, bidirectional: bool = False):
+    return RingAllReduceTraffic(
+        system.graph, scope, bidirectional=bidirectional
+    )

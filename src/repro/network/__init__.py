@@ -4,7 +4,13 @@ from .packet import Hop, Packet
 from .params import SimParams
 from .simulator import Simulator, run_simulation
 from .stats import SimResult
-from .sweep import LoadSweep, find_saturation, sweep_rates
+from .sweep import (
+    LoadSweep,
+    assemble_sweep,
+    cutoff_walk,
+    find_saturation,
+    sweep_rates,
+)
 
 __all__ = [
     "Hop",
@@ -14,6 +20,8 @@ __all__ = [
     "run_simulation",
     "SimResult",
     "LoadSweep",
+    "assemble_sweep",
+    "cutoff_walk",
     "find_saturation",
     "sweep_rates",
 ]

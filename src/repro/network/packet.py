@@ -33,6 +33,7 @@ class Packet:
         "dst",
         "size",
         "path",
+        "path_lv",
         "path_len",
         "t_create",
         "t_done",
@@ -54,6 +55,9 @@ class Packet:
         self.dst = dst
         self.size = size
         self.path: Tuple[Hop, ...] = tuple(path)
+        #: flat (link * num_vcs + vc) view of the path, filled in by the
+        #: simulator for its hot loop (it knows num_vcs; we don't).
+        self.path_lv: Tuple[int, ...] = ()
         self.path_len = len(self.path)
         self.t_create = t_create
         self.t_done = -1

@@ -88,23 +88,30 @@ class Simulator:
         self._credit_delay = [max(1, l.latency) for l in graph.links]
         self._cap = [l.capacity for l in graph.links]
 
-        # Per-(link, vc) state.
-        self._buf: List[List[deque]] = [
-            [deque() for _ in range(num_vcs)] for _ in range(num_links)
-        ]
-        self._credits: List[List[int]] = [
-            [params.vc_buffer_size] * num_vcs for _ in range(num_links)
-        ]
-        self._owner: List[List[Optional[Packet]]] = [
-            [None] * num_vcs for _ in range(num_links)
+        # Per-(link, vc) state, flattened to one index lv = link*V + vc:
+        # integer indexing and hashing beat (link, vc) tuples in the hot
+        # loop by a wide margin.
+        num_lv = num_links * num_vcs
+        self._buf: List[deque] = [deque() for _ in range(num_lv)]
+        self._credits: List[int] = [params.vc_buffer_size] * num_lv
+        self._owner: List[Optional[Packet]] = [None] * num_lv
+
+        # Per-lv copies of the per-link constants (avoids lv // V).
+        self._lv_dst = [self._link_dst[lv // num_vcs] for lv in range(num_lv)]
+        self._cap_lv = [self._cap[lv // num_vcs] for lv in range(num_lv)]
+        self._credit_delay_lv = [
+            self._credit_delay[lv // num_vcs] for lv in range(num_lv)
         ]
 
-        # Per-router dispatch state.
-        self._nonempty: List[Dict[Tuple[int, int], bool]] = [
+        # Per-router dispatch state.  ``_nonempty[r]`` maps lv -> True
+        # (int keys, insertion ordered) for every non-empty input of
+        # router r; the hot set is a flag array + compact active list.
+        self._nonempty: List[Dict[int, bool]] = [
             {} for _ in range(num_nodes)
         ]
         self._srcq: List[deque] = [deque() for _ in range(num_nodes)]
-        self._hot: Dict[int, bool] = {}
+        self._hot_flag = bytearray(num_nodes)
+        self._hot_list: List[int] = []
 
         # Event wheels.
         max_delay = max(self._hop_delay, default=1)
@@ -113,12 +120,18 @@ class Simulator:
         self._arrivals: List[list] = [[] for _ in range(self._wheel_size)]
         self._credit_ret: List[list] = [[] for _ in range(self._wheel_size)]
 
-        # Round-robin pointers per output (link id, or ("E", node)).
-        self._rr: Dict = {}
+        # Round-robin pointers: one per output link, one per ejection port.
+        self._rr_link = [0] * num_links
+        self._rr_eject = [0] * num_nodes
 
         # RNGs: numpy for the injection mask, stdlib for route choices.
         self._np_rng = np.random.default_rng(params.seed)
         self._py_rng = random.Random(params.seed ^ 0x5EED)
+
+        # RoutingAlgorithm subclasses provide flattened (and, when
+        # deterministic, memoised) routes; duck-typed routings need only
+        # expose route().
+        self._route_flat = getattr(routing, "route_flat", None)
 
         # Traffic bookkeeping.
         self._active_nodes = list(traffic.active_nodes())
@@ -142,10 +155,16 @@ class Simulator:
         dst = self.traffic.dest(src, self._py_rng)
         if dst is None or dst == src:
             return None
-        path = self.routing.route(src, dst, self._py_rng)
+        if self._route_flat is not None:
+            path, path_lv = self._route_flat(src, dst, self._py_rng)
+        else:
+            path = tuple(self.routing.route(src, dst, self._py_rng))
+            num_vcs = self.num_vcs
+            path_lv = tuple(l * num_vcs + v for l, v in path)
         pkt = Packet(
             self._pid, src, dst, self.params.packet_length, path, t, measured
         )
+        pkt.path_lv = path_lv
         self._pid += 1
         return pkt
 
@@ -204,15 +223,19 @@ class Simulator:
         owner = self._owner
         nonempty = self._nonempty
         srcq = self._srcq
-        hot = self._hot
-        rr = self._rr
-        link_dst = self._link_dst
+        hot_flag = self._hot_flag
+        hot_list = self._hot_list
+        rr_link = self._rr_link
+        rr_eject = self._rr_eject
+        lv_dst = self._lv_dst
+        cap_lv = self._cap_lv
+        credit_delay_lv = self._credit_delay_lv
         hop_delay = self._hop_delay
-        credit_delay = self._credit_delay
         cap = self._cap
         np_rng = self._np_rng
         inj_w = p.injection_width
         ej_w = p.ejection_width
+        finish_flit = self._finish_flit
 
         for t in range(t_end):
             slot = t % wheel_size
@@ -221,19 +244,21 @@ class Simulator:
             # --- 1. credit returns -------------------------------------
             crs = credit_ret[slot]
             if crs:
-                for l, v in crs:
-                    credits[l][v] += 1
+                for lv in crs:
+                    credits[lv] += 1
                 credit_ret[slot] = []
 
             # --- 2. flit arrivals --------------------------------------
             arr_list = arrivals[slot]
             if arr_list:
-                for f, l, v in arr_list:
-                    b = buf[l][v]
+                for f, lv in arr_list:
+                    b = buf[lv]
                     if not b:
-                        r = link_dst[l]
-                        nonempty[r][(l, v)] = True
-                        hot[r] = True
+                        r = lv_dst[lv]
+                        nonempty[r][lv] = True
+                        if not hot_flag[r]:
+                            hot_flag[r] = 1
+                            hot_list.append(r)
                     b.append(f)
                 arrivals[slot] = []
 
@@ -252,25 +277,113 @@ class Simulator:
                             # src and dst share a router: deliver instantly
                             for fidx in range(pkt.size):
                                 self.total_flits_injected += 1
-                                self._finish_flit(pkt, fidx, t, in_window)
+                                finish_flit(pkt, fidx, t, in_window)
                             continue
                         srcq[nid].append([pkt, 0])
-                        hot[nid] = True
+                        if not hot_flag[nid]:
+                            hot_flag[nid] = 1
+                            hot_list.append(nid)
 
             # --- 4. arbitration ----------------------------------------
-            for r in list(hot.keys()):
+            # hot_list is rebuilt each cycle: routers that stay busy are
+            # re-appended, idle ones drop out.  Phases 2-3 of the *next*
+            # cycle append new arrivals to the rebuilt list.
+            active_routers = hot_list
+            hot_list = []
+            for r in active_routers:
                 ne = nonempty[r]
                 sq = srcq[r]
                 if not ne and not sq:
-                    del hot[r]
+                    hot_flag[r] = 0
                     continue
 
+                # Fast paths for the overwhelmingly common single-input
+                # router on unit-budget outputs: no request dict, no
+                # rotation, no pass loop.  Semantics are identical to
+                # the general path below with one candidate and
+                # budget == 1.
+                if not sq and len(ne) == 1:
+                    lv = next(iter(ne))
+                    b = buf[lv]
+                    f = b[0]
+                    pkt = f[0]
+                    nh = f[2] + 1
+                    if nh == pkt.path_len:
+                        if ej_w == 1:
+                            b.popleft()
+                            if not b:
+                                del ne[lv]
+                            credit_ret[
+                                (t + credit_delay_lv[lv]) % wheel_size
+                            ].append(lv)
+                            finish_flit(pkt, f[1], t, in_window)
+                            if ne:
+                                hot_list.append(r)
+                            else:
+                                hot_flag[r] = 0
+                            continue
+                    else:
+                        out_link = pkt.path[nh][0]
+                        if cap[out_link] == 1:
+                            nlv = pkt.path_lv[nh]
+                            fidx = f[1]
+                            if credits[nlv] > 0:
+                                own = owner[nlv]
+                                if (own is None) if fidx == 0 else (own is pkt):
+                                    b.popleft()
+                                    if not b:
+                                        del ne[lv]
+                                    credit_ret[
+                                        (t + credit_delay_lv[lv]) % wheel_size
+                                    ].append(lv)
+                                    credits[nlv] -= 1
+                                    if fidx == 0:
+                                        owner[nlv] = pkt
+                                    if fidx == pkt.size - 1:
+                                        owner[nlv] = None
+                                    f[2] = nh
+                                    arrivals[
+                                        (t + hop_delay[out_link]) % wheel_size
+                                    ].append((f, nlv))
+                            if ne:
+                                hot_list.append(r)
+                            else:
+                                hot_flag[r] = 0
+                            continue
+                elif not ne:
+                    entry = sq[0]
+                    pkt, fidx = entry[0], entry[1]
+                    out_link = pkt.path[0][0]
+                    if cap[out_link] == 1:
+                        nlv = pkt.path_lv[0]
+                        if credits[nlv] > 0:
+                            own = owner[nlv]
+                            if (own is None) if fidx == 0 else (own is pkt):
+                                self.total_flits_injected += 1
+                                entry[1] = fidx + 1
+                                if entry[1] == pkt.size:
+                                    sq.popleft()
+                                credits[nlv] -= 1
+                                if fidx == 0:
+                                    owner[nlv] = pkt
+                                if fidx == pkt.size - 1:
+                                    owner[nlv] = None
+                                arrivals[
+                                    (t + hop_delay[out_link]) % wheel_size
+                                ].append(([pkt, fidx, 0], nlv))
+                        if sq:
+                            hot_list.append(r)
+                        else:
+                            hot_flag[r] = 0
+                        continue
+
                 # Collect requests: out_key -> list of input descriptors.
-                # Descriptor: (l, v) for buffered inputs, None for source.
-                # Key -1 is the router's ejection port (link ids are >= 0).
+                # Descriptor: lv index for buffered inputs, -1 for the
+                # source queue.  Key -1 is the router's ejection port
+                # (link ids are >= 0).
                 reqs: Dict = {}
                 for lv in ne:
-                    f = buf[lv[0]][lv[1]][0]
+                    f = buf[lv][0]
                     pkt = f[0]
                     nh = f[2] + 1
                     if nh == pkt.path_len:
@@ -287,9 +400,9 @@ class Simulator:
                     key = pkt.path[0][0]
                     lst = reqs.get(key)
                     if lst is None:
-                        reqs[key] = [None]
+                        reqs[key] = [-1]
                     else:
-                        lst.append(None)
+                        lst.append(-1)
 
                 for key, cand in reqs.items():
                     if key < 0:  # ejection port
@@ -300,8 +413,12 @@ class Simulator:
                         budget = cap[out_link]
                     # rotate candidates for round-robin fairness
                     if len(cand) > 1:
-                        off = rr.get(key, 0)
-                        rr[key] = off + 1
+                        if key < 0:
+                            off = rr_eject[r]
+                            rr_eject[r] = off + 1
+                        else:
+                            off = rr_link[key]
+                            rr_link[key] = off + 1
                         off %= len(cand)
                         if off:
                             cand = cand[off:] + cand[:off]
@@ -316,7 +433,7 @@ class Simulator:
                             if granted >= budget:
                                 break
                             # ---- fetch head flit ----
-                            if desc is None:
+                            if desc < 0:
                                 if not sq:
                                     continue
                                 entry = sq[0]
@@ -324,12 +441,12 @@ class Simulator:
                                 hopi = -1
                                 in_cap = inj_w
                             else:
-                                b = buf[desc[0]][desc[1]]
+                                b = buf[desc]
                                 if not b:
                                     continue
                                 f = b[0]
                                 pkt, fidx, hopi = f[0], f[1], f[2]
-                                in_cap = cap[desc[0]]
+                                in_cap = cap_lv[desc]
                             if budget > 1 and in_used.get(desc, 0) >= in_cap:
                                 continue
                             nh = hopi + 1
@@ -341,27 +458,27 @@ class Simulator:
                                 if not b:
                                     del ne[desc]
                                 credit_ret[
-                                    (t + credit_delay[desc[0]]) % wheel_size
+                                    (t + credit_delay_lv[desc]) % wheel_size
                                 ].append(desc)
-                                self._finish_flit(pkt, fidx, t, in_window)
+                                finish_flit(pkt, fidx, t, in_window)
                                 if budget > 1:
                                     in_used[desc] = in_used.get(desc, 0) + 1
                                 granted += 1
                                 progressed = True
                                 continue
-                            nl, nv = pkt.path[nh]
-                            if nl != out_link:
+                            if pkt.path[nh][0] != out_link:
                                 continue
-                            if credits[nl][nv] <= 0:
+                            nlv = pkt.path_lv[nh]
+                            if credits[nlv] <= 0:
                                 continue
-                            own = owner[nl][nv]
+                            own = owner[nlv]
                             if fidx == 0:
                                 if own is not None:
                                     continue
                             elif own is not pkt:
                                 continue
                             # ---- grant ----
-                            if desc is None:
+                            if desc < 0:
                                 # take flit from the source queue
                                 self.total_flits_injected += 1
                                 entry[1] = fidx + 1
@@ -373,17 +490,17 @@ class Simulator:
                                 if not b:
                                     del ne[desc]
                                 credit_ret[
-                                    (t + credit_delay[desc[0]]) % wheel_size
+                                    (t + credit_delay_lv[desc]) % wheel_size
                                 ].append(desc)
-                            credits[nl][nv] -= 1
+                            credits[nlv] -= 1
                             if fidx == 0:
-                                owner[nl][nv] = pkt
+                                owner[nlv] = pkt
                             if fidx == pkt.size - 1:
-                                owner[nl][nv] = None
+                                owner[nlv] = None
                             f[2] = nh
-                            arrivals[(t + hop_delay[nl]) % wheel_size].append(
-                                (f, nl, nv)
-                            )
+                            arrivals[
+                                (t + hop_delay[out_link]) % wheel_size
+                            ].append((f, nlv))
                             if budget > 1:
                                 in_used[desc] = in_used.get(desc, 0) + 1
                             granted += 1
@@ -391,8 +508,12 @@ class Simulator:
                         if not progressed or granted >= budget:
                             break
 
-                if not ne and not sq:
-                    del hot[r]
+                if ne or sq:
+                    hot_list.append(r)
+                else:
+                    hot_flag[r] = 0
+
+        self._hot_list = hot_list
 
         return SimResult.from_samples(
             offered_rate=rate,
@@ -408,9 +529,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def flits_in_flight(self) -> int:
         """Flits currently buffered or on wires (conservation checks)."""
-        buffered = sum(
-            len(b) for per_link in self._buf for b in per_link
-        )
+        buffered = sum(len(b) for b in self._buf)
         flying = sum(len(slot) for slot in self._arrivals)
         return buffered + flying
 

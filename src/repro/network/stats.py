@@ -2,12 +2,29 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 __all__ = ["SimResult"]
+
+#: serialised scalar fields and the types they are restored as.
+_SIMRESULT_FIELDS = {
+    "offered_rate": float,
+    "effective_offered": float,
+    "accepted_rate": float,
+    "avg_latency": float,
+    "p50_latency": float,
+    "p99_latency": float,
+    "packets_measured": int,
+    "packets_delivered": int,
+    "flits_ejected": int,
+    "active_chips": int,
+    "measure_cycles": int,
+    "avg_hops": float,
+}
 
 
 @dataclass
@@ -113,6 +130,28 @@ class SimResult:
             measure_cycles=measure_cycles,
             avg_hops=avg_hops,
         )
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable view (NaNs encoded as ``None``)."""
+        out = {}
+        for name in _SIMRESULT_FIELDS:
+            val = getattr(self, name)
+            if isinstance(val, float) and math.isnan(val):
+                val = None
+            out[name] = val
+        out["extras"] = dict(self.extras)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimResult":
+        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        kwargs = {}
+        for name, typ in _SIMRESULT_FIELDS.items():
+            val = data[name]
+            if val is None:
+                val = float("nan")
+            kwargs[name] = typ(val)
+        return cls(extras=dict(data.get("extras", {})), **kwargs)
 
     def __str__(self) -> str:
         return (

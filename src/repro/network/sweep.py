@@ -10,7 +10,13 @@ from .params import SimParams
 from .simulator import Simulator
 from .stats import SimResult
 
-__all__ = ["LoadSweep", "sweep_rates", "find_saturation"]
+__all__ = [
+    "LoadSweep",
+    "assemble_sweep",
+    "cutoff_walk",
+    "find_saturation",
+    "sweep_rates",
+]
 
 
 @dataclass
@@ -52,6 +58,51 @@ class LoadSweep:
         return "\n".join(lines)
 
 
+def cutoff_walk(
+    num_rates: int,
+    results: dict,
+    stop_after_saturation: int,
+) -> Tuple[bool, int]:
+    """Walk a sweep's rate indices in order against known results.
+
+    ``results`` maps rate index -> :class:`SimResult` (gaps allowed —
+    the engine fills them out of order).  Returns ``(complete, n)``:
+    when complete, ``n`` is the sweep length after the saturation cutoff
+    (past saturation the latency is unbounded anyway, and those runs are
+    the most expensive ones); otherwise ``n`` is the first missing rate
+    index that must be simulated next.
+    """
+    saturated = 0
+    for ri in range(num_rates):
+        res = results.get(ri)
+        if res is None:
+            return False, ri
+        if res.saturated:
+            saturated += 1
+            if saturated >= stop_after_saturation:
+                return True, ri + 1
+    return True, num_rates
+
+
+def assemble_sweep(
+    label: str,
+    rates: Sequence[float],
+    results: dict,
+    stop_after_saturation: int,
+) -> LoadSweep:
+    """Build the :class:`LoadSweep` a serial in-order run would return."""
+    complete, n = cutoff_walk(len(rates), results, stop_after_saturation)
+    if not complete:
+        raise ValueError(
+            f"sweep {label!r} is missing the result for rate index {n}"
+        )
+    return LoadSweep(
+        label=label,
+        rates=[float(r) for r in rates[:n]],
+        results=[results[ri] for ri in range(n)],
+    )
+
+
 def sweep_rates(
     graph: NetworkGraph,
     routing,
@@ -64,24 +115,22 @@ def sweep_rates(
 ) -> LoadSweep:
     """Simulate each offered rate with a fresh simulator instance.
 
-    ``stop_after_saturation`` aborts the sweep after that many saturated
-    points — past saturation the latency is unbounded anyway, and these
-    runs are the most expensive ones.
+    This is the in-process primitive under :func:`repro.engine.
+    run_experiments`, which adds spec-based reconstruction, process
+    parallelism and caching on top of the same cutoff semantics.
     """
     params = params or SimParams()
-    out_rates: List[float] = []
-    results: List[SimResult] = []
-    saturated_seen = 0
-    for rate in rates:
+    rates = list(rates)
+    results: dict = {}
+    while True:
+        complete, ri = cutoff_walk(
+            len(rates), results, stop_after_saturation
+        )
+        if complete:
+            break
         sim = Simulator(graph, routing, traffic, params)
-        res = sim.run(rate)
-        out_rates.append(rate)
-        results.append(res)
-        if res.saturated:
-            saturated_seen += 1
-            if saturated_seen >= stop_after_saturation:
-                break
-    return LoadSweep(label=label, rates=out_rates, results=results)
+        results[ri] = sim.run(rates[ri])
+    return assemble_sweep(label, rates, results, stop_after_saturation)
 
 
 def find_saturation(

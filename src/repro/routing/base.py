@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..network.packet import Hop
 from ..topology.graph import NetworkGraph
@@ -23,9 +23,47 @@ class RoutingAlgorithm(ABC):
     #: virtual channels required for deadlock freedom.
     num_vcs: int = 1
 
+    #: True when :meth:`route` never consults the RNG, i.e. the route of
+    #: a (src, dst) pair is a pure function of the pair.  The simulator
+    #: memoises routes for such algorithms — a large win for oblivious
+    #: minimal routing, where every packet of a pair shares one path.
+    is_deterministic: bool = False
+
+    #: memo entry cap for :meth:`route_flat`; beyond it routes are
+    #: computed without being stored, bounding memory on full-scale
+    #: systems (100k+ nodes -> billions of pairs) where the routing
+    #: object lives across every point of a sweep.
+    route_memo_max: int = 1 << 19
+
     @abstractmethod
     def route(self, src: int, dst: int, rng: random.Random) -> List[Hop]:
         """One (possibly randomised) route from ``src`` to ``dst``."""
+
+    def route_flat(
+        self, src: int, dst: int, rng: random.Random
+    ) -> "Tuple[Tuple[Hop, ...], Tuple[int, ...]]":
+        """``(path, path_lv)`` where ``path_lv[i] = link*num_vcs + vc``.
+
+        The flat view is what the simulator's hot loop indexes with.
+        Deterministic algorithms memoise per (src, dst) pair on the
+        routing object itself, so the memo survives across the many
+        simulator instances of a load sweep.
+        """
+        if not self.is_deterministic:
+            path = tuple(self.route(src, dst, rng))
+            V = self.num_vcs
+            return path, tuple(l * V + v for l, v in path)
+        memo = getattr(self, "_route_memo", None)
+        if memo is None:
+            memo = self._route_memo = {}
+        hit = memo.get((src, dst))
+        if hit is None:
+            path = tuple(self.route(src, dst, rng))
+            V = self.num_vcs
+            hit = (path, tuple(l * V + v for l, v in path))
+            if len(memo) < self.route_memo_max:
+                memo[(src, dst)] = hit
+        return hit
 
     def enumerate_routes(self, src: int, dst: int) -> Iterable[List[Hop]]:
         """All routes the algorithm may produce for this pair.

@@ -54,6 +54,9 @@ class DragonflyRouting(RoutingAlgorithm):
         self.mode = mode
         self.vc_spread = vc_spread
         self.num_classes = 2 if mode == "minimal" else 3
+        # minimal routes never consult the RNG (Valiant draws the
+        # intermediate group from it)
+        self.is_deterministic = mode == "minimal"
         self.num_vcs = self.num_classes * vc_spread
 
     # ------------------------------------------------------------------

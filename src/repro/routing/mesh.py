@@ -23,6 +23,8 @@ class XYMeshRouting(RoutingAlgorithm):
 
     num_vcs = 1
 
+    is_deterministic = True
+
     def __init__(self, block: MeshBlock):
         self.block = block
 
@@ -42,6 +44,8 @@ class SwitchStarRouting(RoutingAlgorithm):
     (Sec. V-A4), so without this the baseline would be unfairly
     handicapped by FIFO head-of-line blocking.
     """
+
+    is_deterministic = True
 
     def __init__(self, block: SwitchBlock, *, voq_vcs: int = 4):
         if voq_vcs < 1:

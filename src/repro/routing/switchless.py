@@ -96,6 +96,9 @@ class SwitchlessRouting(RoutingAlgorithm):
         self.policy = policy
         self.misroute_scope = misroute_scope
         self.fallback_count = 0
+        # minimal routes never consult the RNG (Valiant draws the
+        # intermediate W-group from it)
+        self.is_deterministic = mode == "minimal"
         if policy == "baseline":
             self.num_vcs = 4 if mode == "minimal" else 6
         else:
