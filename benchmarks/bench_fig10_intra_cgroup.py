@@ -4,52 +4,17 @@ Paper setup: the radix-16-equivalent C-group (a 4x4 grid of on-chip
 routers = 2x2 chiplets of 2x2) against 4 chips on a non-blocking switch.
 Paper result: mesh saturates at ~3.0 (uniform) / ~2.0 (bit-reverse)
 flits/cycle/chip, the switch at ~1.0 — "over 3x more".
+
+Runs the bundled ``fig10_intra_cgroup`` study of the scenario library.
 """
 
-from conftest import (
-    MESH_ARCH,
-    SWITCH_ARCH,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-)
-
-
-def _curves(traffic, rates, params):
-    return run_spec_curves(
-        {
-            "Switch": make_spec(
-                "Switch", traffic=traffic, rates=rates, params=params,
-                **SWITCH_ARCH,
-            ),
-            "2D-Mesh": make_spec(
-                "2D-Mesh", traffic=traffic, rates=rates, params=params,
-                **MESH_ARCH,
-            ),
-        },
-        stop_after_saturation=2,
-    )
-
-
-def _run():
-    params = sim_params()
-    uni = _curves("uniform", [0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5], params)
-    rev = _curves("bit_reverse", [0.4, 0.8, 1.2, 1.6, 2.0, 2.4], params)
-    return uni, rev
+from conftest import once, run_library_study
 
 
 def bench_fig10_intra_cgroup(benchmark):
-    uni, rev = once(benchmark, _run)
-    print_figure(
-        "Fig. 10(a) intra-C-group: uniform", uni,
-        "paper: mesh ~3.0, switch ~1.0 flits/cycle/chip",
-    )
-    print_figure(
-        "Fig. 10(b) intra-C-group: bit-reverse", rev,
-        "paper: mesh ~2.0, switch <= 1.0 flits/cycle/chip",
-    )
+    result = once(benchmark, lambda: run_library_study("fig10_intra_cgroup"))
+    uni = result["uniform"]
+    rev = result["bit-reverse"]
     # shape assertions: who wins and by roughly what factor
     assert uni["2D-Mesh"].max_accepted > 2.0 * uni["Switch"].max_accepted
     assert rev["2D-Mesh"].max_accepted > 1.4 * rev["Switch"].max_accepted

@@ -5,72 +5,20 @@ Paper setup: one W-group of the radix-16-equivalent system (8 C-groups x
 Paper result: switch-less saturates 1.2-2x higher than switch-based for
 uniform / bit-reverse / bit-transpose; bit-shuffle is inter-C-group-link
 bound, so 2B does not help there.
+
+Runs the bundled ``fig10_local`` study of the scenario library (the
+quick scale keeps only the uniform and bit-reverse panels).
 """
 
-from conftest import (
-    SCALE,
-    dragonfly_arch,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-    switchless_arch,
-)
-
-PATTERNS = {
-    "uniform": ("uniform", [0.3, 0.6, 0.9, 1.2, 1.6, 2.0]),
-    "bit-reverse": ("bit_reverse", [0.3, 0.6, 0.9, 1.2, 1.6]),
-    "bit-shuffle": ("bit_shuffle", [0.1, 0.2, 0.3, 0.4, 0.5]),
-    "bit-transpose": ("bit_transpose", [0.3, 0.6, 0.9, 1.2, 1.6]),
-}
-
-
-def _arches():
-    wgroups = 41 if SCALE == "full" else 2
-    sless = {"preset": "radix16_equiv", "num_wgroups": wgroups,
-             "cgroups_per_wafer": 1}
-    return {
-        "SW-based": dragonfly_arch(preset="radix16", g=wgroups),
-        "SW-less": switchless_arch(**sless),
-        "SW-less-2B": switchless_arch(mesh_capacity=2, **sless),
-    }
-
-
-def _run():
-    params = sim_params()
-    arches = _arches()
-    results = {}
-    names = list(PATTERNS)
-    if SCALE == "quick":
-        names = ["uniform", "bit-reverse"]
-    for name in names:
-        traffic, rates = PATTERNS[name]
-        results[name] = run_spec_curves({
-            label: make_spec(
-                label, traffic=traffic,
-                traffic_opts={"scope": ("group", 0)},
-                rates=rates, params=params, **arch,
-            )
-            for label, arch in arches.items()
-        })
-    return results
+from conftest import once, run_library_study
 
 
 def bench_fig10_local(benchmark):
-    results = once(benchmark, _run)
-    notes = {
-        "uniform": "paper Fig.10(c): SW-less saturates ~1.5x SW-based",
-        "bit-reverse": "paper Fig.10(d): SW-less ~1.2-2x SW-based",
-        "bit-shuffle": "paper Fig.10(e): all bound by inter-C-group links",
-        "bit-transpose": "paper Fig.10(f): SW-less ~1.2-2x SW-based",
-    }
-    for name, sweeps in results.items():
-        print_figure(f"Fig. 10 local: {name}", sweeps, notes[name])
-    uni = results["uniform"]
+    result = once(benchmark, lambda: run_library_study("fig10_local"))
+    uni = result["uniform"]
     assert uni["SW-less"].max_accepted > uni["SW-based"].max_accepted
-    if "bit-shuffle" in results:
-        shuf = results["bit-shuffle"]
+    if "bit-shuffle" in result:
+        shuf = result["bit-shuffle"]
         # 2B does not lift the bit-shuffle bottleneck (inter-C-group bound)
         assert (
             shuf["SW-less-2B"].max_accepted

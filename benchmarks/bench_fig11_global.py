@@ -6,62 +6,17 @@ is slightly worse than the switch-based one (2D-mesh bisection is half a
 non-blocking switch, Eq. 6); doubling intra-C-group bandwidth ("2B")
 removes the bottleneck and it performs much better.
 
-Default scale substitutes the structurally identical 9-W-group
-``small_equiv`` pair (144 chips; same chips-per-group and global-channel
-ratio); ``REPRO_SCALE=full`` runs the paper-exact radix-16 systems.
+Runs the bundled ``fig11_global`` study: the default scale substitutes
+the structurally identical 9-W-group ``small_equiv`` pair (144 chips;
+same chips-per-group and global-channel ratio); ``REPRO_SCALE=full``
+runs the paper-exact radix-16 systems.
 """
 
-from conftest import (
-    SCALE,
-    dragonfly_arch,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-    switchless_arch,
-)
-
-
-def _arches():
-    dfly_preset = "radix16" if SCALE == "full" else "small_equiv"
-    sless_preset = "radix16_equiv" if SCALE == "full" else "small_equiv"
-    return {
-        "SW-based": dragonfly_arch(preset=dfly_preset),
-        "SW-less": switchless_arch(preset=sless_preset),
-        "SW-less-2B": switchless_arch(
-            preset=sless_preset, mesh_capacity=2
-        ),
-    }
-
-
-def _run():
-    params = sim_params()
-    arches = _arches()
-    out = {}
-    for name, traffic, rates in (
-        ("uniform", "uniform", [0.1, 0.25, 0.4, 0.55, 0.7, 0.85]),
-        ("bit-reverse", "bit_reverse", [0.1, 0.2, 0.3, 0.45, 0.6]),
-    ):
-        out[name] = run_spec_curves({
-            label: make_spec(
-                label, traffic=traffic, rates=rates, params=params, **arch,
-            )
-            for label, arch in arches.items()
-        })
-    return out
+from conftest import once, run_library_study
 
 
 def bench_fig11_global(benchmark):
-    results = once(benchmark, _run)
-    print_figure(
-        "Fig. 11(a) global: uniform", results["uniform"],
-        "paper: SW-less slightly below SW-based; SW-less-2B above both",
-    )
-    print_figure(
-        "Fig. 11(b) global: bit-reverse", results["bit-reverse"],
-        "paper: same ordering as uniform",
-    )
-    uni = results["uniform"]
+    result = once(benchmark, lambda: run_library_study("fig11_global"))
+    uni = result["uniform"]
     # 2B removes the mesh-bisection bottleneck (Eq. 6)
     assert uni["SW-less-2B"].max_accepted >= uni["SW-less"].max_accepted

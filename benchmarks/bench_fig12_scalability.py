@@ -6,76 +6,21 @@ Paper result: (a) large-scale local performance needs 2B to keep up;
 bisection-constrained and recovers with 2B/4B (the A2 bandwidth
 ablation of DESIGN.md).
 
-Default scale keeps the *starved* geometry (C-group mesh bisection ~
-half the external ports: here a 5x5 mesh with 11 ports) at a
-simulatable size; ``REPRO_SCALE=full`` uses the paper's 7x7 C-groups.
-Note the truncated W-group count also truncates global capacity, so the
-default-scale 2B/4B recovery is real but capped by the global channels
+Runs the bundled ``fig12_scalability`` study: the default scale keeps
+the *starved* geometry (C-group mesh bisection ~ half the external
+ports: here a 5x5 mesh with 11 ports) at a simulatable size;
+``REPRO_SCALE=full`` uses the paper's 7x7 C-groups.  Note the truncated
+W-group count also truncates global capacity, so the default-scale
+2B/4B recovery is real but capped by the global channels
 (EXPERIMENTS.md, deviation 5).
 """
 
-from conftest import (
-    SCALE,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-    switchless_arch,
-)
-
-
-def _topo_opts(capacity: int) -> dict:
-    if SCALE == "full":
-        return {"preset": "radix32_equiv", "mesh_capacity": capacity}
-    return {
-        "mesh_dim": 5, "chiplet_dim": 1, "num_local": 7, "num_global": 4,
-        "num_wgroups": 8, "mesh_capacity": capacity,
-    }
-
-
-def _spec(label, cap, traffic_opts, rates, params):
-    return make_spec(
-        label,
-        traffic="uniform", traffic_opts=traffic_opts,
-        rates=rates, params=params,
-        **switchless_arch(**_topo_opts(cap)),
-    )
-
-
-def _run():
-    params = sim_params()
-    caps = {"SW-less": 1, "SW-less-2B": 2, "SW-less-4B": 4}
-    local = run_spec_curves({
-        label: _spec(
-            label, cap, {"scope": ("group", 0)},
-            [0.2, 0.4, 0.6, 0.9, 1.2], params,
-        )
-        for label, cap in caps.items()
-        if label != "SW-less-4B"
-    })
-    glob = run_spec_curves(
-        {
-            label: _spec(
-                label, cap, None, [0.04, 0.08, 0.12, 0.18, 0.25], params,
-            )
-            for label, cap in caps.items()
-        },
-        stop_after_saturation=2,
-    )
-    return local, glob
+from conftest import once, run_library_study
 
 
 def bench_fig12_scalability(benchmark):
-    local, glob = once(benchmark, _run)
-    print_figure(
-        "Fig. 12(a) large-scale local: uniform", local,
-        "paper: without 2B, large-scale local is below the small-scale case",
-    )
-    print_figure(
-        "Fig. 12(b) large-scale global: uniform", glob,
-        "paper: uniform-bandwidth heavily constrained; 2B/4B recover it",
-    )
+    result = once(benchmark, lambda: run_library_study("fig12_scalability"))
+    local, glob = result["local"], result["global"]
     assert glob["SW-less-2B"].max_accepted > glob["SW-less"].max_accepted
     assert glob["SW-less-4B"].max_accepted >= glob["SW-less-2B"].max_accepted
     assert local["SW-less-2B"].max_accepted > local["SW-less"].max_accepted

@@ -5,66 +5,17 @@ Paper setup: hotspot (all traffic within 4 W-groups) and worst-case
 collapses (3/40 resp. 1/40 global links used); Valiant misrouting lifts
 saturation by an order of magnitude, and extra intra-C-group bandwidth
 helps the hotspot case further.
+
+Runs the bundled ``fig13_misrouting`` study of the scenario library.
 """
 
-from conftest import (
-    SCALE,
-    dragonfly_arch,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-    switchless_arch,
-)
-
-
-def _arches():
-    dfly_preset = "radix16" if SCALE == "full" else "small_equiv"
-    sless_preset = "radix16_equiv" if SCALE == "full" else "small_equiv"
-    return {
-        "SW-based-Min": dragonfly_arch("minimal", preset=dfly_preset),
-        "SW-less-Min": switchless_arch("minimal", preset=sless_preset),
-        "SW-based-Mis": dragonfly_arch("valiant", preset=dfly_preset),
-        "SW-less-Mis": switchless_arch("valiant", preset=sless_preset),
-        "SW-less-2B-Mis": switchless_arch(
-            "valiant", preset=sless_preset, mesh_capacity=2
-        ),
-    }
-
-
-def _run():
-    params = sim_params()
-    arches = _arches()
-    out = {}
-    for kind, traffic, traffic_opts, rates in (
-        ("hotspot", "hotspot", {"num_hot": 4},
-         [0.05, 0.15, 0.3, 0.5, 0.7]),
-        ("worst-case", "worst_case", None,
-         [0.03, 0.08, 0.16, 0.26, 0.4]),
-    ):
-        out[kind] = run_spec_curves({
-            label: make_spec(
-                label, traffic=traffic, traffic_opts=traffic_opts,
-                rates=rates, params=params, **arch,
-            )
-            for label, arch in arches.items()
-        })
-    return out
+from conftest import once, run_library_study
 
 
 def bench_fig13_misrouting(benchmark):
-    results = once(benchmark, _run)
-    print_figure(
-        "Fig. 13(a) hotspot", results["hotspot"],
-        "paper: misrouting saturates far above minimal; 2B helps further",
-    )
-    print_figure(
-        "Fig. 13(b) worst-case", results["worst-case"],
-        "paper: minimal collapses on the single W_i->W_i+1 channel",
-    )
+    result = once(benchmark, lambda: run_library_study("fig13_misrouting"))
     for kind in ("hotspot", "worst-case"):
-        sw = results[kind]
+        sw = result[kind]
         assert (
             sw["SW-less-Mis"].max_accepted > sw["SW-less-Min"].max_accepted
         )

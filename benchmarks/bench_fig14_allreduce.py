@@ -8,81 +8,16 @@ Paper results:
 (b) intra-W-group: both reach 1 with unidirectional rings (inter-C-group
     links bound); bidirectional switch-less reaches ~1.3, and 2B lifts
     it to ~2 — twice the switch-based Dragonfly.
+
+Runs the bundled ``fig14_allreduce`` study of the scenario library.
 """
 
-from conftest import (
-    MESH_ARCH,
-    SCALE,
-    SWITCH_ARCH,
-    dragonfly_arch,
-    make_spec,
-    once,
-    print_figure,
-    run_spec_curves,
-    sim_params,
-    switchless_arch,
-)
-
-
-def _run_intra_cgroup(params):
-    rates = [0.5, 1.0, 1.5, 2.0, 3.0, 4.0]
-    specs = {}
-    for bi, tag in ((False, "Uni"), (True, "Bi")):
-        specs[f"SW-based-{tag}"] = make_spec(
-            f"SW-based-{tag}", traffic="ring_allreduce",
-            traffic_opts={"bidirectional": bi},
-            rates=rates, params=params, **SWITCH_ARCH,
-        )
-        specs[f"SW-less-{tag}"] = make_spec(
-            f"SW-less-{tag}", traffic="ring_allreduce",
-            traffic_opts={"bidirectional": bi, "scope": "snake"},
-            rates=rates, params=params, **MESH_ARCH,
-        )
-    return run_spec_curves(specs, stop_after_saturation=2)
-
-
-def _run_intra_wgroup(params):
-    wgroups = 41 if SCALE == "full" else 2
-    rates = [0.4, 0.8, 1.1, 1.5, 2.0]
-    sless = {"preset": "radix16_equiv", "num_wgroups": wgroups,
-             "cgroups_per_wafer": 1}
-    dfly_arch = dragonfly_arch(preset="radix16", g=wgroups)
-    sless_arch = switchless_arch(**sless)
-    sless2b_arch = switchless_arch(mesh_capacity=2, **sless)
-
-    def ring(bi):
-        return {"bidirectional": bi, "scope": ("group", 0)}
-
-    specs = {}
-    for bi, tag in ((False, "Uni"), (True, "Bi")):
-        specs[f"SW-based-{tag}"] = make_spec(
-            f"SW-based-{tag}", traffic="ring_allreduce",
-            traffic_opts=ring(bi), rates=rates, params=params, **dfly_arch,
-        )
-        specs[f"SW-less-{tag}"] = make_spec(
-            f"SW-less-{tag}", traffic="ring_allreduce",
-            traffic_opts=ring(bi), rates=rates, params=params, **sless_arch,
-        )
-    specs["SW-less-Bi-2B"] = make_spec(
-        "SW-less-Bi-2B", traffic="ring_allreduce",
-        traffic_opts=ring(True), rates=rates, params=params, **sless2b_arch,
-    )
-    return run_spec_curves(specs, stop_after_saturation=2)
+from conftest import once, run_library_study
 
 
 def bench_fig14_allreduce(benchmark):
-    params = sim_params()
-    cg, wg = once(
-        benchmark, lambda: (_run_intra_cgroup(params), _run_intra_wgroup(params))
-    )
-    print_figure(
-        "Fig. 14(a) AllReduce intra-C-group", cg,
-        "paper: SW-based 1 (uni=bi); SW-less 2 (uni) and 4 (bi)",
-    )
-    print_figure(
-        "Fig. 14(b) AllReduce intra-W-group", wg,
-        "paper: both 1 uni; SW-less-Bi ~1.3; SW-less-Bi-2B ~2",
-    )
+    result = once(benchmark, lambda: run_library_study("fig14_allreduce"))
+    cg, wg = result["intra-cgroup"], result["intra-wgroup"]
     assert cg["SW-less-Uni"].max_accepted > 1.4 * cg["SW-based-Uni"].max_accepted
     assert cg["SW-less-Bi"].max_accepted > cg["SW-less-Uni"].max_accepted
     assert wg["SW-less-Bi-2B"].max_accepted > wg["SW-based-Bi"].max_accepted

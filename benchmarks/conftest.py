@@ -1,55 +1,58 @@
 """Shared benchmark harness.
 
 Every bench regenerates one table or figure of the paper and prints the
-measured series next to the paper's reference values.  Because the
-substrate is a pure-Python cycle-accurate simulator, the default scale
-trades simulated cycles / system size for wall-clock (documented per
-bench and in EXPERIMENTS.md); set ``REPRO_SCALE=full`` for paper-exact
-configurations and Table IV cycle counts, or ``REPRO_SCALE=quick`` for a
-smoke-level pass.
+measured series next to the paper's reference values.  The figure
+benches are thin wrappers over the bundled ``repro.api`` scenario
+library (:func:`run_library_study`); only the ablation bench still
+builds live objects, via :func:`run_curves`.
+
+Because the substrate is a pure-Python cycle-accurate simulator, the
+default scale trades simulated cycles / system size for wall-clock
+(documented per bench and in EXPERIMENTS.md); set ``REPRO_SCALE=full``
+for paper-exact configurations and Table IV cycle counts, or
+``REPRO_SCALE=quick`` for a smoke-level pass.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Sequence
 
-import pytest
-
-from repro.engine import ExperimentSpec, ResultCache, run_experiments
+from repro.api import StudyResult, build_study
+from repro.api import pick_rates as _pick_rates
+from repro.api import sim_params as _sim_params
+from repro.engine import ResultCache
 from repro.network import LoadSweep, SimParams, sweep_rates
 
 SCALE = os.environ.get("REPRO_SCALE", "default")
 
-#: worker processes for spec-based benches (None = engine default:
+#: worker processes for engine-backed benches (None = engine default:
 #: REPRO_WORKERS env, then CPU count).
 WORKERS = None
 
-#: point-result cache shared by all spec-based benches when
+#: point-result cache shared by all engine-backed benches when
 #: ``REPRO_CACHE_DIR`` is set (re-running a figure then only simulates
 #: missing points).
 CACHE_DIR = os.environ.get("REPRO_CACHE_DIR")
 
 
 def sim_params(seed: int = 11) -> SimParams:
-    if SCALE == "full":
-        return SimParams(seed=seed)  # Table IV: 5000 + 10000 cycles
-    if SCALE == "quick":
-        return SimParams(
-            warmup_cycles=150, measure_cycles=400, drain_cycles=200, seed=seed
-        )
-    return SimParams(
-        warmup_cycles=300, measure_cycles=900, drain_cycles=400, seed=seed
-    )
+    return _sim_params(SCALE, seed=seed)
 
 
-def pick_rates(rates: Sequence[float], quick_count: int = 3) -> List[float]:
-    """Thin a rate list under the quick scale."""
-    rates = list(rates)
-    if SCALE == "quick" and len(rates) > quick_count:
-        step = max(1, len(rates) // quick_count)
-        rates = rates[::step]
-    return rates
+def pick_rates(rates: Sequence[float], quick_count: int = 3):
+    return _pick_rates(rates, SCALE, quick_count=quick_count)
+
+
+def run_library_study(name: str) -> StudyResult:
+    """Run one bundled study at the session scale and print its report."""
+    study = build_study(name, scale=SCALE)
+    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
+    result = study.run(workers=WORKERS, cache=cache)
+    print()
+    print(f"(scale={SCALE})")
+    print(result.render())
+    return result
 
 
 def run_curves(
@@ -61,9 +64,8 @@ def run_curves(
 ) -> Dict[str, LoadSweep]:
     """Sweep each labeled (graph, routing, traffic) triple in-process.
 
-    Legacy path for benches that build live objects; the figure benches
-    use :func:`run_spec_curves`, which adds process parallelism and
-    caching.
+    Legacy path for benches whose knobs (VC policy ablations) build live
+    objects; the figure benches run bundled studies instead.
     """
     out: Dict[str, LoadSweep] = {}
     for label, (graph, routing, traffic) in configs.items():
@@ -72,79 +74,6 @@ def run_curves(
             label=label, stop_after_saturation=stop_after_saturation,
         )
     return out
-
-
-def make_spec(
-    label: str,
-    *,
-    topology: str,
-    routing: str,
-    traffic: str,
-    rates: Sequence[float],
-    params: SimParams,
-    topology_opts: Optional[Dict] = None,
-    routing_opts: Optional[Dict] = None,
-    traffic_opts: Optional[Dict] = None,
-) -> ExperimentSpec:
-    """Benchmark-flavoured :meth:`ExperimentSpec.create` shorthand."""
-    return ExperimentSpec.create(
-        topology=topology,
-        topology_opts=topology_opts,
-        routing=routing,
-        routing_opts=routing_opts,
-        traffic=traffic,
-        traffic_opts=traffic_opts,
-        params=params,
-        rates=pick_rates(rates),
-        label=label,
-    )
-
-
-# -- shared architecture spec fragments for make_spec(**arch) ----------
-
-#: Fig. 10(a)/14(a) intra-C-group contenders.
-MESH_ARCH = {
-    "topology": "mesh", "topology_opts": {"dim": 4, "chiplet_dim": 2},
-    "routing": "xy_mesh",
-}
-SWITCH_ARCH = {
-    "topology": "switch",
-    "topology_opts": {"num_terminals": 4, "terminal_latency": 1},
-    "routing": "switch_star",
-}
-
-
-def dragonfly_arch(mode: str = "minimal", **topology_opts) -> Dict:
-    """Switch-based baseline (ideal router emulated via vc_spread=2)."""
-    return {
-        "topology": "dragonfly", "topology_opts": topology_opts,
-        "routing": "dragonfly",
-        "routing_opts": {"mode": mode, "vc_spread": 2},
-    }
-
-
-def switchless_arch(mode: str = "minimal", **topology_opts) -> Dict:
-    """The paper's switch-less Dragonfly."""
-    return {
-        "topology": "switchless", "topology_opts": topology_opts,
-        "routing": "switchless", "routing_opts": {"mode": mode},
-    }
-
-
-def run_spec_curves(
-    specs: Dict[str, ExperimentSpec],
-    *,
-    stop_after_saturation: int = 1,
-) -> Dict[str, LoadSweep]:
-    """Run labeled specs through the parallel experiment engine."""
-    cache = ResultCache(CACHE_DIR) if CACHE_DIR else None
-    sweeps = run_experiments(
-        list(specs.values()),
-        workers=WORKERS,
-        cache=cache,
-        stop_after_saturation=stop_after_saturation,
-    )
-    return dict(zip(specs, sweeps))
 
 
 def print_figure(title: str, sweeps: Dict[str, LoadSweep], notes: str = "") -> None:

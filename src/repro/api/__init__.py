@@ -1,0 +1,84 @@
+"""``repro.api`` — the scenario-level facade over the experiment engine.
+
+This is the recommended entry point for reproducing the paper's
+evaluation or composing new comparative experiments:
+
+* :class:`Scenario` / :class:`Study` describe campaigns declaratively
+  (and round-trip to the JSON scenario files under ``scenarios/``);
+* :meth:`Study.run` executes them through the parallel experiment
+  engine and returns the structured :class:`StudyResult` ->
+  :class:`ScenarioResult` -> :class:`PointResult` hierarchy with
+  ``to_json()`` / ``to_csv()`` export and text rendering;
+* :func:`build_study` / :func:`list_library` expose the bundled
+  Figs. 10-14 scenario library;
+* :func:`compare_scenario` assembles ad-hoc architecture comparisons
+  (the engine behind ``repro-dragonfly compare``).
+
+Quickstart::
+
+    from repro.api import build_study
+
+    result = build_study("fig10_local", scale="quick").run(workers=4)
+    print(result.render())
+    result.save("fig10_local.json")
+
+or file-based::
+
+    from repro.api import load_study
+
+    result = load_study("scenarios/fig10_local.json").run(workers=4)
+"""
+
+from .compare import compare_scenario
+from .library import (
+    SCALES,
+    build_study,
+    dragonfly_arch,
+    library_studies,
+    list_library,
+    make_spec,
+    pick_rates,
+    register_study,
+    save_library,
+    sim_params,
+    switchless_arch,
+)
+from .results import (
+    STUDY_RESULT_SCHEMA,
+    CurveResult,
+    PointResult,
+    ScenarioResult,
+    StudyResult,
+)
+from .scenario import (
+    SCENARIO_SCHEMA,
+    STUDY_SCHEMA,
+    Scenario,
+    Study,
+    load_study,
+)
+
+__all__ = [
+    "SCALES",
+    "SCENARIO_SCHEMA",
+    "STUDY_RESULT_SCHEMA",
+    "STUDY_SCHEMA",
+    "CurveResult",
+    "PointResult",
+    "Scenario",
+    "ScenarioResult",
+    "Study",
+    "StudyResult",
+    "build_study",
+    "compare_scenario",
+    "dragonfly_arch",
+    "library_studies",
+    "list_library",
+    "load_study",
+    "make_spec",
+    "pick_rates",
+    "register_study",
+    "save_library",
+    "sim_params",
+    "switchless_arch",
+]

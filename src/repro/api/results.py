@@ -1,0 +1,372 @@
+"""Structured results: the ``StudyResult -> ScenarioResult -> PointResult``
+hierarchy returned by :meth:`repro.api.Study.run`.
+
+Each level is a plain dataclass with a stable, schema-tagged JSON form:
+
+* :class:`PointResult` — one simulated ``(spec, rate)`` point;
+* :class:`CurveResult` — one labeled latency-vs-load curve (the points
+  of one :class:`~repro.engine.ExperimentSpec`), with the saturation
+  summaries the benchmarks assert on;
+* :class:`ScenarioResult` — the curves of one comparative scenario
+  (typically one figure panel of the paper), addressable by label;
+* :class:`StudyResult` — the scenarios of one campaign, with
+  ``to_json()`` / ``to_csv()`` export and a text :meth:`~StudyResult.
+  render` that replaces the benchmarks' hand-rolled table printing.
+
+Everything except the ``meta`` block (timing, worker count, cache
+counters) is a pure function of the study definition, so two runs of
+the same study — CLI or Python, serial or parallel, cached or fresh —
+serialise identically modulo ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from ..network.stats import SimResult
+from ..network.sweep import LoadSweep
+
+__all__ = [
+    "STUDY_RESULT_SCHEMA",
+    "PointResult",
+    "CurveResult",
+    "ScenarioResult",
+    "StudyResult",
+]
+
+#: stable schema tag of the serialised hierarchy; bump the version on
+#: incompatible layout changes.
+STUDY_RESULT_SCHEMA = "repro.study-result/v1"
+
+
+def _fmt(value: float) -> str:
+    """CSV cell for a float: short, stable, empty for NaN."""
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return ""
+    return f"{value:.6g}"
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """One simulated point of a curve: an offered rate and its outcome."""
+
+    rate: float
+    result: SimResult
+
+    @property
+    def offered(self) -> float:
+        return self.result.offered_rate
+
+    @property
+    def accepted(self) -> float:
+        return self.result.accepted_rate
+
+    @property
+    def avg_latency(self) -> float:
+        return self.result.avg_latency
+
+    @property
+    def saturated(self) -> bool:
+        return self.result.saturated
+
+    def to_dict(self) -> Dict:
+        return {"rate": self.rate, "result": self.result.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "PointResult":
+        return cls(
+            rate=float(data["rate"]),
+            result=SimResult.from_dict(data["result"]),
+        )
+
+
+@dataclass(frozen=True)
+class CurveResult:
+    """One labeled latency-vs-load curve and its saturation summary."""
+
+    label: str
+    points: tuple
+    #: ``config_key()`` of the spec that produced the curve, tying the
+    #: result back to its cache entries.
+    spec_key: str = ""
+
+    @property
+    def rates(self) -> List[float]:
+        return [p.rate for p in self.points]
+
+    @property
+    def saturation_rate(self) -> float:
+        """First offered rate at which the run saturated (inf if none)."""
+        for p in self.points:
+            if p.saturated:
+                return p.rate
+        return float("inf")
+
+    @property
+    def max_accepted(self) -> float:
+        """Highest accepted throughput seen across the curve."""
+        return max((p.accepted for p in self.points), default=0.0)
+
+    def zero_load_latency(self) -> float:
+        """Average latency at the lowest measured rate."""
+        return self.points[0].avg_latency if self.points else float("nan")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "saturation_rate": self.saturation_rate,
+            "max_accepted": self.max_accepted,
+            "zero_load_latency": self.zero_load_latency(),
+        }
+
+    def format_table(self) -> str:
+        lines = [f"# {self.label}", "offered  accepted  avg_latency"]
+        for p in self.points:
+            lines.append(
+                f"{p.rate:7.3f}  {p.accepted:8.3f}  {p.avg_latency:11.1f}"
+            )
+        return "\n".join(lines)
+
+    def to_sweep(self) -> LoadSweep:
+        """View as the engine's :class:`~repro.network.sweep.LoadSweep`."""
+        return LoadSweep(
+            label=self.label,
+            rates=[p.rate for p in self.points],
+            results=[p.result for p in self.points],
+        )
+
+    @classmethod
+    def from_sweep(cls, sweep: LoadSweep, spec_key: str = "") -> "CurveResult":
+        return cls(
+            label=sweep.label,
+            points=tuple(
+                PointResult(rate=r, result=res)
+                for r, res in zip(sweep.rates, sweep.results)
+            ),
+            spec_key=spec_key,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "label": self.label,
+            "spec_key": self.spec_key,
+            "points": [p.to_dict() for p in self.points],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CurveResult":
+        return cls(
+            label=data["label"],
+            points=tuple(PointResult.from_dict(p) for p in data["points"]),
+            spec_key=data.get("spec_key", ""),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """All curves of one comparative scenario, addressable by label."""
+
+    name: str
+    curves: tuple
+    title: str = ""
+    note: str = ""
+    #: label of the reference curve that speedups are reported against.
+    baseline: str = ""
+
+    def labels(self) -> List[str]:
+        return [c.label for c in self.curves]
+
+    def curve(self, label: str) -> CurveResult:
+        for c in self.curves:
+            if c.label == label:
+                return c
+        raise KeyError(
+            f"scenario {self.name!r} has no curve {label!r}; "
+            f"curves: {self.labels()}"
+        )
+
+    def __getitem__(self, label: str) -> CurveResult:
+        return self.curve(label)
+
+    def __contains__(self, label: str) -> bool:
+        return any(c.label == label for c in self.curves)
+
+    def __iter__(self) -> Iterator[CurveResult]:
+        return iter(self.curves)
+
+    def summary(self) -> List[Dict]:
+        """Per-curve saturation summaries, plus the accepted-throughput
+        ratio against the baseline curve when one is named."""
+        base = None
+        if self.baseline and self.baseline in self:
+            base = self.curve(self.baseline).max_accepted
+        rows = []
+        for c in self.curves:
+            row = {"label": c.label, **c.summary()}
+            if base:
+                row["vs_baseline"] = c.max_accepted / base
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        out = [f"==== {self.title or self.name} ===="]
+        if self.note:
+            out.append(self.note)
+        for c in self.curves:
+            out.append(c.format_table())
+            line = (
+                f"-> saturation ~{c.saturation_rate:.2f}, "
+                f"max accepted {c.max_accepted:.2f} flits/cycle/chip"
+            )
+            if self.baseline and c.label != self.baseline:
+                base = self.curve(self.baseline).max_accepted
+                if base > 0:
+                    line += f" ({c.max_accepted / base:.2f}x {self.baseline})"
+            out.append(line)
+        return "\n".join(out)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "note": self.note,
+            "baseline": self.baseline,
+            "curves": [c.to_dict() for c in self.curves],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ScenarioResult":
+        return cls(
+            name=data["name"],
+            curves=tuple(CurveResult.from_dict(c) for c in data["curves"]),
+            title=data.get("title", ""),
+            note=data.get("note", ""),
+            baseline=data.get("baseline", ""),
+        )
+
+
+#: flat export columns of :meth:`StudyResult.to_csv`, one row per point.
+_CSV_COLUMNS = (
+    "scenario",
+    "curve",
+    "rate",
+    "offered",
+    "effective_offered",
+    "accepted",
+    "avg_latency",
+    "p50_latency",
+    "p99_latency",
+    "avg_hops",
+    "saturated",
+)
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Results of a whole campaign: one entry per scenario, in order."""
+
+    name: str
+    scenarios: tuple
+    title: str = ""
+    #: run provenance (elapsed seconds, worker count, cache counters).
+    #: Excluded from result equality — everything else is deterministic.
+    meta: Dict = field(default_factory=dict, compare=False)
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.scenarios]
+
+    def scenario(self, name: str) -> ScenarioResult:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"study {self.name!r} has no scenario {name!r}; "
+            f"scenarios: {self.names()}"
+        )
+
+    def __getitem__(self, name: str) -> ScenarioResult:
+        return self.scenario(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(s.name == name for s in self.scenarios)
+
+    def __iter__(self) -> Iterator[ScenarioResult]:
+        return iter(self.scenarios)
+
+    def render(self) -> str:
+        out = []
+        if self.title:
+            out.append(f"=== {self.title} ===")
+        out.extend(s.render() for s in self.scenarios)
+        return "\n\n".join(out)
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "schema": STUDY_RESULT_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "meta": dict(self.meta),
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "StudyResult":
+        schema = data.get("schema")
+        if schema != STUDY_RESULT_SCHEMA:
+            raise ValueError(
+                f"cannot read {schema!r} payload as {STUDY_RESULT_SCHEMA!r}"
+            )
+        return cls(
+            name=data["name"],
+            scenarios=tuple(
+                ScenarioResult.from_dict(s) for s in data["scenarios"]
+            ),
+            title=data.get("title", ""),
+            meta=dict(data.get("meta", {})),
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudyResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "StudyResult":
+        return cls.from_json(Path(path).read_text())
+
+    def to_csv(self) -> str:
+        """Flat per-point table (one header row, ``,``-separated)."""
+        lines = [",".join(_CSV_COLUMNS)]
+        for scn in self.scenarios:
+            for curve in scn.curves:
+                for p in curve.points:
+                    r = p.result
+                    lines.append(
+                        ",".join(
+                            (
+                                scn.name,
+                                curve.label,
+                                _fmt(p.rate),
+                                _fmt(r.offered_rate),
+                                _fmt(r.effective_offered),
+                                _fmt(r.accepted_rate),
+                                _fmt(r.avg_latency),
+                                _fmt(r.p50_latency),
+                                _fmt(r.p99_latency),
+                                _fmt(r.avg_hops),
+                                "1" if r.saturated else "0",
+                            )
+                        )
+                    )
+        return "\n".join(lines) + "\n"

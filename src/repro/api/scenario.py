@@ -1,0 +1,303 @@
+"""Declarative scenarios and studies: the campaign layer over the engine.
+
+A :class:`Scenario` bundles the :class:`~repro.engine.ExperimentSpec`
+curves of one comparative experiment (typically one figure panel of the
+paper) with presentation metadata — title, paper note, the baseline
+architecture's curve label.  A :class:`Study` groups scenarios into a
+runnable campaign.  Both round-trip losslessly to plain JSON scenario
+files (see the bundled ``scenarios/`` library), and ``Study.run()``
+executes every curve point through the parallel experiment engine and
+returns the structured :class:`~repro.api.results.StudyResult`
+hierarchy.
+
+File format (``schema`` discriminates the two)::
+
+    {"schema": "repro.study/v1", "name": ..., "title": ...,
+     "scenarios": [
+        {"schema": "repro.scenario/v1", "name": ..., "title": ...,
+         "note": ..., "baseline": ..., "stop_after_saturation": 1,
+         "specs": [ExperimentSpec.to_data(), ...]},
+     ]}
+
+A bare scenario file (the inner object alone) is also accepted
+everywhere a study is — it loads as a single-scenario study.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..engine import ExperimentSpec, ResultCache, run_experiments
+from .results import CurveResult, ScenarioResult, StudyResult
+
+__all__ = ["SCENARIO_SCHEMA", "STUDY_SCHEMA", "Scenario", "Study", "load_study"]
+
+SCENARIO_SCHEMA = "repro.scenario/v1"
+STUDY_SCHEMA = "repro.study/v1"
+
+
+def _curve_label(spec: ExperimentSpec) -> str:
+    return spec.label or spec.describe()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One comparative experiment: labeled curves plus presentation."""
+
+    name: str
+    specs: Tuple[ExperimentSpec, ...]
+    title: str = ""
+    #: paper expectation shown above the rendered tables.
+    note: str = ""
+    #: label of the reference curve (usually the switch-based baseline).
+    baseline: str = ""
+    #: sweep cutoff forwarded to the engine (see ``run_experiments``).
+    stop_after_saturation: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a name")
+        if not self.specs:
+            raise ValueError(f"scenario {self.name!r} has no specs")
+        labels = [_curve_label(s) for s in self.specs]
+        dupes = sorted({l for l in labels if labels.count(l) > 1})
+        if dupes:
+            raise ValueError(
+                f"scenario {self.name!r} has duplicate curve labels {dupes}; "
+                "give each spec a distinct label"
+            )
+        if self.baseline and self.baseline not in labels:
+            raise ValueError(
+                f"scenario {self.name!r} baseline {self.baseline!r} is not "
+                f"one of its curve labels {labels}"
+            )
+        if self.stop_after_saturation < 1:
+            raise ValueError("stop_after_saturation must be >= 1")
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        specs: Sequence[ExperimentSpec],
+        **meta,
+    ) -> "Scenario":
+        return cls(name=name, specs=tuple(specs), **meta)
+
+    def labels(self) -> List[str]:
+        return [_curve_label(s) for s in self.specs]
+
+    def run(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
+    ) -> ScenarioResult:
+        """Run just this scenario (see :meth:`Study.run`)."""
+        study = Study(name=self.name, scenarios=(self,))
+        return study.run(workers=workers, cache=cache).scenarios[0]
+
+    # -- declarative form ----------------------------------------------
+    def to_data(self) -> Dict:
+        return {
+            "schema": SCENARIO_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "note": self.note,
+            "baseline": self.baseline,
+            "stop_after_saturation": self.stop_after_saturation,
+            "specs": [s.to_data() for s in self.specs],
+        }
+
+    @classmethod
+    def from_data(cls, data: Dict) -> "Scenario":
+        schema = data.get("schema")
+        if schema is not None and schema != SCENARIO_SCHEMA:
+            raise ValueError(
+                f"cannot read {schema!r} payload as {SCENARIO_SCHEMA!r}"
+            )
+        return cls(
+            name=data["name"],
+            specs=tuple(
+                ExperimentSpec.from_data(s) for s in data["specs"]
+            ),
+            title=data.get("title", ""),
+            note=data.get("note", ""),
+            baseline=data.get("baseline", ""),
+            stop_after_saturation=int(data.get("stop_after_saturation", 1)),
+        )
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_data(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Scenario":
+        return cls.from_data(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class Study:
+    """A runnable campaign: ordered scenarios under one name."""
+
+    name: str
+    scenarios: Tuple[Scenario, ...]
+    title: str = ""
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a study needs a name")
+        if not self.scenarios:
+            raise ValueError(f"study {self.name!r} has no scenarios")
+        names = [s.name for s in self.scenarios]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(
+                f"study {self.name!r} has duplicate scenario names {dupes}"
+            )
+
+    @classmethod
+    def create(
+        cls, name: str, scenarios: Sequence[Scenario], **meta
+    ) -> "Study":
+        return cls(name=name, scenarios=tuple(scenarios), **meta)
+
+    def names(self) -> List[str]:
+        return [s.name for s in self.scenarios]
+
+    def num_specs(self) -> int:
+        return sum(len(s.specs) for s in self.scenarios)
+
+    def scenario(self, name: str) -> Scenario:
+        for s in self.scenarios:
+            if s.name == name:
+                return s
+        raise KeyError(
+            f"study {self.name!r} has no scenario {name!r}; "
+            f"scenarios: {self.names()}"
+        )
+
+    def __getitem__(self, name: str) -> Scenario:
+        return self.scenario(name)
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache: Optional[Union[ResultCache, str, Path]] = None,
+    ) -> StudyResult:
+        """Run every scenario through the parallel experiment engine.
+
+        Scenarios sharing a ``stop_after_saturation`` value are batched
+        into one ``run_experiments`` call so their points fill the same
+        worker pool.  ``cache`` may be a :class:`~repro.engine.
+        ResultCache` or a directory path.  The returned hierarchy is
+        deterministic apart from its ``meta`` block (per-point seeds are
+        derived from the spec hashes).
+        """
+        if isinstance(cache, (str, Path)):
+            cache = ResultCache(cache)
+        t0 = time.perf_counter()
+
+        batches: Dict[int, List[Tuple[int, Scenario]]] = {}
+        for si, scn in enumerate(self.scenarios):
+            batches.setdefault(scn.stop_after_saturation, []).append(
+                (si, scn)
+            )
+        results: Dict[int, ScenarioResult] = {}
+        for stop, members in sorted(batches.items()):
+            specs = [spec for _, scn in members for spec in scn.specs]
+            sweeps = iter(
+                run_experiments(
+                    specs,
+                    workers=workers,
+                    cache=cache,
+                    stop_after_saturation=stop,
+                )
+            )
+            for si, scn in members:
+                curves = tuple(
+                    CurveResult.from_sweep(next(sweeps), spec.config_key())
+                    for spec in scn.specs
+                )
+                results[si] = ScenarioResult(
+                    name=scn.name,
+                    curves=curves,
+                    title=scn.title,
+                    note=scn.note,
+                    baseline=scn.baseline,
+                )
+
+        meta: Dict = {
+            "elapsed_s": round(time.perf_counter() - t0, 3),
+            "workers": workers,
+        }
+        if cache is not None:
+            meta["cache"] = {
+                "root": str(cache.root),
+                "hits": cache.hits,
+                "misses": cache.misses,
+            }
+        return StudyResult(
+            name=self.name,
+            scenarios=tuple(results[si] for si in range(len(self.scenarios))),
+            title=self.title,
+            meta=meta,
+        )
+
+    # -- declarative form ----------------------------------------------
+    def to_data(self) -> Dict:
+        return {
+            "schema": STUDY_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "description": self.description,
+            "scenarios": [s.to_data() for s in self.scenarios],
+        }
+
+    @classmethod
+    def from_data(cls, data: Dict) -> "Study":
+        schema = data.get("schema")
+        if schema == SCENARIO_SCHEMA:
+            return cls.wrap(Scenario.from_data(data))
+        if schema is not None and schema != STUDY_SCHEMA:
+            raise ValueError(
+                f"cannot read {schema!r} payload as {STUDY_SCHEMA!r}"
+            )
+        return cls(
+            name=data["name"],
+            scenarios=tuple(
+                Scenario.from_data(s) for s in data["scenarios"]
+            ),
+            title=data.get("title", ""),
+            description=data.get("description", ""),
+        )
+
+    @classmethod
+    def wrap(cls, scenario: Scenario) -> "Study":
+        """Lift a single scenario into a runnable one-scenario study.
+
+        The study title stays empty — the scenario renders its own —
+        so the wrapped form prints exactly like the bare scenario.
+        """
+        return cls(name=scenario.name, scenarios=(scenario,))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_data(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Study":
+        return cls.from_data(json.loads(Path(path).read_text()))
+
+
+def load_study(path: Union[str, Path]) -> Study:
+    """Load a study *or* scenario file as a runnable :class:`Study`."""
+    return Study.load(path)

@@ -1,13 +1,18 @@
-"""Command-line interface: quick experiments from the shell.
+"""Command-line interface, redesigned around the ``repro.api`` facade.
 
 Examples::
 
-    repro-dragonfly tables                 # Tables I, II, IV
-    repro-dragonfly table3                 # Table III case study
-    repro-dragonfly layout                 # Fig. 9 floorplan summary
-    repro-dragonfly sweep --arch switchless --pattern uniform --scope local
-    repro-dragonfly sweep --workers 8 --cache-dir .repro-cache
-    repro-dragonfly verify --policy reduced
+    repro-dragonfly list                      # scenarios + registered kinds
+    repro-dragonfly run fig10_local --scale quick --workers 4
+    repro-dragonfly run scenarios/smoke.json --workers 1 --out smoke.json
+    repro-dragonfly compare --arch switchless,dragonfly --pattern uniform
+    repro-dragonfly report smoke.json --csv smoke.csv
+    repro-dragonfly tables                    # Tables I, II, IV
+    repro-dragonfly layout                    # Fig. 9 floorplan summary
+    repro-dragonfly verify --policy reduced   # deadlock-freedom check
+
+``sweep`` remains as a deprecated alias of ``compare`` with a single
+architecture (it now honours ``--preset``).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from __future__ import annotations
 import argparse
 import logging
 import sys
+from pathlib import Path
 
 from .analysis import (
     format_table_i,
@@ -22,8 +28,23 @@ from .analysis import (
     format_table_iii,
     format_table_iv,
 )
+from .api import (
+    SCALES,
+    Study,
+    StudyResult,
+    build_study,
+    compare_scenario,
+    list_library,
+    load_study,
+)
 from .core import SwitchlessConfig, build_switchless
-from .engine import ExperimentSpec, ResultCache, run_experiments
+from .engine import (
+    ResultCache,
+    list_presets,
+    list_routings,
+    list_topologies,
+    list_traffics,
+)
 from .layout import plan_cgroup_layout
 from .network import SimParams
 from .routing import SwitchlessRouting, verify_deadlock_free
@@ -52,47 +73,125 @@ def _cmd_layout(_args) -> int:
     return 0
 
 
-def _cmd_sweep(args) -> int:
-    if args.verbose:
+# ----------------------------------------------------------------------
+# scenario-facade commands
+# ----------------------------------------------------------------------
+def _setup_logging(verbose: bool) -> None:
+    if verbose:
         logging.basicConfig(level=logging.DEBUG, format="%(message)s")
         logging.getLogger("repro.engine").setLevel(logging.DEBUG)
-    params = SimParams(
-        warmup_cycles=args.warmup, measure_cycles=args.measure,
-        drain_cycles=500, seed=args.seed,
-    )
-    if args.arch == "switchless":
-        topology = "switchless"
-        routing = "switchless"
-        routing_opts = {"mode": args.routing}
-    else:
-        topology = "dragonfly"
-        routing = "dragonfly"
-        routing_opts = {"mode": args.routing, "vc_spread": 2}
-    traffic_opts = {}
-    if args.scope == "local":
-        traffic_opts["scope"] = ("group", 0)
-    rates = [args.max_rate * (i + 1) / args.points for i in range(args.points)]
-    spec = ExperimentSpec.create(
-        topology=topology,
-        topology_opts={"preset": "small_equiv"},
-        routing=routing,
-        routing_opts=routing_opts,
-        traffic=args.pattern.replace("-", "_"),
-        traffic_opts=traffic_opts,
-        params=params,
-        rates=rates,
-        label=f"{args.arch}/{args.scope}/{args.pattern}",
-    )
+
+
+def _run_study(study, args) -> int:
+    """Shared run/report/export path of ``run``, ``compare``, ``sweep``."""
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    [sweep] = run_experiments(
-        [spec], workers=args.workers, cache=cache,
-    )
-    print(sweep.format_table())
+    result = study.run(workers=args.workers, cache=cache)
+    print(result.render())
     if cache is not None:
         print(
             f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
             f"({cache.root})"
         )
+    out = getattr(args, "out", None)
+    if out:
+        result.save(out)
+        print(f"# results written to {out}")
+    csv = getattr(args, "csv", None)
+    if csv:
+        Path(csv).write_text(result.to_csv())
+        print(f"# csv written to {csv}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    _setup_logging(args.verbose)
+    target = args.scenario
+    try:
+        if Path(target).is_file() or target.endswith(".json"):
+            study = load_study(target)
+        else:
+            study = build_study(target, scale=args.scale)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load {target!r}: {exc}", file=sys.stderr)
+        return 2
+    return _run_study(study, args)
+
+
+def _cmd_list(_args) -> int:
+    print("bundled scenarios (run with: repro-dragonfly run <name>):")
+    for name in list_library():
+        study = build_study(name, scale="quick")
+        print(
+            f"  {name:20s} {study.title}  "
+            f"[{len(study.scenarios)} scenario(s), {study.num_specs()} "
+            "curve(s)]"
+        )
+    print()
+    print("registered experiment kinds (repro.engine registries):")
+    print(f"  topologies   {', '.join(list_topologies())}")
+    print(f"  routings     {', '.join(list_routings())}")
+    print(f"  traffics     {', '.join(list_traffics())}")
+    print()
+    print("topology presets (topology_opts={'preset': ...}):")
+    for kind in list_topologies():
+        presets = list_presets(kind)
+        if presets:
+            print(f"  {kind:12s} {', '.join(presets)}")
+    return 0
+
+
+def _compare_rates(args):
+    return [
+        args.max_rate * (i + 1) / args.points for i in range(args.points)
+    ]
+
+
+def _compare_params(args) -> SimParams:
+    return SimParams(
+        warmup_cycles=args.warmup, measure_cycles=args.measure,
+        drain_cycles=500, seed=args.seed,
+    )
+
+
+def _cmd_compare(args) -> int:
+    _setup_logging(args.verbose)
+    arches = [a for a in args.arch.split(",") if a.strip()]
+    try:
+        scenario = compare_scenario(
+            arches,
+            pattern=args.pattern,
+            scope=args.scope,
+            preset=args.preset,
+            routing=args.routing,
+            rates=_compare_rates(args),
+            params=_compare_params(args),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _run_study(Study.wrap(scenario), args)
+
+
+def _cmd_sweep(args) -> int:
+    print(
+        "note: 'sweep' is deprecated; use "
+        "'repro-dragonfly compare --arch <arch>' (same flags, multiple "
+        "architectures) instead",
+        file=sys.stderr,
+    )
+    return _cmd_compare(args)
+
+
+def _cmd_report(args) -> int:
+    try:
+        result = StudyResult.load(args.results)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read {args.results}: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv())
+        print(f"# csv written to {args.csv}")
     return 0
 
 
@@ -109,6 +208,52 @@ def _cmd_verify(args) -> int:
     return 0 if ok else 1
 
 
+# ----------------------------------------------------------------------
+# argument wiring
+# ----------------------------------------------------------------------
+def _add_exec_args(parser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="simulation processes (default: REPRO_WORKERS or CPU count; "
+        "1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="reuse/store per-point results in this directory",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the StudyResult JSON here",
+    )
+    parser.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the flat per-point CSV here",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="engine progress logging")
+
+
+def _add_workload_args(parser) -> None:
+    parser.add_argument("--routing", choices=("minimal", "valiant"),
+                        default="minimal")
+    parser.add_argument("--scope", choices=("local", "global"),
+                        default="local")
+    parser.add_argument(
+        "--pattern", default="uniform",
+        help="traffic kind (see 'repro-dragonfly list'); hyphens accepted",
+    )
+    parser.add_argument(
+        "--preset", default="small_equiv",
+        help="SwitchlessConfig preset sizing the system "
+        "(see 'repro-dragonfly list')",
+    )
+    parser.add_argument("--points", type=int, default=6)
+    parser.add_argument("--max-rate", type=float, default=1.5)
+    parser.add_argument("--warmup", type=int, default=300)
+    parser.add_argument("--measure", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-dragonfly",
@@ -120,34 +265,54 @@ def main(argv=None) -> int:
     sub.add_parser("table3", help="print the Table III case study")
     sub.add_parser("layout", help="print the Fig. 9 layout summary")
 
-    sweep = sub.add_parser("sweep", help="latency-vs-load sweep")
+    run = sub.add_parser(
+        "run", help="run a bundled scenario or a scenario/study JSON file"
+    )
+    run.add_argument(
+        "scenario",
+        help="bundled study name (see 'list') or path to a "
+        "scenarios/*.json file",
+    )
+    run.add_argument(
+        "--scale", choices=SCALES, default="default",
+        help="system size / cycle count for bundled names "
+        "(ignored for files)",
+    )
+    _add_exec_args(run)
+
+    sub.add_parser(
+        "list",
+        help="bundled scenarios and registered topology/routing/traffic "
+        "kinds",
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare architectures under one workload"
+    )
+    compare.add_argument(
+        "--arch", default="switchless,dragonfly",
+        help="comma-separated list: switchless, switchless-2b, "
+        "switchless-4b, dragonfly",
+    )
+    _add_workload_args(compare)
+    _add_exec_args(compare)
+
+    report = sub.add_parser(
+        "report", help="render a saved StudyResult JSON file"
+    )
+    report.add_argument("results", help="path to a results JSON file")
+    report.add_argument(
+        "--csv", default=None, metavar="FILE",
+        help="also write the flat per-point CSV here",
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="(deprecated) single-architecture compare"
+    )
     sweep.add_argument("--arch", choices=("switchless", "dragonfly"),
                        default="switchless")
-    sweep.add_argument("--routing", choices=("minimal", "valiant"),
-                       default="minimal")
-    sweep.add_argument("--scope", choices=("local", "global"),
-                       default="local")
-    sweep.add_argument(
-        "--pattern",
-        choices=("uniform", "bit-reverse", "bit-shuffle", "bit-transpose"),
-        default="uniform",
-    )
-    sweep.add_argument("--points", type=int, default=6)
-    sweep.add_argument("--max-rate", type=float, default=1.5)
-    sweep.add_argument("--warmup", type=int, default=300)
-    sweep.add_argument("--measure", type=int, default=1000)
-    sweep.add_argument("--seed", type=int, default=0)
-    sweep.add_argument(
-        "--workers", type=int, default=None,
-        help="simulation processes (default: REPRO_WORKERS or CPU count; "
-        "1 = serial)",
-    )
-    sweep.add_argument(
-        "--cache-dir", default=None,
-        help="reuse/store per-point results in this directory",
-    )
-    sweep.add_argument("-v", "--verbose", action="store_true",
-                       help="engine progress logging")
+    _add_workload_args(sweep)
+    _add_exec_args(sweep)
 
     verify = sub.add_parser("verify", help="deadlock-freedom check")
     verify.add_argument("--policy", choices=("baseline", "reduced"),
@@ -159,6 +324,10 @@ def main(argv=None) -> int:
         "tables": _cmd_tables,
         "table3": _cmd_table3,
         "layout": _cmd_layout,
+        "run": _cmd_run,
+        "list": _cmd_list,
+        "compare": _cmd_compare,
+        "report": _cmd_report,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,
     }[args.command]

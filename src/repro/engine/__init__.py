@@ -18,6 +18,7 @@ from .executor import run_experiments, simulate_point, spec_saturation
 from .spec import (
     ExperimentSpec,
     build_experiment,
+    list_presets,
     list_routings,
     list_topologies,
     list_traffics,
@@ -32,6 +33,7 @@ __all__ = [
     "ExperimentSpec",
     "ResultCache",
     "build_experiment",
+    "list_presets",
     "list_routings",
     "list_topologies",
     "list_traffics",

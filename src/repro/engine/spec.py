@@ -55,6 +55,7 @@ __all__ = [
     "build_routing",
     "build_system",
     "build_traffic",
+    "list_presets",
     "list_routings",
     "list_topologies",
     "list_traffics",
@@ -148,6 +149,39 @@ def list_traffics() -> List[str]:
     return sorted(_TRAFFICS)
 
 
+def _lookup(table: Dict[str, Callable], kind: str, what: str) -> Callable:
+    """Resolve a registered kind, naming the alternatives on a miss."""
+    try:
+        return table[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown {what} kind {kind!r}; registered: {sorted(table)}"
+        ) from None
+
+
+#: topology kinds whose config classes carry named presets.
+_PRESET_CONFIGS = {
+    "switchless": SwitchlessConfig,
+    "dragonfly": DragonflyConfig,
+}
+
+
+def _presets_of(config_cls) -> List[str]:
+    """The public classmethod constructors of a config class — exactly
+    what ``topology_opts={"preset": name}`` resolves against."""
+    return sorted(
+        name
+        for name, member in vars(config_cls).items()
+        if isinstance(member, classmethod) and not name.startswith("_")
+    )
+
+
+def list_presets(topology: str) -> List[str]:
+    """Named config presets of a topology kind ([] if it has none)."""
+    cls = _PRESET_CONFIGS.get(topology)
+    return _presets_of(cls) if cls is not None else []
+
+
 # ----------------------------------------------------------------------
 # the spec itself
 # ----------------------------------------------------------------------
@@ -185,11 +219,7 @@ class ExperimentSpec:
             (routing, _ROUTINGS, "routing"),
             (traffic, _TRAFFICS, "traffic"),
         ):
-            if kind not in table:
-                raise ValueError(
-                    f"unknown {what} kind {kind!r}; "
-                    f"registered: {sorted(table)}"
-                )
+            _lookup(table, kind, what)
         return cls(
             topology=topology,
             routing=routing,
@@ -207,6 +237,54 @@ class ExperimentSpec:
 
     def with_label(self, label: str) -> "ExperimentSpec":
         return replace(self, label=label)
+
+    # -- declarative (JSON) form ---------------------------------------
+    def to_data(self) -> Dict:
+        """Plain-data view of the spec, the inverse of :meth:`from_data`.
+
+        Option tuples thaw back to the keyword dicts they froze from, so
+        the output is directly JSON-serialisable (tuples become lists;
+        :meth:`from_data` re-freezes either form identically).
+        """
+        return {
+            "topology": self.topology,
+            "topology_opts": _thaw_opts(self.topology_opts),
+            "routing": self.routing,
+            "routing_opts": _thaw_opts(self.routing_opts),
+            "traffic": self.traffic,
+            "traffic_opts": _thaw_opts(self.traffic_opts),
+            "params": {
+                k: getattr(self.params, k)
+                for k in self.params.__dataclass_fields__
+            },
+            "rates": list(self.rates),
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_data(cls, data: Dict) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_data` output (or hand-written
+        scenario-file JSON).  Unknown ``params`` keys are ignored so old
+        files survive new simulator knobs."""
+        params_data = data.get("params") or {}
+        params = SimParams(
+            **{
+                k: v
+                for k, v in params_data.items()
+                if k in SimParams.__dataclass_fields__
+            }
+        )
+        return cls.create(
+            topology=data["topology"],
+            topology_opts=data.get("topology_opts"),
+            routing=data["routing"],
+            routing_opts=data.get("routing_opts"),
+            traffic=data["traffic"],
+            traffic_opts=data.get("traffic_opts"),
+            params=params,
+            rates=data.get("rates", ()),
+            label=data.get("label", ""),
+        )
 
     # -- hashing -------------------------------------------------------
     def config_key(self) -> str:
@@ -260,19 +338,22 @@ def point_seed(spec: ExperimentSpec, rate: float) -> int:
 # ----------------------------------------------------------------------
 def build_system(spec: ExperimentSpec):
     """Build just the topology/system object of a spec."""
-    return _TOPOLOGIES[spec.topology](**_thaw_opts(spec.topology_opts))
+    factory = _lookup(_TOPOLOGIES, spec.topology, "topology")
+    return factory(**_thaw_opts(spec.topology_opts))
 
 
 def build_routing(spec: ExperimentSpec, system):
     """Build just the routing algorithm of a spec against ``system``."""
-    return _ROUTINGS[spec.routing](system, **_thaw_opts(spec.routing_opts))
+    factory = _lookup(_ROUTINGS, spec.routing, "routing")
+    return factory(system, **_thaw_opts(spec.routing_opts))
 
 
 def build_traffic(spec: ExperimentSpec, system):
     """Build just the traffic pattern of a spec against ``system``."""
+    factory = _lookup(_TRAFFICS, spec.traffic, "traffic")
     topts = _thaw_opts(spec.traffic_opts)
     scope = _resolve_scope(system, topts.pop("scope", None))
-    return _TRAFFICS[spec.traffic](system, scope, **topts)
+    return factory(system, scope, **topts)
 
 
 def build_experiment(spec: ExperimentSpec, system=None, routing=None):
@@ -318,9 +399,10 @@ def _config_from(config_cls, opts: Dict):
     preset = opts.pop("preset", None)
     if preset is not None:
         factory = getattr(config_cls, preset, None)
-        if factory is None:
+        if factory is None or not callable(factory):
             raise ValueError(
-                f"{config_cls.__name__} has no preset {preset!r}"
+                f"{config_cls.__name__} has no preset {preset!r}; "
+                f"available: {_presets_of(config_cls)}"
             )
         return factory(**opts)
     return config_cls(**opts)

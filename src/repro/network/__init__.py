@@ -3,8 +3,9 @@
 from .packet import Hop, Packet
 from .params import SimParams
 from .simulator import Simulator, run_simulation
-from .stats import SimResult
+from .stats import SIMRESULT_SCHEMA, SimResult
 from .sweep import (
+    LOADSWEEP_SCHEMA,
     LoadSweep,
     assemble_sweep,
     cutoff_walk,
@@ -18,7 +19,9 @@ __all__ = [
     "SimParams",
     "Simulator",
     "run_simulation",
+    "SIMRESULT_SCHEMA",
     "SimResult",
+    "LOADSWEEP_SCHEMA",
     "LoadSweep",
     "assemble_sweep",
     "cutoff_walk",

@@ -8,7 +8,12 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-__all__ = ["SimResult"]
+__all__ = ["SIMRESULT_SCHEMA", "SimResult"]
+
+#: stable schema tag stamped into serialised results; bump the version
+#: suffix on incompatible field changes so foreign/stale payloads are
+#: rejected instead of silently misread.
+SIMRESULT_SCHEMA = "repro.sim-result/v1"
 
 #: serialised scalar fields and the types they are restored as.
 _SIMRESULT_FIELDS = {
@@ -133,7 +138,7 @@ class SimResult:
 
     def to_dict(self) -> Dict:
         """JSON-serialisable view (NaNs encoded as ``None``)."""
-        out = {}
+        out = {"schema": SIMRESULT_SCHEMA}
         for name in _SIMRESULT_FIELDS:
             val = getattr(self, name)
             if isinstance(val, float) and math.isnan(val):
@@ -144,7 +149,16 @@ class SimResult:
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimResult":
-        """Inverse of :meth:`to_dict` (unknown keys are ignored)."""
+        """Inverse of :meth:`to_dict` (unknown keys are ignored).
+
+        Payloads written before schema tagging carry no ``schema`` key
+        and are accepted; a tag from a different schema is rejected.
+        """
+        schema = data.get("schema")
+        if schema is not None and schema != SIMRESULT_SCHEMA:
+            raise ValueError(
+                f"cannot read {schema!r} payload as {SIMRESULT_SCHEMA!r}"
+            )
         kwargs = {}
         for name, typ in _SIMRESULT_FIELDS.items():
             val = data[name]

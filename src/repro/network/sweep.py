@@ -11,12 +11,16 @@ from .simulator import Simulator
 from .stats import SimResult
 
 __all__ = [
+    "LOADSWEEP_SCHEMA",
     "LoadSweep",
     "assemble_sweep",
     "cutoff_walk",
     "find_saturation",
     "sweep_rates",
 ]
+
+#: stable schema tag for serialised sweeps (see SIMRESULT_SCHEMA).
+LOADSWEEP_SCHEMA = "repro.load-sweep/v1"
 
 
 @dataclass
@@ -56,6 +60,29 @@ class LoadSweep:
         for rate, acc, lat in self.rows():
             lines.append(f"{rate:7.3f}  {acc:8.3f}  {lat:11.1f}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view, schema-tagged like ``SimResult``."""
+        return {
+            "schema": LOADSWEEP_SCHEMA,
+            "label": self.label,
+            "rates": list(self.rates),
+            "results": [res.to_dict() for res in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LoadSweep":
+        """Inverse of :meth:`to_dict` (untagged payloads accepted)."""
+        schema = data.get("schema")
+        if schema is not None and schema != LOADSWEEP_SCHEMA:
+            raise ValueError(
+                f"cannot read {schema!r} payload as {LOADSWEEP_SCHEMA!r}"
+            )
+        return cls(
+            label=data.get("label", ""),
+            rates=[float(r) for r in data["rates"]],
+            results=[SimResult.from_dict(r) for r in data["results"]],
+        )
 
 
 def cutoff_walk(

@@ -1,0 +1,73 @@
+"""Bundled scenario library: registry, scales, file sync."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Study, build_study, list_library, load_study
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCENARIO_DIR = REPO_ROOT / "scenarios"
+
+FIGURES = [
+    "fig10_intra_cgroup",
+    "fig10_local",
+    "fig11_global",
+    "fig12_scalability",
+    "fig13_misrouting",
+    "fig14_allreduce",
+]
+
+
+def test_library_contains_the_paper_figures():
+    names = list_library()
+    assert set(FIGURES) <= set(names)
+    assert "smoke" in names
+
+
+@pytest.mark.parametrize("name", FIGURES + ["smoke"])
+def test_every_study_builds_and_round_trips(name):
+    for scale in ("quick", "default", "full"):
+        study = build_study(name, scale)
+        assert study.num_specs() > 0
+        clone = Study.from_data(json.loads(json.dumps(study.to_data())))
+        assert clone == study
+
+
+def test_unknown_study_lists_alternatives():
+    with pytest.raises(ValueError, match="fig10_local"):
+        build_study("fig99")
+
+
+def test_unknown_scale_rejected():
+    with pytest.raises(ValueError, match="scale"):
+        build_study("smoke", scale="enormous")
+
+
+@pytest.mark.parametrize("name", FIGURES + ["smoke"])
+def test_bundled_files_match_library(name):
+    """scenarios/*.json are the default-scale library, committed.
+
+    Regenerate with: python -m repro.api.library scenarios
+    """
+    path = SCENARIO_DIR / f"{name}.json"
+    assert path.exists(), f"missing {path}; regenerate the scenario files"
+    assert load_study(path) == build_study(name, scale="default")
+
+
+def test_quick_scale_thins_the_campaign():
+    quick = build_study("fig10_local", "quick")
+    default = build_study("fig10_local", "default")
+    assert len(quick.scenarios) < len(default.scenarios)
+    assert sum(
+        len(s.rates) for scn in quick.scenarios for s in scn.specs
+    ) < sum(len(s.rates) for scn in default.scenarios for s in scn.specs)
+
+
+def test_smoke_study_runs_fast():
+    result = build_study("smoke", "quick").run(workers=1)
+    scn = result["mesh-vs-switch"]
+    assert set(scn.labels()) == {"Switch", "2D-Mesh"}
+    for c in scn:
+        assert c.max_accepted > 0

@@ -7,6 +7,7 @@ import pytest
 from repro.engine import (
     ExperimentSpec,
     build_experiment,
+    list_presets,
     list_routings,
     list_topologies,
     list_traffics,
@@ -51,6 +52,22 @@ class TestRegistries:
         with pytest.raises(ValueError, match="unknown traffic"):
             mesh_spec(traffic="rush-hour")
 
+    def test_unknown_kind_at_realisation_lists_registered(self):
+        # a spec built around create() (e.g. unpickled from another
+        # session) must still fail with the registered names, not a
+        # bare KeyError
+        rogue = ExperimentSpec(
+            topology="torus9d", routing="xy_mesh", traffic="uniform"
+        )
+        with pytest.raises(ValueError, match="registered.*mesh"):
+            build_experiment(rogue)
+
+    def test_list_presets(self):
+        assert "small_equiv" in list_presets("switchless")
+        assert "radix16_equiv" in list_presets("switchless")
+        assert "radix16" in list_presets("dragonfly")
+        assert list_presets("mesh") == []
+
 
 class TestSpecValue:
     def test_hashable_and_picklable(self):
@@ -93,6 +110,29 @@ class TestSpecValue:
         # so create() refuses it outright
         with pytest.raises(TypeError, match="nested dict"):
             mesh_spec(topology_opts={"dim": 4, "extra": {"a": 1}})
+
+
+class TestDeclarativeForm:
+    def test_to_data_round_trip(self):
+        spec = mesh_spec(
+            traffic="ring_allreduce",
+            traffic_opts={"scope": "snake", "bidirectional": True},
+        )
+        clone = ExperimentSpec.from_data(spec.to_data())
+        assert clone == spec
+        assert clone.config_key() == spec.config_key()
+
+    def test_from_data_survives_json_lists(self):
+        import json
+
+        spec = mesh_spec(traffic_opts={"scope": ("nodes", [0, 3])})
+        data = json.loads(json.dumps(spec.to_data()))
+        assert ExperimentSpec.from_data(data) == spec
+
+    def test_from_data_ignores_unknown_params(self):
+        data = mesh_spec().to_data()
+        data["params"]["quantum_flux"] = 9
+        assert ExperimentSpec.from_data(data) == mesh_spec()
 
 
 class TestPointDerivation:

@@ -65,3 +65,26 @@ def test_zero_offered_never_saturated():
 def test_str_roundtrip():
     s = str(make())
     assert "rate=0.500" in s and "lat=" in s
+
+
+def test_to_dict_schema_tagged():
+    data = make().to_dict()
+    assert data["schema"] == "repro.sim-result/v1"
+    assert SimResult.from_dict(data) is not None
+
+
+def test_from_dict_accepts_untagged_legacy_payload():
+    data = make().to_dict()
+    del data["schema"]  # pre-tagging cache entries
+    assert SimResult.from_dict(data).offered_rate == 0.5
+
+
+def test_from_dict_rejects_foreign_schema():
+    data = make().to_dict()
+    data["schema"] = "someone-else/v3"
+    try:
+        SimResult.from_dict(data)
+    except ValueError as exc:
+        assert "someone-else/v3" in str(exc)
+    else:
+        raise AssertionError("foreign schema accepted")

@@ -60,3 +60,18 @@ def test_find_saturation_brackets_link_capacity():
     # each chip's single duplex link supports ~1 flit/cycle/chip minus
     # protocol losses
     assert 0.5 < sat < 1.6
+
+
+def test_loadsweep_dict_round_trip():
+    g, r, t = tiny_net()
+    sweep = sweep_rates(g, r, t, [0.1, 0.3], PARAMS, label="pair")
+    data = sweep.to_dict()
+    assert data["schema"] == "repro.load-sweep/v1"
+    from repro.network import LoadSweep
+
+    clone = LoadSweep.from_dict(data)
+    assert clone.label == sweep.label
+    assert clone.rates == sweep.rates
+    assert [res.to_dict() for res in clone.results] == [
+        res.to_dict() for res in sweep.results
+    ]

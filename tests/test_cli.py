@@ -1,8 +1,14 @@
 """CLI entry points."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SMOKE_FILE = str(REPO_ROOT / "scenarios" / "smoke.json")
 
 
 def test_tables(capsys):
@@ -29,6 +35,101 @@ def test_verify(capsys):
     assert "deadlock-free" in out
 
 
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig10_local" in out and "smoke" in out
+    assert "switchless" in out and "bit_reverse" in out
+    assert "small_equiv" in out
+
+
+def test_run_scenario_file(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    rc = main([
+        "run", SMOKE_FILE, "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"), "--out", str(out_file),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "offered" in out and "2D-Mesh" in out
+    data = json.loads(out_file.read_text())
+    assert data["schema"] == "repro.study-result/v1"
+
+
+def test_run_bundled_name(capsys, tmp_path):
+    rc = main([
+        "run", "smoke", "--scale", "quick", "--workers", "1",
+        "--csv", str(tmp_path / "res.csv"),
+    ])
+    assert rc == 0
+    assert "max accepted" in capsys.readouterr().out
+    header = (tmp_path / "res.csv").read_text().splitlines()[0]
+    assert header.startswith("scenario,curve,rate,")
+
+
+def test_run_unknown_name(capsys):
+    assert main(["run", "figuresque"]) == 2
+    assert "bundled" in capsys.readouterr().err
+
+
+def test_run_missing_file(capsys):
+    assert main(["run", "no/such/scenario.json"]) == 2
+    assert "cannot load" in capsys.readouterr().err
+
+
+def test_run_malformed_file(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "martian/v7"}')
+    assert main(["run", str(bad)]) == 2
+    assert "martian/v7" in capsys.readouterr().err
+
+
+def test_cli_run_matches_python_study(capsys, tmp_path):
+    """Acceptance: CLI file run == Python Study.run, modulo meta."""
+    from repro.api import load_study
+
+    out_file = tmp_path / "cli.json"
+    assert main(["run", SMOKE_FILE, "--workers", "1",
+                 "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    cli_data = json.loads(out_file.read_text())
+    py_data = load_study(SMOKE_FILE).run(workers=1).to_dict()
+    cli_data.pop("meta"), py_data.pop("meta")
+    assert cli_data == py_data
+
+
+def test_report_round_trip(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    assert main(["run", SMOKE_FILE, "--workers", "1",
+                 "--out", str(out_file)]) == 0
+    capsys.readouterr()
+    csv_file = tmp_path / "res.csv"
+    assert main(["report", str(out_file), "--csv", str(csv_file)]) == 0
+    out = capsys.readouterr().out
+    assert "2D-Mesh" in out
+    assert csv_file.read_text().count("\n") >= 3
+
+
+def test_report_missing_file(capsys, tmp_path):
+    assert main(["report", str(tmp_path / "nope.json")]) == 2
+    assert "cannot read" in capsys.readouterr().err
+
+
+def test_compare_smoke(capsys):
+    rc = main([
+        "compare", "--arch", "switchless", "--scope", "local",
+        "--points", "2", "--max-rate", "0.4",
+        "--warmup", "100", "--measure", "250",
+    ])
+    assert rc == 0
+    assert "offered" in capsys.readouterr().out
+
+
+def test_compare_rejects_unknown_arch(capsys):
+    assert main(["compare", "--arch", "torus9d", "--points", "1"]) == 2
+    assert "unknown architecture" in capsys.readouterr().err
+
+
 def test_sweep_smoke(capsys):
     rc = main([
         "sweep", "--arch", "switchless", "--scope", "local",
@@ -36,7 +137,25 @@ def test_sweep_smoke(capsys):
         "--warmup", "100", "--measure", "250",
     ])
     assert rc == 0
-    assert "offered" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert "offered" in captured.out
+    assert "deprecated" in captured.err
+
+
+def test_sweep_preset_flag(capsys):
+    rc = main([
+        "sweep", "--arch", "switchless", "--scope", "local",
+        "--preset", "radix8_equiv",
+        "--points", "2", "--max-rate", "0.4",
+        "--warmup", "100", "--measure", "250",
+    ])
+    assert rc == 0
+    assert "radix8_equiv" in capsys.readouterr().out
+
+
+def test_sweep_bad_preset(capsys):
+    assert main(["sweep", "--preset", "bogus", "--points", "1"]) == 2
+    assert "available" in capsys.readouterr().err
 
 
 def test_unknown_command():
