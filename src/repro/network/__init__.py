@@ -1,8 +1,12 @@
 """Cycle-accurate virtual-channel network simulator (CNSim substitute)."""
 
+from .native import NativeCore, native_available
 from .packet import Hop, Packet
 from .params import SimParams
-from .simulator import Simulator, run_simulation
+from .refcore import ReferenceCore
+from .schedule import InjectionSchedule, build_injection_schedule
+from .simcore import ArrayCore
+from .simulator import CORE_ENV, Simulator, run_simulation
 from .stats import SIMRESULT_SCHEMA, SimResult
 from .sweep import (
     LOADSWEEP_SCHEMA,
@@ -19,6 +23,13 @@ __all__ = [
     "SimParams",
     "Simulator",
     "run_simulation",
+    "CORE_ENV",
+    "ArrayCore",
+    "NativeCore",
+    "native_available",
+    "ReferenceCore",
+    "InjectionSchedule",
+    "build_injection_schedule",
     "SIMRESULT_SCHEMA",
     "SimResult",
     "LOADSWEEP_SCHEMA",

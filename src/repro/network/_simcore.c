@@ -1,0 +1,491 @@
+/* Native kernel for the struct-of-arrays simulator core.
+ *
+ * Compiled on demand by repro.network.native with a plain
+ * ``cc -O2 -shared -fPIC`` (no Python headers), loaded via ctypes.
+ * All state lives in caller-owned int64 buffers, so a core instance
+ * can run() repeatedly (drain leftovers persist) and Python can
+ * inspect buffers for conservation checks.
+ *
+ * The cycle model replicates repro.network.refcore.ReferenceCore
+ * exactly — phases, per-output round-robin over candidate inputs in
+ * input-insertion order, multi-pass grants for capacity > 1, wormhole
+ * VC ownership, credit flow — so that, given the same injection
+ * schedule and pre-resolved packet table, results are bit-identical
+ * to both Python cores.  The Python wrapper pre-resolves every
+ * packet's destination and route (the only consumers of the stdlib
+ * RNG stream) in schedule order, so this kernel needs no callbacks.
+ *
+ * Flit words use the Python core's packing, minus the event tag that
+ * would overflow 64 bits: f = (pid << 22) | (flit_idx << 11) | hop.
+ * Wheel events are parallel (flit, lv) arrays.
+ */
+
+#include <stdint.h>
+
+typedef int64_t i64;
+
+#define HOP_BITS 11
+#define FIDX_SHIFT 11
+#define PID_SHIFT 22
+#define HOP_MASK ((1 << HOP_BITS) - 1)
+#define FIDX_MASK ((1 << (PID_SHIFT - FIDX_SHIFT)) - 1)
+
+/* Everything the kernel touches; mirrored field-for-field by the
+ * ctypes.Structure in repro.network.native.  int64 scalars first,
+ * then pointers, to keep the layout trivially predictable. */
+typedef struct {
+    /* sizes and parameters */
+    i64 num_nodes;
+    i64 num_links;
+    i64 num_lv;
+    i64 wheel_size;
+    i64 slot_cap;   /* per-wheel-slot event capacity */
+    i64 buf_cap;    /* flits per (link, vc) ring == vc_buffer_size */
+    i64 max_in;     /* max inbound (link, vc) inputs of any router */
+    i64 pkt_len;
+    i64 inj_w;
+    i64 ej_w;
+    i64 warm;
+    i64 meas_end;
+    i64 t_end;
+    i64 t0;         /* first cycle of this run (continues prior runs) */
+    /* injection events (pre-resolved packets, schedule order) */
+    i64 n_ev;
+    /* outputs / running counters (read-modify-write) */
+    i64 n_lat;
+    i64 tfi;
+    i64 tfe;
+    i64 pm;
+    i64 few;
+    i64 hot_n;
+    i64 error;      /* 0 ok; 1 wheel overflow; 2 ne overflow */
+
+    /* per-link / per-lv constants */
+    i64 *cap;        /* [num_links] flits per cycle */
+    i64 *lv_dst;     /* [num_lv] destination router */
+    i64 *cap_lv;     /* [num_lv] upstream link capacity */
+    i64 *cdel_lv;    /* [num_lv] credit return delay */
+    /* mutable per-lv state */
+    i64 *credits;    /* [num_lv] */
+    i64 *owner;      /* [num_lv] owning pid, -1 free */
+    i64 *buf;        /* [num_lv * buf_cap] flit rings */
+    i64 *b_head;     /* [num_lv] ring head index */
+    i64 *b_len;      /* [num_lv] ring occupancy */
+    /* per-router input bookkeeping (insertion-ordered, like the
+     * Python cores' nonempty dicts) */
+    i64 *ne_arr;     /* [num_nodes * max_in] */
+    i64 *ne_len;     /* [num_nodes] */
+    /* source queues: one arena, per-node slices */
+    i64 *sq_arena;   /* [sum of per-node capacities] pids */
+    i64 *sq_off;     /* [num_nodes] arena offset */
+    i64 *sq_head;    /* [num_nodes] index into slice */
+    i64 *sq_len;     /* [num_nodes] */
+    i64 *s_fidx;     /* [num_nodes] next flit idx of queue head */
+    /* event wheels: parallel (flit, lv) arrays per slot */
+    i64 *aw_f;       /* [wheel_size * slot_cap] arrival flits */
+    i64 *aw_lv;      /* [wheel_size * slot_cap] arrival lvs */
+    i64 *aw_n;       /* [wheel_size] */
+    i64 *cw_lv;      /* [wheel_size * slot_cap] credit lvs */
+    i64 *cw_n;       /* [wheel_size] */
+    /* round-robin pointers */
+    i64 *rr_link;    /* [num_links] */
+    i64 *rr_eject;   /* [num_nodes] */
+    /* hot-router machinery */
+    i64 *hot_a;      /* [num_nodes] current list */
+    i64 *hot_b;      /* [num_nodes] next list */
+    unsigned char *hot_flag; /* [num_nodes] */
+    /* packet table and flattened routes (read-only here) */
+    i64 *p_off;      /* [num_packets] route offset */
+    i64 *p_hops;     /* [num_packets] route length */
+    i64 *p_t0;       /* [num_packets] creation cycle */
+    i64 *p_meas;     /* [num_packets] created in window */
+    i64 *route_lv;   /* per-hop (link*V + vc) */
+    i64 *route_link; /* per-hop link id */
+    i64 *route_delay;/* per-hop in-flight delay */
+    /* injection events */
+    i64 *ev_cycle;   /* [n_ev] sorted */
+    i64 *ev_src;     /* [n_ev] */
+    i64 *ev_pid;     /* [n_ev] */
+    /* measurement output */
+    i64 *lat_out;    /* [>= packets] */
+    i64 *hops_out;   /* [>= packets] */
+    /* scratch (max_in + 1 each) */
+    i64 *sc_desc;
+    i64 *sc_key;
+    i64 *sc_cand;
+    i64 *sc_used;
+} S;
+
+/* drop input lv from router r's insertion-ordered list */
+static void ne_remove(S *s, i64 r, i64 lv)
+{
+    i64 *a = s->ne_arr + r * s->max_in;
+    i64 n = s->ne_len[r];
+    for (i64 i = 0; i < n; i++) {
+        if (a[i] == lv) {
+            for (i64 j = i + 1; j < n; j++)
+                a[j - 1] = a[j];
+            s->ne_len[r] = n - 1;
+            return;
+        }
+    }
+}
+
+i64 sim_run(S *s)
+{
+    const i64 W = s->wheel_size, SC = s->slot_cap, BC = s->buf_cap;
+    const i64 pkt_len = s->pkt_len, szm1 = pkt_len - 1;
+    const i64 inj_w = s->inj_w, ej_w = s->ej_w;
+    const i64 warm = s->warm, meas_end = s->meas_end, t_end = s->t_end;
+    const i64 n_ev = s->n_ev;
+
+    i64 *hot = s->hot_a, *nxt = s->hot_b;
+    i64 hot_n = s->hot_n, nxt_n;
+    i64 tfi = s->tfi, tfe = s->tfe, pm = s->pm, few = s->few;
+    i64 n_lat = s->n_lat;
+    i64 ipk = 0;
+
+    i64 pending = 0;
+    for (i64 i = 0; i < W; i++)
+        pending += s->aw_n[i] + s->cw_n[i];
+
+    for (i64 t = s->t0; t < t_end; ) {
+        i64 slot = t % W;
+        int in_window = (warm <= t) && (t < meas_end);
+
+        /* --- 1. credit returns ----------------------------------- */
+        {
+            i64 n = s->cw_n[slot];
+            if (n) {
+                i64 *lvs = s->cw_lv + slot * SC;
+                for (i64 i = 0; i < n; i++)
+                    s->credits[lvs[i]] += 1;
+                pending -= n;
+                s->cw_n[slot] = 0;
+            }
+        }
+
+        /* --- 2. flit arrivals ------------------------------------ */
+        {
+            i64 n = s->aw_n[slot];
+            if (n) {
+                i64 *fs = s->aw_f + slot * SC;
+                i64 *lvs = s->aw_lv + slot * SC;
+                for (i64 i = 0; i < n; i++) {
+                    i64 lv = lvs[i];
+                    i64 bl = s->b_len[lv];
+                    if (bl == 0) {
+                        i64 r = s->lv_dst[lv];
+                        if (s->ne_len[r] >= s->max_in) {
+                            s->error = 2;
+                            goto out;
+                        }
+                        s->ne_arr[r * s->max_in + s->ne_len[r]++] = lv;
+                        if (!s->hot_flag[r]) {
+                            s->hot_flag[r] = 1;
+                            hot[hot_n++] = r;
+                        }
+                    }
+                    s->buf[lv * BC + (s->b_head[lv] + bl) % BC] = fs[i];
+                    s->b_len[lv] = bl + 1;
+                }
+                pending -= n;
+                s->aw_n[slot] = 0;
+            }
+        }
+
+        /* --- 3. packet generation (pre-resolved schedule) -------- */
+        while (ipk < n_ev && s->ev_cycle[ipk] <= t) {
+            i64 pid = s->ev_pid[ipk];
+            i64 src = s->ev_src[ipk];
+            ipk++;
+            if (s->p_meas[pid])
+                pm++;
+            if (s->p_hops[pid] == 0) {
+                /* src and dst share a router: deliver instantly */
+                tfi += pkt_len;
+                tfe += pkt_len;
+                if (s->p_meas[pid]) {
+                    few += pkt_len;
+                    s->lat_out[n_lat] = 0;
+                    s->hops_out[n_lat] = 0;
+                    n_lat++;
+                }
+                continue;
+            }
+            if (s->sq_len[src] == 0)
+                s->s_fidx[src] = 0;
+            s->sq_arena[s->sq_off[src] + s->sq_head[src] + s->sq_len[src]]
+                = pid;
+            s->sq_len[src] += 1;
+            if (!s->hot_flag[src]) {
+                s->hot_flag[src] = 1;
+                hot[hot_n++] = src;
+            }
+        }
+
+        /* --- 4. arbitration -------------------------------------- */
+        nxt_n = 0;
+        for (i64 hi = 0; hi < hot_n; hi++) {
+            i64 r = hot[hi];
+            i64 nin = s->ne_len[r];
+            i64 sqn = s->sq_len[r];
+            if (nin == 0 && sqn == 0) {
+                s->hot_flag[r] = 0;
+                continue;
+            }
+
+            /* collect requests: descriptor (lv, or -2 for the source
+             * queue) + requested output key, in the Python cores'
+             * order: nonempty inputs first (insertion order), source
+             * last.  Key -1 is the ejection port. */
+            i64 *desc = s->sc_desc, *dkey = s->sc_key;
+            i64 nd = 0;
+            i64 *nearr = s->ne_arr + r * s->max_in;
+            for (i64 i = 0; i < nin; i++) {
+                i64 lv = nearr[i];
+                i64 f = s->buf[lv * BC + s->b_head[lv]];
+                i64 pid = f >> PID_SHIFT;
+                i64 nh = (f & HOP_MASK) + 1;
+                desc[nd] = lv;
+                dkey[nd] = (nh == s->p_hops[pid])
+                    ? -1
+                    : s->route_link[s->p_off[pid] + nh];
+                nd++;
+            }
+            if (sqn) {
+                i64 pid = s->sq_arena[s->sq_off[r] + s->sq_head[r]];
+                desc[nd] = -2;
+                dkey[nd] = s->route_link[s->p_off[pid]];
+                nd++;
+            }
+
+            /* process each output key once, in first-seen order */
+            for (i64 i = 0; i < nd; i++) {
+                i64 key = dkey[i];
+                int seen = 0;
+                for (i64 j = 0; j < i; j++)
+                    if (dkey[j] == key) {
+                        seen = 1;
+                        break;
+                    }
+                if (seen)
+                    continue;
+                i64 *cand = s->sc_cand;
+                i64 cn = 0;
+                for (i64 j = i; j < nd; j++)
+                    if (dkey[j] == key)
+                        cand[cn++] = desc[j];
+
+                i64 budget = (key < 0) ? ej_w : s->cap[key];
+                if (cn > 1) {
+                    i64 off;
+                    if (key < 0) {
+                        off = s->rr_eject[r];
+                        s->rr_eject[r] = off + 1;
+                    } else {
+                        off = s->rr_link[key];
+                        s->rr_link[key] = off + 1;
+                    }
+                    off %= cn;
+                    if (off) {
+                        /* rotate candidates for round-robin fairness */
+                        i64 *tmp = s->sc_used;
+                        for (i64 j = 0; j < cn; j++)
+                            tmp[j] = cand[(off + j) % cn];
+                        for (i64 j = 0; j < cn; j++)
+                            cand[j] = tmp[j];
+                    }
+                }
+
+                i64 *used = s->sc_used;
+                for (i64 j = 0; j < cn; j++)
+                    used[j] = 0;
+                i64 granted = 0;
+                for (i64 pass = 0; pass < budget; pass++) {
+                    int progressed = 0;
+                    for (i64 ci = 0; ci < cn; ci++) {
+                        if (granted >= budget)
+                            break;
+                        i64 d = cand[ci];
+                        if (d < 0) {
+                            /* source queue head */
+                            if (s->sq_len[r] == 0)
+                                continue;
+                            i64 pid = s->sq_arena[
+                                s->sq_off[r] + s->sq_head[r]];
+                            i64 base = s->p_off[pid];
+                            if (s->route_link[base] != key)
+                                continue;
+                            if (budget > 1 && used[ci] >= inj_w)
+                                continue;
+                            i64 fidx = s->s_fidx[r];
+                            i64 nlv = s->route_lv[base];
+                            if (s->credits[nlv] <= 0)
+                                continue;
+                            i64 own = s->owner[nlv];
+                            if (fidx == 0 ? own != -1 : own != pid)
+                                continue;
+                            tfi++;
+                            s->credits[nlv] -= 1;
+                            s->owner[nlv] = (fidx == szm1) ? -1 : pid;
+                            {
+                                i64 dslot =
+                                    (t + s->route_delay[base]) % W;
+                                i64 n2 = s->aw_n[dslot];
+                                if (n2 >= SC) {
+                                    s->error = 1;
+                                    goto out;
+                                }
+                                s->aw_f[dslot * SC + n2] =
+                                    (pid << PID_SHIFT)
+                                    | (fidx << FIDX_SHIFT);
+                                s->aw_lv[dslot * SC + n2] = nlv;
+                                s->aw_n[dslot] = n2 + 1;
+                            }
+                            pending++;
+                            if (fidx + 1 == pkt_len) {
+                                s->sq_head[r] += 1;
+                                s->sq_len[r] -= 1;
+                                s->s_fidx[r] = 0;
+                            } else {
+                                s->s_fidx[r] = fidx + 1;
+                            }
+                        } else {
+                            i64 bl = s->b_len[d];
+                            if (bl == 0)
+                                continue;
+                            i64 f = s->buf[d * BC + s->b_head[d]];
+                            i64 pid = f >> PID_SHIFT;
+                            i64 fidx = (f >> FIDX_SHIFT) & FIDX_MASK;
+                            i64 nh = (f & HOP_MASK) + 1;
+                            if (nh == s->p_hops[pid]) {
+                                /* eject (key must match) */
+                                if (key >= 0)
+                                    continue;
+                                if (budget > 1
+                                    && used[ci] >= s->cap_lv[d])
+                                    continue;
+                                s->b_head[d] =
+                                    (s->b_head[d] + 1) % BC;
+                                s->b_len[d] = bl - 1;
+                                if (bl == 1)
+                                    ne_remove(s, r, d);
+                                {
+                                    i64 dslot =
+                                        (t + s->cdel_lv[d]) % W;
+                                    i64 n2 = s->cw_n[dslot];
+                                    if (n2 >= SC) {
+                                        s->error = 1;
+                                        goto out;
+                                    }
+                                    s->cw_lv[dslot * SC + n2] = d;
+                                    s->cw_n[dslot] = n2 + 1;
+                                }
+                                pending++;
+                                tfe++;
+                                if (in_window)
+                                    few++;
+                                if (fidx == szm1 && s->p_meas[pid]) {
+                                    s->lat_out[n_lat] =
+                                        t - s->p_t0[pid];
+                                    s->hops_out[n_lat] =
+                                        s->p_hops[pid];
+                                    n_lat++;
+                                }
+                            } else {
+                                i64 base = s->p_off[pid] + nh;
+                                if (s->route_link[base] != key)
+                                    continue;
+                                if (budget > 1
+                                    && used[ci] >= s->cap_lv[d])
+                                    continue;
+                                i64 nlv = s->route_lv[base];
+                                if (s->credits[nlv] <= 0)
+                                    continue;
+                                i64 own = s->owner[nlv];
+                                if (fidx == 0 ? own != -1 : own != pid)
+                                    continue;
+                                s->b_head[d] =
+                                    (s->b_head[d] + 1) % BC;
+                                s->b_len[d] = bl - 1;
+                                if (bl == 1)
+                                    ne_remove(s, r, d);
+                                {
+                                    i64 dslot =
+                                        (t + s->cdel_lv[d]) % W;
+                                    i64 n2 = s->cw_n[dslot];
+                                    if (n2 >= SC) {
+                                        s->error = 1;
+                                        goto out;
+                                    }
+                                    s->cw_lv[dslot * SC + n2] = d;
+                                    s->cw_n[dslot] = n2 + 1;
+                                }
+                                s->credits[nlv] -= 1;
+                                s->owner[nlv] =
+                                    (fidx == szm1) ? -1 : pid;
+                                {
+                                    i64 dslot =
+                                        (t + s->route_delay[base]) % W;
+                                    i64 n2 = s->aw_n[dslot];
+                                    if (n2 >= SC) {
+                                        s->error = 1;
+                                        goto out;
+                                    }
+                                    s->aw_f[dslot * SC + n2] = f + 1;
+                                    s->aw_lv[dslot * SC + n2] = nlv;
+                                    s->aw_n[dslot] = n2 + 1;
+                                }
+                                pending += 2;
+                            }
+                        }
+                        if (budget > 1)
+                            used[ci] += 1;
+                        granted++;
+                        progressed = 1;
+                    }
+                    if (!progressed || granted >= budget)
+                        break;
+                }
+            }
+
+            if (s->ne_len[r] || s->sq_len[r]) {
+                nxt[nxt_n++] = r;
+            } else {
+                s->hot_flag[r] = 0;
+            }
+        }
+
+        /* swap hot lists */
+        {
+            i64 *tl = hot;
+            hot = nxt;
+            nxt = tl;
+            hot_n = nxt_n;
+        }
+
+        t++;
+        /* --- idle fast-forward ----------------------------------- */
+        if (hot_n == 0 && pending == 0) {
+            if (ipk < n_ev)
+                t = s->ev_cycle[ipk];
+            else
+                break;
+        }
+    }
+
+out:
+    /* persist the hot list in hot_a for the next run() */
+    if (hot != s->hot_a) {
+        for (i64 i = 0; i < hot_n; i++)
+            s->hot_a[i] = hot[i];
+    }
+    s->hot_n = hot_n;
+    s->tfi = tfi;
+    s->tfe = tfe;
+    s->pm = pm;
+    s->few = few;
+    s->n_lat = n_lat;
+    return s->error;
+}

@@ -1,0 +1,515 @@
+"""Compiled kernel for the struct-of-arrays simulator core.
+
+The pure-Python :class:`~repro.network.simcore.ArrayCore` already lays
+every piece of hot state out as flat integer arrays — which makes the
+inner loop mechanically portable to C.  This module compiles
+``_simcore.c`` on demand (plain ``cc -O2 -shared -fPIC``; no Python
+headers, no build-system dependency), loads it via :mod:`ctypes`, and
+wraps it as :class:`NativeCore`.
+
+The enabling observation is that the stdlib RNG stream is consumed
+*only* by destination and route choice, in injection-schedule order —
+so the whole packet table (destinations, flattened routes, creation
+cycles) can be resolved in Python before the hot loop starts, and the
+C kernel runs the entire warmup+measure+drain window without a single
+callback.  Given the same schedule the kernel replicates the Python
+cores' cycle semantics exactly, so ``NativeCore`` produces
+**bit-identical** :class:`~repro.network.stats.SimResult`\\ s to
+``ArrayCore`` (asserted by ``tests/network/test_core_equivalence.py``).
+
+When no C compiler is available the loader returns ``None`` and
+:class:`~repro.network.simulator.Simulator` silently falls back to the
+pure-Python array core; nothing in the public API changes.  Set
+``REPRO_SIM_CORE=array`` (or ``native``/``reference``) to pin a core,
+and ``REPRO_NATIVE_CACHE`` to relocate the compiled-object cache.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from .simcore import ArrayCore
+from .schedule import InjectionSchedule, build_injection_schedule
+from .stats import SimResult
+
+__all__ = ["NativeCore", "load_native", "native_available"]
+
+_C_SOURCE = Path(__file__).with_name("_simcore.c")
+
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_u8p = ctypes.POINTER(ctypes.c_uint8)
+
+
+class _SimState(ctypes.Structure):
+    """Mirror of ``struct S`` in ``_simcore.c`` (same field order)."""
+
+    _fields_ = [
+        ("num_nodes", ctypes.c_int64),
+        ("num_links", ctypes.c_int64),
+        ("num_lv", ctypes.c_int64),
+        ("wheel_size", ctypes.c_int64),
+        ("slot_cap", ctypes.c_int64),
+        ("buf_cap", ctypes.c_int64),
+        ("max_in", ctypes.c_int64),
+        ("pkt_len", ctypes.c_int64),
+        ("inj_w", ctypes.c_int64),
+        ("ej_w", ctypes.c_int64),
+        ("warm", ctypes.c_int64),
+        ("meas_end", ctypes.c_int64),
+        ("t_end", ctypes.c_int64),
+        ("t0", ctypes.c_int64),
+        ("n_ev", ctypes.c_int64),
+        ("n_lat", ctypes.c_int64),
+        ("tfi", ctypes.c_int64),
+        ("tfe", ctypes.c_int64),
+        ("pm", ctypes.c_int64),
+        ("few", ctypes.c_int64),
+        ("hot_n", ctypes.c_int64),
+        ("error", ctypes.c_int64),
+        ("cap", _i64p),
+        ("lv_dst", _i64p),
+        ("cap_lv", _i64p),
+        ("cdel_lv", _i64p),
+        ("credits", _i64p),
+        ("owner", _i64p),
+        ("buf", _i64p),
+        ("b_head", _i64p),
+        ("b_len", _i64p),
+        ("ne_arr", _i64p),
+        ("ne_len", _i64p),
+        ("sq_arena", _i64p),
+        ("sq_off", _i64p),
+        ("sq_head", _i64p),
+        ("sq_len", _i64p),
+        ("s_fidx", _i64p),
+        ("aw_f", _i64p),
+        ("aw_lv", _i64p),
+        ("aw_n", _i64p),
+        ("cw_lv", _i64p),
+        ("cw_n", _i64p),
+        ("rr_link", _i64p),
+        ("rr_eject", _i64p),
+        ("hot_a", _i64p),
+        ("hot_b", _i64p),
+        ("hot_flag", _u8p),
+        ("p_off", _i64p),
+        ("p_hops", _i64p),
+        ("p_t0", _i64p),
+        ("p_meas", _i64p),
+        ("route_lv", _i64p),
+        ("route_link", _i64p),
+        ("route_delay", _i64p),
+        ("ev_cycle", _i64p),
+        ("ev_src", _i64p),
+        ("ev_pid", _i64p),
+        ("lat_out", _i64p),
+        ("hops_out", _i64p),
+        ("sc_desc", _i64p),
+        ("sc_key", _i64p),
+        ("sc_cand", _i64p),
+        ("sc_used", _i64p),
+    ]
+
+
+def _find_cc() -> Optional[str]:
+    for cand in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cand and shutil.which(cand):
+            return cand
+    return None
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_NATIVE_CACHE")
+    if env:
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return Path(base) / "repro-dragonfly"
+
+
+def _compile_library() -> Optional[Path]:
+    """Compile ``_simcore.c`` into the cache, reusing prior builds."""
+    cc = _find_cc()
+    if cc is None or not _C_SOURCE.is_file():
+        return None
+    source = _C_SOURCE.read_bytes()
+    tag = hashlib.sha256(
+        source + sysconfig.get_platform().encode()
+    ).hexdigest()[:16]
+    cache = _cache_dir()
+    out = cache / f"_simcore-{tag}.so"
+    if out.is_file():
+        return out
+    tmp = None
+    try:
+        cache.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+        os.close(fd)
+        cmd = [cc, "-O2", "-shared", "-fPIC", str(_C_SOURCE), "-o", tmp]
+        res = subprocess.run(
+            cmd,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            timeout=120,
+        )
+        if res.returncode != 0:
+            return None
+        os.replace(tmp, out)  # atomic: concurrent builders race safely
+        tmp = None
+        return out
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+_LIB = None
+_LIB_TRIED = False
+
+
+def load_native():
+    """Compile (once) and load the kernel; ``None`` if unavailable."""
+    global _LIB, _LIB_TRIED
+    if _LIB_TRIED:
+        return _LIB
+    _LIB_TRIED = True
+    path = _compile_library()
+    if path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(path))
+        lib.sim_run.argtypes = [ctypes.POINTER(_SimState)]
+        lib.sim_run.restype = ctypes.c_int64
+    except OSError:
+        return None
+    _LIB = lib
+    return _LIB
+
+
+def native_available() -> bool:
+    """True when the compiled kernel can be (or has been) loaded."""
+    return load_native() is not None
+
+
+def _zeros(n: int) -> np.ndarray:
+    return np.zeros(max(1, int(n)), dtype=np.int64)
+
+
+def _as_i64(values) -> np.ndarray:
+    arr = np.ascontiguousarray(values, dtype=np.int64)
+    return arr if arr.size else _zeros(0)
+
+
+def _ptr(arr: np.ndarray):
+    return arr.ctypes.data_as(_i64p)
+
+
+class NativeCore(ArrayCore):
+    """Array core whose hot loop runs in the compiled kernel.
+
+    Construction, route resolution, scheduling and measurement stay in
+    Python (inherited from :class:`ArrayCore`); only the per-cycle loop
+    is delegated.  Results are bit-identical to the pure-Python core.
+    Raises :class:`RuntimeError` when the kernel cannot be compiled —
+    callers that want a fallback should check :func:`native_available`
+    first (as :class:`~repro.network.simulator.Simulator` does).
+    """
+
+    def __init__(self, graph, routing, traffic, params) -> None:
+        super().__init__(graph, routing, traffic, params)
+        lib = load_native()
+        if lib is None:
+            raise RuntimeError(
+                "native simulation core unavailable "
+                "(no C compiler or compilation failed); "
+                "use core='array' instead"
+            )
+        self._lib = lib
+
+        num_nodes = graph.num_nodes
+        num_lv = self._num_lv
+        B = params.vc_buffer_size
+
+        indeg = [0] * num_nodes
+        for link in graph.links:
+            indeg[link.dst] += 1
+        self._max_in = max(1, max(indeg, default=0) * self.num_vcs)
+
+        # Per-wheel-slot capacity.  Arrivals delivered in one cycle are
+        # bounded by the sum of link capacities (one issuing cycle per
+        # link and slot).  Credit returns fold *different* issuing
+        # cycles into one slot when links have different latencies, but
+        # per issuing cycle each of a link's num_vcs buffers pops at
+        # most `capacity` flits, so num_vcs * sum(cap) bounds both.
+        slot_cap = self.num_vcs * sum(self._cap) + num_nodes * max(
+            params.ejection_width, params.injection_width
+        ) + 8
+        self._slot_cap = slot_cap
+        W = self._wheel_size
+
+        self._n_cap = _as_i64(self._cap)
+        self._n_lv_dst = _as_i64(self._lv_dst)
+        self._n_cap_lv = _as_i64(self._cap_lv)
+        self._n_cdel_lv = _as_i64(self._credit_delay_lv)
+        self._n_credits = np.full(num_lv, B, dtype=np.int64)
+        self._n_owner = np.full(num_lv, -1, dtype=np.int64)
+        self._n_buf = _zeros(num_lv * B)
+        self._n_b_head = _zeros(num_lv)
+        self._n_b_len = _zeros(num_lv)
+        self._n_ne_arr = _zeros(num_nodes * self._max_in)
+        self._n_ne_len = _zeros(num_nodes)
+        self._n_sq_arena = _zeros(0)
+        self._n_sq_off = _zeros(num_nodes)
+        self._n_sq_head = _zeros(num_nodes)
+        self._n_sq_len = _zeros(num_nodes)
+        self._n_s_fidx = _zeros(num_nodes)
+        self._n_aw_f = _zeros(W * slot_cap)
+        self._n_aw_lv = _zeros(W * slot_cap)
+        self._n_aw_n = _zeros(W)
+        self._n_cw_lv = _zeros(W * slot_cap)
+        self._n_cw_n = _zeros(W)
+        self._n_rr_link = _zeros(graph.num_links)
+        self._n_rr_eject = _zeros(num_nodes)
+        self._n_hot_a = _zeros(num_nodes)
+        self._n_hot_b = _zeros(num_nodes)
+        self._n_hot_flag = np.zeros(max(1, num_nodes), dtype=np.uint8)
+        self._n_hot_n = 0
+        scratch = self._max_in + 1
+        self._n_sc = [_zeros(scratch) for _ in range(4)]
+
+    # ------------------------------------------------------------------
+    def _resolve_packets(self, schedule: InjectionSchedule, t0, horizon):
+        """Resolve every scheduled event into the packet table.
+
+        Consumes the stdlib RNG exactly as the Python cores' injection
+        phase does (destination draw, then route draw for packets that
+        are actually created), so results stay bit-identical.  Events
+        at or past the injection window (``horizon`` run-local cycles)
+        are dropped *before* any RNG draw, matching the reference
+        core's injection gate; stamps are absolute (``t0``-shifted).
+        """
+        dest = self.traffic.dest
+        py_rng = self._py_rng
+        route_slice = self._route_slice
+        p_off = self._p_off
+        p_hops = self._p_hops
+        p_t0 = self._p_t0
+        p_meas = self._p_meas
+
+        warm = t0 + self.params.warmup_cycles
+        meas_end = warm + self.params.measure_cycles
+        ev_cycle: List[int] = []
+        ev_src: List[int] = []
+        ev_pid: List[int] = []
+        npk = self._num_packets
+        for t, nid in zip(schedule.cycles, schedule.nodes):
+            if t >= horizon:
+                break  # cycles are sorted; no RNG consumed past the gate
+            t += t0
+            dst = dest(nid, py_rng)
+            if dst is None or dst == nid:
+                continue
+            off, nhops = route_slice(nid, dst)
+            pid = npk
+            npk += 1
+            p_off.append(off)
+            p_hops.append(nhops)
+            p_t0.append(t)
+            p_meas.append(1 if warm <= t < meas_end else 0)
+            ev_cycle.append(t)
+            ev_src.append(nid)
+            ev_pid.append(pid)
+        self._num_packets = npk
+        return ev_cycle, ev_src, ev_pid
+
+    def _rebuild_srcq_arena(self, ev_src: List[int]) -> None:
+        """Re-lay the per-node source-queue slices for this run.
+
+        Heads are rewound to slice starts; leftovers from a previous
+        run (drain may not empty saturated queues) are copied over, and
+        each slice gets room for this run's new events.
+        """
+        num_nodes = self.graph.num_nodes
+        need = np.zeros(num_nodes, dtype=np.int64)
+        sq_len = self._n_sq_len
+        need += sq_len
+        for nid in ev_src:
+            need[nid] += 1
+        off = np.zeros(num_nodes, dtype=np.int64)
+        if num_nodes > 1:
+            off[1:] = np.cumsum(need[:-1])
+        arena = _zeros(int(need.sum()))
+        old = self._n_sq_arena
+        old_off = self._n_sq_off
+        old_head = self._n_sq_head
+        for r in range(num_nodes):
+            n = int(sq_len[r])
+            if n:
+                start = int(old_off[r] + old_head[r])
+                arena[int(off[r]): int(off[r]) + n] = old[start: start + n]
+        self._n_sq_arena = arena
+        self._n_sq_off = off
+        self._n_sq_head = np.zeros(num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, rate: float, schedule: Optional[InjectionSchedule] = None
+    ) -> SimResult:
+        """Run the full warmup+measure+drain schedule at ``rate``."""
+        p = self.params
+        probs = self._checked_probs(rate)
+        meas = p.measure_cycles
+        horizon = p.warmup_cycles + meas
+        # absolute cycle stamps: this run covers [t0, t_end)
+        t0 = self._clock
+        warm = t0 + p.warmup_cycles
+        meas_end = warm + meas
+
+        effective_offered = (
+            float(np.array(probs, dtype=np.float64).sum())
+            * p.packet_length
+            / self._active_chips
+            if self._active_chips
+            else 0.0
+        )
+
+        if schedule is None:
+            schedule = build_injection_schedule(
+                self._active_nodes, probs, horizon, self._np_rng
+            )
+
+        ev_cycle, ev_src, ev_pid = self._resolve_packets(
+            schedule, t0, horizon
+        )
+        self._rebuild_srcq_arena(ev_src)
+
+        n_new = len(ev_pid)
+        # sized for every latency the kernel may report this run: new
+        # packets plus measured leftovers still in flight from earlier
+        # runs (each delivered packet reports exactly once)
+        out_cap = self._num_packets - len(self._latencies)
+        lat_out = _zeros(out_cap)
+        hops_out = _zeros(out_cap)
+        np_p_off = _as_i64(self._p_off)
+        np_p_hops = _as_i64(self._p_hops)
+        np_p_t0 = _as_i64(self._p_t0)
+        np_p_meas = _as_i64(self._p_meas)
+        np_route_lv = _as_i64(self._route_lv)
+        np_route_link = _as_i64(self._route_link)
+        np_route_delay = _as_i64(self._route_delay)
+        np_ev_cycle = _as_i64(ev_cycle)
+        np_ev_src = _as_i64(ev_src)
+        np_ev_pid = _as_i64(ev_pid)
+
+        st = _SimState(
+            num_nodes=self.graph.num_nodes,
+            num_links=self.graph.num_links,
+            num_lv=self._num_lv,
+            wheel_size=self._wheel_size,
+            slot_cap=self._slot_cap,
+            buf_cap=p.vc_buffer_size,
+            max_in=self._max_in,
+            pkt_len=p.packet_length,
+            inj_w=p.injection_width,
+            ej_w=p.ejection_width,
+            warm=warm,
+            meas_end=meas_end,
+            t_end=meas_end + p.drain_cycles,
+            t0=t0,
+            n_ev=n_new,
+            n_lat=0,
+            tfi=self.total_flits_injected,
+            tfe=self.total_flits_ejected,
+            pm=self._packets_measured,
+            few=self._flits_ejected_window,
+            hot_n=self._n_hot_n,
+            error=0,
+            cap=_ptr(self._n_cap),
+            lv_dst=_ptr(self._n_lv_dst),
+            cap_lv=_ptr(self._n_cap_lv),
+            cdel_lv=_ptr(self._n_cdel_lv),
+            credits=_ptr(self._n_credits),
+            owner=_ptr(self._n_owner),
+            buf=_ptr(self._n_buf),
+            b_head=_ptr(self._n_b_head),
+            b_len=_ptr(self._n_b_len),
+            ne_arr=_ptr(self._n_ne_arr),
+            ne_len=_ptr(self._n_ne_len),
+            sq_arena=_ptr(self._n_sq_arena),
+            sq_off=_ptr(self._n_sq_off),
+            sq_head=_ptr(self._n_sq_head),
+            sq_len=_ptr(self._n_sq_len),
+            s_fidx=_ptr(self._n_s_fidx),
+            aw_f=_ptr(self._n_aw_f),
+            aw_lv=_ptr(self._n_aw_lv),
+            aw_n=_ptr(self._n_aw_n),
+            cw_lv=_ptr(self._n_cw_lv),
+            cw_n=_ptr(self._n_cw_n),
+            rr_link=_ptr(self._n_rr_link),
+            rr_eject=_ptr(self._n_rr_eject),
+            hot_a=_ptr(self._n_hot_a),
+            hot_b=_ptr(self._n_hot_b),
+            hot_flag=self._n_hot_flag.ctypes.data_as(_u8p),
+            p_off=_ptr(np_p_off),
+            p_hops=_ptr(np_p_hops),
+            p_t0=_ptr(np_p_t0),
+            p_meas=_ptr(np_p_meas),
+            route_lv=_ptr(np_route_lv),
+            route_link=_ptr(np_route_link),
+            route_delay=_ptr(np_route_delay),
+            ev_cycle=_ptr(np_ev_cycle),
+            ev_src=_ptr(np_ev_src),
+            ev_pid=_ptr(np_ev_pid),
+            lat_out=_ptr(lat_out),
+            hops_out=_ptr(hops_out),
+            sc_desc=_ptr(self._n_sc[0]),
+            sc_key=_ptr(self._n_sc[1]),
+            sc_cand=_ptr(self._n_sc[2]),
+            sc_used=_ptr(self._n_sc[3]),
+        )
+        err = self._lib.sim_run(ctypes.byref(st))
+        if err:
+            raise RuntimeError(
+                f"native simulation kernel failed (error code {err})"
+            )
+
+        self._n_hot_n = int(st.hot_n)
+        self._clock = meas_end + p.drain_cycles
+        self.total_flits_injected = int(st.tfi)
+        self.total_flits_ejected = int(st.tfe)
+        self._packets_measured = int(st.pm)
+        self._flits_ejected_window = int(st.few)
+        n_lat = int(st.n_lat)
+        self._latencies.extend(lat_out[:n_lat].tolist())
+        self._hops.extend(hops_out[:n_lat].tolist())
+
+        return SimResult.from_samples(
+            offered_rate=rate,
+            effective_offered=effective_offered,
+            latencies=self._latencies,
+            hops=self._hops,
+            packets_measured=self._packets_measured,
+            flits_ejected=self._flits_ejected_window,
+            active_chips=self._active_chips,
+            measure_cycles=meas,
+        )
+
+    # ------------------------------------------------------------------
+    def flits_in_flight(self) -> int:
+        """Flits currently buffered or on wires (conservation checks)."""
+        return int(self._n_b_len.sum()) + int(self._n_aw_n.sum())

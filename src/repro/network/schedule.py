@@ -1,0 +1,124 @@
+"""Vectorized injection scheduling for the cycle-accurate simulator.
+
+The paper's injection process is Bernoulli: every active terminal starts
+a packet with probability ``p`` each cycle.  Drawing that per cycle
+(``rng.random(n) < p``) costs a numpy round-trip on *every* cycle even
+when nothing injects.  An identical process can be sampled up front:
+inter-arrival gaps of a Bernoulli(p) process are Geometric(p) on
+{1, 2, ...}, so per node we draw a batch of geometric gaps, cumulative-sum
+them into arrival cycles, and merge all nodes into one (cycle, node)
+event list sorted by cycle.  The simulator then just walks a pointer —
+idle cycles cost a single integer comparison, and cores can even jump
+over provably idle stretches.
+
+Both simulator cores accept a prebuilt :class:`InjectionSchedule`, which
+is what makes cross-core equivalence exact: with a *pinned* schedule the
+only remaining randomness (destination and route choice) is drawn from
+the same ``random.Random`` stream in the same order by both cores.
+
+Determinism note: the schedule sampler consumes the numpy RNG stream
+differently from the retired per-cycle mask (one geometric batch per
+node instead of one uniform draw per cycle), so per-seed results shift
+relative to pre-schedule versions of this repo.  The process law is
+unchanged — saturation points and latency curves agree within seed
+noise (see ``benchmarks/bench_simcore.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["InjectionSchedule", "build_injection_schedule"]
+
+
+@dataclass(frozen=True)
+class InjectionSchedule:
+    """Packet-start events for one run, sorted by (cycle, source order).
+
+    ``cycles[i]`` is the cycle at which node ``nodes[i]`` starts a
+    packet.  Within a cycle, events keep the order of the traffic
+    pattern's active-node list — the same order the per-cycle Bernoulli
+    mask used to walk, so arbitration sees sources in a familiar order.
+    """
+
+    #: event cycles, non-decreasing, all < horizon.
+    cycles: List[int] = field(default_factory=list)
+    #: event source node ids, aligned with :attr:`cycles`.
+    nodes: List[int] = field(default_factory=list)
+    #: cycles [0, horizon) the schedule was sampled over.
+    horizon: int = 0
+
+    def __len__(self) -> int:
+        return len(self.cycles)
+
+    def offered_packets(self) -> int:
+        """Total packet-start events (an upper bound on packets sent)."""
+        return len(self.cycles)
+
+
+def _geometric_arrivals(
+    p: float, horizon: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival cycles in [0, horizon) of a Bernoulli(p) process.
+
+    Gaps are Geometric(p) on {1, 2, ...}; the first arrival lands at
+    ``gap - 1`` so that cycle 0 can inject with probability ``p``.
+    """
+    if p >= 1.0:
+        return np.arange(horizon, dtype=np.int64)
+    mean = horizon * p
+    # enough draws to overshoot the horizon almost surely; top up if not
+    batch = int(mean + 6.0 * math.sqrt(mean + 1.0) + 16.0)
+    times = np.cumsum(rng.geometric(p, size=batch).astype(np.int64)) - 1
+    while times[-1] < horizon:
+        extra = rng.geometric(p, size=max(16, batch // 4)).astype(np.int64)
+        times = np.concatenate([times, times[-1] + np.cumsum(extra)])
+    return times[: int(np.searchsorted(times, horizon))]
+
+
+def build_injection_schedule(
+    active_nodes: Sequence[int],
+    probs: Sequence[float],
+    horizon: int,
+    rng: np.random.Generator,
+) -> InjectionSchedule:
+    """Sample every node's packet-start cycles over ``[0, horizon)``.
+
+    Parameters
+    ----------
+    active_nodes:
+        Traffic-generating node ids, in the traffic pattern's order.
+    probs:
+        Per-node packet-start probability per cycle (aligned with
+        ``active_nodes``); each must be in ``[0, 1]``.
+    horizon:
+        Number of cycles packets may start in (warmup + measurement).
+    rng:
+        Numpy generator; one geometric batch is consumed per node with
+        ``0 < p < 1``, in node order.
+    """
+    cycle_parts: List[np.ndarray] = []
+    order_parts: List[np.ndarray] = []
+    for i, p in enumerate(probs):
+        if p <= 0.0 or horizon <= 0:
+            continue
+        if p > 1.0:
+            raise ValueError(f"injection probability {p} > 1 for node index {i}")
+        times = _geometric_arrivals(float(p), horizon, rng)
+        if times.size:
+            cycle_parts.append(times)
+            order_parts.append(np.full(times.size, i, dtype=np.int64))
+    if not cycle_parts:
+        return InjectionSchedule([], [], horizon)
+    cycles = np.concatenate(cycle_parts)
+    order = np.concatenate(order_parts)
+    # lexsort: primary key last — sort by cycle, ties by active-list order
+    idx = np.lexsort((order, cycles))
+    node_arr = np.asarray(active_nodes, dtype=np.int64)[order[idx]]
+    return InjectionSchedule(
+        cycles[idx].tolist(), node_arr.tolist(), horizon
+    )

@@ -1,24 +1,26 @@
 """Cycle-accurate flit-level network simulator with virtual channels.
 
 This is the reproduction's substitute for CNSim [72]: an input-buffered,
-credit-flow-controlled, wormhole virtual-channel simulator.  The model per
-cycle is:
+credit-flow-controlled, wormhole virtual-channel simulator.  The model
+per cycle is:
 
 1. *Credit return* — credits released ``link latency`` cycles ago arrive
    back at the upstream arbiter.
 2. *Flit arrival* — flits that finished traversing a link (+ router
    pipeline) are appended to the downstream input buffer of their
    ``(link, VC)`` pair.
-3. *Injection* — every active terminal generates a new packet with
-   probability ``rate / (packet_length * nodes_per_chip)`` (Bernoulli
-   process, rate in the paper's flits/cycle/chip unit) and appends it to
-   its source queue.
+3. *Injection* — every active terminal starts a packet as a Bernoulli
+   process with probability ``rate / (packet_length * nodes_per_chip)``
+   per cycle (rate in the paper's flits/cycle/chip unit).  The process
+   is sampled up front into an injection schedule (geometric
+   inter-arrival gaps — same law, vectorized; see
+   :mod:`repro.network.schedule`).
 4. *Arbitration* — for every router with pending input flits, head flits
-   request their next output.  Each output link grants up to ``capacity``
-   flits per cycle, round-robin over requesting inputs, subject to
-   downstream credits and wormhole VC ownership (an output VC is owned by
-   one packet from head-flit grant until tail-flit grant, which keeps
-   packets contiguous per VC).  Ejection ports grant up to
+   request their next output.  Each output link grants up to
+   ``capacity`` flits per cycle, round-robin over requesting inputs,
+   subject to downstream credits and wormhole VC ownership (an output VC
+   is owned by one packet from head-flit grant until tail-flit grant,
+   which keeps packets contiguous per VC).  Ejection ports grant up to
    ``ejection_width`` flits per cycle.
 
 Packets are source routed (see :mod:`repro.network.packet`): contention,
@@ -26,22 +28,59 @@ buffer occupancy, credit stalls and VC ownership — the phenomena the
 paper's latency/throughput figures measure — are fully simulated, while
 route *choice* is made at injection, exactly as the paper's oblivious
 minimal/non-minimal algorithms do.
+
+:class:`Simulator` is a thin facade over three interchangeable cores:
+
+* :class:`~repro.network.native.NativeCore` (default when a C compiler
+  is present) — the struct-of-arrays core with its hot loop compiled
+  on demand from ``_simcore.c``; bit-identical results to the array
+  core.
+* :class:`~repro.network.simcore.ArrayCore` (portable default) — the
+  pure-Python struct-of-arrays core: packed-int flits, flat route
+  arrays, integer VC ownership, cached head-flit requests, and
+  idle-cycle fast-forwarding.
+* :class:`~repro.network.refcore.ReferenceCore` — the original
+  object-based implementation, kept as the semantic reference.
+
+Select explicitly with ``Simulator(..., core="reference")`` or globally
+via the ``REPRO_SIM_CORE`` environment variable.  Given the same pinned
+:class:`~repro.network.schedule.InjectionSchedule` all cores produce
+identical results; run free, the array/native cores consume the numpy
+RNG stream differently from the reference core, so individual per-seed
+numbers differ while curves agree within seed noise
+(``benchmarks/bench_simcore.py`` quantifies both).
 """
 
 from __future__ import annotations
 
-import random
-from collections import deque
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+import os
+from typing import Optional
 
 from ..topology.graph import NetworkGraph
-from .packet import Hop, Packet
+from .native import NativeCore, native_available
 from .params import SimParams
+from .refcore import ReferenceCore
+from .schedule import InjectionSchedule
+from .simcore import ArrayCore
 from .stats import SimResult
 
-__all__ = ["Simulator", "run_simulation"]
+__all__ = ["CORE_ENV", "Simulator", "run_simulation"]
+
+#: environment override for the default simulation core.
+CORE_ENV = "REPRO_SIM_CORE"
+
+_CORES = {
+    "array": ArrayCore,
+    "native": NativeCore,
+    "reference": ReferenceCore,
+    "ref": ReferenceCore,
+}
+
+_CORE_NAMES = {
+    ArrayCore: "array",
+    NativeCore: "native",
+    ReferenceCore: "reference",
+}
 
 
 class Simulator:
@@ -59,6 +98,10 @@ class Simulator:
         ``num_active_chips()`` (see :mod:`repro.traffic.base`).
     params:
         Router/measurement knobs (Table IV defaults).
+    core:
+        ``"native"``, ``"array"`` or ``"reference"``; ``None`` reads
+        the ``REPRO_SIM_CORE`` environment variable, then picks the
+        native core when it can be compiled, else the array core.
     """
 
     def __init__(
@@ -67,471 +110,79 @@ class Simulator:
         routing,
         traffic,
         params: SimParams,
+        *,
+        core: Optional[str] = None,
     ) -> None:
-        self.graph = graph
-        self.routing = routing
-        self.traffic = traffic
-        self.params = params
+        if core is None:
+            core = os.environ.get(CORE_ENV) or None
+        if core is None:
+            core = "native" if native_available() else "array"
+        try:
+            core_cls = _CORES[core]
+        except KeyError:
+            raise ValueError(
+                f"unknown simulation core {core!r}; "
+                f"expected one of {sorted(set(_CORES))}"
+            ) from None
+        self.core_name = _CORE_NAMES[core_cls]
+        self._core = core_cls(graph, routing, traffic, params)
 
-        num_links = graph.num_links
-        num_nodes = graph.num_nodes
-        num_vcs = routing.num_vcs
-        self.num_vcs = num_vcs
+    # -- construction-time bindings (read-only conveniences) -----------
+    @property
+    def graph(self) -> NetworkGraph:
+        return self._core.graph
 
-        # Per-link constants (flattened for the hot loop).
-        self._link_dst = [l.dst for l in graph.links]
-        # effective in-flight time: wire latency + router pipeline
-        self._hop_delay = [
-            l.latency + params.router_latency for l in graph.links
-        ]
-        # credit return time models the reverse wire of the same channel
-        self._credit_delay = [max(1, l.latency) for l in graph.links]
-        self._cap = [l.capacity for l in graph.links]
+    @property
+    def routing(self):
+        return self._core.routing
 
-        # Per-(link, vc) state, flattened to one index lv = link*V + vc:
-        # integer indexing and hashing beat (link, vc) tuples in the hot
-        # loop by a wide margin.
-        num_lv = num_links * num_vcs
-        self._buf: List[deque] = [deque() for _ in range(num_lv)]
-        self._credits: List[int] = [params.vc_buffer_size] * num_lv
-        self._owner: List[Optional[Packet]] = [None] * num_lv
+    @property
+    def traffic(self):
+        return self._core.traffic
 
-        # Per-lv copies of the per-link constants (avoids lv // V).
-        self._lv_dst = [self._link_dst[lv // num_vcs] for lv in range(num_lv)]
-        self._cap_lv = [self._cap[lv // num_vcs] for lv in range(num_lv)]
-        self._credit_delay_lv = [
-            self._credit_delay[lv // num_vcs] for lv in range(num_lv)
-        ]
+    @property
+    def params(self) -> SimParams:
+        return self._core.params
 
-        # Per-router dispatch state.  ``_nonempty[r]`` maps lv -> True
-        # (int keys, insertion ordered) for every non-empty input of
-        # router r; the hot set is a flag array + compact active list.
-        self._nonempty: List[Dict[int, bool]] = [
-            {} for _ in range(num_nodes)
-        ]
-        self._srcq: List[deque] = [deque() for _ in range(num_nodes)]
-        self._hot_flag = bytearray(num_nodes)
-        self._hot_list: List[int] = []
+    @property
+    def num_vcs(self) -> int:
+        return self._core.num_vcs
 
-        # Event wheels.
-        max_delay = max(self._hop_delay, default=1)
-        max_delay = max(max_delay, max(self._credit_delay, default=1))
-        self._wheel_size = max_delay + 1
-        self._arrivals: List[list] = [[] for _ in range(self._wheel_size)]
-        self._credit_ret: List[list] = [[] for _ in range(self._wheel_size)]
+    # -- the simulation -------------------------------------------------
+    def make_schedule(self, rate: float) -> InjectionSchedule:
+        """Sample the injection schedule ``run(rate)`` would use.
 
-        # Round-robin pointers: one per output link, one per ejection port.
-        self._rr_link = [0] * num_links
-        self._rr_eject = [0] * num_nodes
+        Consumes the core's numpy RNG, so either pass the result back
+        into :meth:`run` (pinned mode) or use a fresh ``Simulator``.
+        """
+        return self._core.make_schedule(rate)
 
-        # RNGs: numpy for the injection mask, stdlib for route choices.
-        self._np_rng = np.random.default_rng(params.seed)
-        self._py_rng = random.Random(params.seed ^ 0x5EED)
-
-        # RoutingAlgorithm subclasses provide flattened (and, when
-        # deterministic, memoised) routes; duck-typed routings need only
-        # expose route().
-        self._route_flat = getattr(routing, "route_flat", None)
-
-        # Traffic bookkeeping.
-        self._active_nodes = list(traffic.active_nodes())
-        self._active_chips = traffic.num_active_chips()
-        chips = graph.chips()
-        self._nodes_per_chip = {
-            nid: len(chips[graph.nodes[nid].chip]) for nid in self._active_nodes
-        }
-
-        # Measurement.
-        self._pid = 0
-        self._latencies: List[int] = []
-        self._hops: List[int] = []
-        self._packets_measured = 0
-        self._flits_ejected_window = 0
-        self.total_flits_injected = 0
-        self.total_flits_ejected = 0
-
-    # ------------------------------------------------------------------
-    def _make_packet(self, t: int, src: int, measured: bool) -> Optional[Packet]:
-        dst = self.traffic.dest(src, self._py_rng)
-        if dst is None or dst == src:
-            return None
-        if self._route_flat is not None:
-            path, path_lv = self._route_flat(src, dst, self._py_rng)
-        else:
-            path = tuple(self.routing.route(src, dst, self._py_rng))
-            num_vcs = self.num_vcs
-            path_lv = tuple(l * num_vcs + v for l, v in path)
-        pkt = Packet(
-            self._pid, src, dst, self.params.packet_length, path, t, measured
-        )
-        pkt.path_lv = path_lv
-        self._pid += 1
-        return pkt
-
-    def _finish_flit(self, pkt: Packet, fidx: int, t: int, in_window: bool) -> None:
-        """Account one flit leaving the network at its destination."""
-        self.total_flits_ejected += 1
-        if in_window:
-            self._flits_ejected_window += 1
-        if fidx == pkt.size - 1:
-            pkt.t_done = t
-            if pkt.measured:
-                self._latencies.append(t - pkt.t_create)
-                self._hops.append(len(pkt.path))
-
-    # ------------------------------------------------------------------
-    def run(self, rate: float) -> SimResult:
-        """Run the full warmup+measure+drain schedule at ``rate``.
+    def run(
+        self,
+        rate: float,
+        schedule: Optional[InjectionSchedule] = None,
+    ) -> SimResult:
+        """Run the full warmup+measure+drain window at ``rate``.
 
         ``rate`` is offered load in flits/cycle/chip over the traffic
-        pattern's active chips.
+        pattern's active chips.  ``schedule`` pins the packet-start
+        events (used by the cross-core equivalence harness); by default
+        the core samples its own.
         """
-        p = self.params
-        if rate < 0:
-            raise ValueError("rate must be >= 0")
-        warm, meas = p.warmup_cycles, p.measure_cycles
-        t_end = warm + meas + p.drain_cycles
-        pkt_len = p.packet_length
+        return self._core.run(rate, schedule=schedule)
 
-        # Per-node Bernoulli probability of *starting a packet* this cycle.
-        active = self._active_nodes
-        probs = np.array(
-            [
-                rate / (pkt_len * self._nodes_per_chip[nid])
-                for nid in active
-            ],
-            dtype=np.float64,
-        )
-        if np.any(probs > 1.0):
-            raise ValueError(
-                f"offered rate {rate} exceeds 1 packet/node/cycle; "
-                "increase packet_length or lower the rate"
-            )
-        active_arr = np.array(active, dtype=np.int64)
-        # patterns with inactive nodes offer less than the nominal rate
-        effective_offered = (
-            float(probs.sum()) * pkt_len / self._active_chips
-            if self._active_chips
-            else 0.0
-        )
+    # -- conservation bookkeeping ---------------------------------------
+    @property
+    def total_flits_injected(self) -> int:
+        return self._core.total_flits_injected
 
-        wheel_size = self._wheel_size
-        arrivals = self._arrivals
-        credit_ret = self._credit_ret
-        buf = self._buf
-        credits = self._credits
-        owner = self._owner
-        nonempty = self._nonempty
-        srcq = self._srcq
-        hot_flag = self._hot_flag
-        hot_list = self._hot_list
-        rr_link = self._rr_link
-        rr_eject = self._rr_eject
-        lv_dst = self._lv_dst
-        cap_lv = self._cap_lv
-        credit_delay_lv = self._credit_delay_lv
-        hop_delay = self._hop_delay
-        cap = self._cap
-        np_rng = self._np_rng
-        inj_w = p.injection_width
-        ej_w = p.ejection_width
-        finish_flit = self._finish_flit
+    @property
+    def total_flits_ejected(self) -> int:
+        return self._core.total_flits_ejected
 
-        for t in range(t_end):
-            slot = t % wheel_size
-            in_window = warm <= t < warm + meas
-
-            # --- 1. credit returns -------------------------------------
-            crs = credit_ret[slot]
-            if crs:
-                for lv in crs:
-                    credits[lv] += 1
-                credit_ret[slot] = []
-
-            # --- 2. flit arrivals --------------------------------------
-            arr_list = arrivals[slot]
-            if arr_list:
-                for f, lv in arr_list:
-                    b = buf[lv]
-                    if not b:
-                        r = lv_dst[lv]
-                        nonempty[r][lv] = True
-                        if not hot_flag[r]:
-                            hot_flag[r] = 1
-                            hot_list.append(r)
-                    b.append(f)
-                arrivals[slot] = []
-
-            # --- 3. packet generation ----------------------------------
-            if t < warm + meas:
-                mask = np_rng.random(len(active_arr)) < probs
-                if mask.any():
-                    for nid in active_arr[mask]:
-                        nid = int(nid)
-                        pkt = self._make_packet(t, nid, in_window)
-                        if pkt is None:
-                            continue
-                        if in_window:
-                            self._packets_measured += 1
-                        if not pkt.path:
-                            # src and dst share a router: deliver instantly
-                            for fidx in range(pkt.size):
-                                self.total_flits_injected += 1
-                                finish_flit(pkt, fidx, t, in_window)
-                            continue
-                        srcq[nid].append([pkt, 0])
-                        if not hot_flag[nid]:
-                            hot_flag[nid] = 1
-                            hot_list.append(nid)
-
-            # --- 4. arbitration ----------------------------------------
-            # hot_list is rebuilt each cycle: routers that stay busy are
-            # re-appended, idle ones drop out.  Phases 2-3 of the *next*
-            # cycle append new arrivals to the rebuilt list.
-            active_routers = hot_list
-            hot_list = []
-            for r in active_routers:
-                ne = nonempty[r]
-                sq = srcq[r]
-                if not ne and not sq:
-                    hot_flag[r] = 0
-                    continue
-
-                # Fast paths for the overwhelmingly common single-input
-                # router on unit-budget outputs: no request dict, no
-                # rotation, no pass loop.  Semantics are identical to
-                # the general path below with one candidate and
-                # budget == 1.
-                if not sq and len(ne) == 1:
-                    lv = next(iter(ne))
-                    b = buf[lv]
-                    f = b[0]
-                    pkt = f[0]
-                    nh = f[2] + 1
-                    if nh == pkt.path_len:
-                        if ej_w == 1:
-                            b.popleft()
-                            if not b:
-                                del ne[lv]
-                            credit_ret[
-                                (t + credit_delay_lv[lv]) % wheel_size
-                            ].append(lv)
-                            finish_flit(pkt, f[1], t, in_window)
-                            if ne:
-                                hot_list.append(r)
-                            else:
-                                hot_flag[r] = 0
-                            continue
-                    else:
-                        out_link = pkt.path[nh][0]
-                        if cap[out_link] == 1:
-                            nlv = pkt.path_lv[nh]
-                            fidx = f[1]
-                            if credits[nlv] > 0:
-                                own = owner[nlv]
-                                if (own is None) if fidx == 0 else (own is pkt):
-                                    b.popleft()
-                                    if not b:
-                                        del ne[lv]
-                                    credit_ret[
-                                        (t + credit_delay_lv[lv]) % wheel_size
-                                    ].append(lv)
-                                    credits[nlv] -= 1
-                                    if fidx == 0:
-                                        owner[nlv] = pkt
-                                    if fidx == pkt.size - 1:
-                                        owner[nlv] = None
-                                    f[2] = nh
-                                    arrivals[
-                                        (t + hop_delay[out_link]) % wheel_size
-                                    ].append((f, nlv))
-                            if ne:
-                                hot_list.append(r)
-                            else:
-                                hot_flag[r] = 0
-                            continue
-                elif not ne:
-                    entry = sq[0]
-                    pkt, fidx = entry[0], entry[1]
-                    out_link = pkt.path[0][0]
-                    if cap[out_link] == 1:
-                        nlv = pkt.path_lv[0]
-                        if credits[nlv] > 0:
-                            own = owner[nlv]
-                            if (own is None) if fidx == 0 else (own is pkt):
-                                self.total_flits_injected += 1
-                                entry[1] = fidx + 1
-                                if entry[1] == pkt.size:
-                                    sq.popleft()
-                                credits[nlv] -= 1
-                                if fidx == 0:
-                                    owner[nlv] = pkt
-                                if fidx == pkt.size - 1:
-                                    owner[nlv] = None
-                                arrivals[
-                                    (t + hop_delay[out_link]) % wheel_size
-                                ].append(([pkt, fidx, 0], nlv))
-                        if sq:
-                            hot_list.append(r)
-                        else:
-                            hot_flag[r] = 0
-                        continue
-
-                # Collect requests: out_key -> list of input descriptors.
-                # Descriptor: lv index for buffered inputs, -1 for the
-                # source queue.  Key -1 is the router's ejection port
-                # (link ids are >= 0).
-                reqs: Dict = {}
-                for lv in ne:
-                    f = buf[lv][0]
-                    pkt = f[0]
-                    nh = f[2] + 1
-                    if nh == pkt.path_len:
-                        key = -1
-                    else:
-                        key = pkt.path[nh][0]
-                    lst = reqs.get(key)
-                    if lst is None:
-                        reqs[key] = [lv]
-                    else:
-                        lst.append(lv)
-                if sq:
-                    pkt = sq[0][0]
-                    key = pkt.path[0][0]
-                    lst = reqs.get(key)
-                    if lst is None:
-                        reqs[key] = [-1]
-                    else:
-                        lst.append(-1)
-
-                for key, cand in reqs.items():
-                    if key < 0:  # ejection port
-                        budget = ej_w
-                        out_link = -1
-                    else:
-                        out_link = key
-                        budget = cap[out_link]
-                    # rotate candidates for round-robin fairness
-                    if len(cand) > 1:
-                        if key < 0:
-                            off = rr_eject[r]
-                            rr_eject[r] = off + 1
-                        else:
-                            off = rr_link[key]
-                            rr_link[key] = off + 1
-                        off %= len(cand)
-                        if off:
-                            cand = cand[off:] + cand[:off]
-
-                    granted = 0
-                    in_used: Dict = {}
-                    # multiple passes allow capacity>1 links to move
-                    # several flits per cycle
-                    for _pass in range(budget):
-                        progressed = False
-                        for desc in cand:
-                            if granted >= budget:
-                                break
-                            # ---- fetch head flit ----
-                            if desc < 0:
-                                if not sq:
-                                    continue
-                                entry = sq[0]
-                                pkt, fidx = entry[0], entry[1]
-                                hopi = -1
-                                in_cap = inj_w
-                            else:
-                                b = buf[desc]
-                                if not b:
-                                    continue
-                                f = b[0]
-                                pkt, fidx, hopi = f[0], f[1], f[2]
-                                in_cap = cap_lv[desc]
-                            if budget > 1 and in_used.get(desc, 0) >= in_cap:
-                                continue
-                            nh = hopi + 1
-                            if nh == pkt.path_len:
-                                # eject (key must match; source never here)
-                                if out_link >= 0:
-                                    continue
-                                b.popleft()
-                                if not b:
-                                    del ne[desc]
-                                credit_ret[
-                                    (t + credit_delay_lv[desc]) % wheel_size
-                                ].append(desc)
-                                finish_flit(pkt, fidx, t, in_window)
-                                if budget > 1:
-                                    in_used[desc] = in_used.get(desc, 0) + 1
-                                granted += 1
-                                progressed = True
-                                continue
-                            if pkt.path[nh][0] != out_link:
-                                continue
-                            nlv = pkt.path_lv[nh]
-                            if credits[nlv] <= 0:
-                                continue
-                            own = owner[nlv]
-                            if fidx == 0:
-                                if own is not None:
-                                    continue
-                            elif own is not pkt:
-                                continue
-                            # ---- grant ----
-                            if desc < 0:
-                                # take flit from the source queue
-                                self.total_flits_injected += 1
-                                entry[1] = fidx + 1
-                                if entry[1] == pkt.size:
-                                    sq.popleft()
-                                f = [pkt, fidx, hopi]
-                            else:
-                                b.popleft()
-                                if not b:
-                                    del ne[desc]
-                                credit_ret[
-                                    (t + credit_delay_lv[desc]) % wheel_size
-                                ].append(desc)
-                            credits[nlv] -= 1
-                            if fidx == 0:
-                                owner[nlv] = pkt
-                            if fidx == pkt.size - 1:
-                                owner[nlv] = None
-                            f[2] = nh
-                            arrivals[
-                                (t + hop_delay[out_link]) % wheel_size
-                            ].append((f, nlv))
-                            if budget > 1:
-                                in_used[desc] = in_used.get(desc, 0) + 1
-                            granted += 1
-                            progressed = True
-                        if not progressed or granted >= budget:
-                            break
-
-                if ne or sq:
-                    hot_list.append(r)
-                else:
-                    hot_flag[r] = 0
-
-        self._hot_list = hot_list
-
-        return SimResult.from_samples(
-            offered_rate=rate,
-            effective_offered=effective_offered,
-            latencies=self._latencies,
-            hops=self._hops,
-            packets_measured=self._packets_measured,
-            flits_ejected=self._flits_ejected_window,
-            active_chips=self._active_chips,
-            measure_cycles=meas,
-        )
-
-    # ------------------------------------------------------------------
     def flits_in_flight(self) -> int:
         """Flits currently buffered or on wires (conservation checks)."""
-        buffered = sum(len(b) for b in self._buf)
-        flying = sum(len(slot) for slot in self._arrivals)
-        return buffered + flying
+        return self._core.flits_in_flight()
 
 
 def run_simulation(

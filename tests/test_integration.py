@@ -32,7 +32,11 @@ def dfly():
     return build_dragonfly(DragonflyConfig.radix8())
 
 
+@pytest.mark.slow
 class TestThroughputBoundsHold:
+    """Full-figure saturation sweeps — heavyweight, so excluded from
+    the tier-1 invocation (``pytest -m slow`` runs them)."""
+
     def test_global_saturation_below_eq2(self, small_switchless):
         """Measured accepted throughput never exceeds the Eq. (2) bound."""
         cfg = small_switchless.cfg
@@ -54,9 +58,10 @@ class TestThroughputBoundsHold:
         assert res.accepted_rate <= local_throughput_bound(cfg) * 1.05
 
 
+@pytest.mark.slow
 class TestMisroutingClaim:
     def test_valiant_beats_minimal_on_worst_case(self, sless):
-        """Fig. 13(b) at test scale."""
+        """Fig. 13(b) at test scale (full sweep pair: slow)."""
         wc = WorstCaseTraffic(sless.graph, sless.group_nodes,
                               sless.num_wgroups)
         rate = 0.25
