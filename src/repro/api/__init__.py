@@ -10,9 +10,12 @@ evaluation or composing new comparative experiments:
   :class:`ScenarioResult` -> :class:`PointResult` hierarchy with
   ``to_json()`` / ``to_csv()`` export and text rendering;
 * :func:`build_study` / :func:`list_library` expose the bundled
-  Figs. 10-14 scenario library;
+  Figs. 10-14 scenario library plus the resilience scenario family;
 * :func:`compare_scenario` assembles ad-hoc architecture comparisons
-  (the engine behind ``repro-dragonfly compare``).
+  (the engine behind ``repro-dragonfly compare``);
+* :func:`resilience_study` / :func:`resilience_report` /
+  :func:`verify_study_faults` build, condense and deadlock-verify
+  throughput-under-failure campaigns over the :mod:`repro.faults` axis.
 
 Quickstart::
 
@@ -27,6 +30,13 @@ or file-based::
     from repro.api import load_study
 
     result = load_study("scenarios/fig10_local.json").run(workers=4)
+
+Resilience::
+
+    from repro.api import build_study, resilience_report
+
+    result = build_study("resilience", scale="quick").run(workers=4)
+    print(resilience_report(result).render())
 """
 
 from .compare import compare_scenario
@@ -42,6 +52,14 @@ from .library import (
     save_library,
     sim_params,
     switchless_arch,
+)
+from .resilience import (
+    DEFAULT_FAILURE_RATES,
+    ResilienceReport,
+    resilience_arches,
+    resilience_report,
+    resilience_study,
+    verify_study_faults,
 )
 from .results import (
     STUDY_RESULT_SCHEMA,
@@ -59,12 +77,14 @@ from .scenario import (
 )
 
 __all__ = [
+    "DEFAULT_FAILURE_RATES",
     "SCALES",
     "SCENARIO_SCHEMA",
     "STUDY_RESULT_SCHEMA",
     "STUDY_SCHEMA",
     "CurveResult",
     "PointResult",
+    "ResilienceReport",
     "Scenario",
     "ScenarioResult",
     "Study",
@@ -78,6 +98,9 @@ __all__ = [
     "make_spec",
     "pick_rates",
     "register_study",
+    "resilience_arches",
+    "resilience_report",
+    "resilience_study",
     "save_library",
     "sim_params",
     "switchless_arch",

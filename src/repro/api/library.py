@@ -220,6 +220,7 @@ def _fig10_intra_cgroup(scale: str) -> Study:
             "One radix-16-equivalent C-group (4x4 on-chip routers) "
             "against 4 chips on a non-blocking switch."
         ),
+        tags=("figure",),
         scenarios=(
             panel(
                 "uniform", "Fig. 10(a) intra-C-group: uniform", "uniform",
@@ -298,6 +299,7 @@ def _fig10_local(scale: str) -> Study:
             "One W-group of the radix-16-equivalent system vs one group "
             "of the radix-16 Dragonfly, under four traffic patterns."
         ),
+        tags=("figure",),
         scenarios=tuple(scenarios),
     )
 
@@ -330,6 +332,7 @@ def _fig11_global(scale: str) -> Study:
             "Whole-system throughput; 2B removes the mesh-bisection "
             "bottleneck of Eq. 6."
         ),
+        tags=("figure",),
         scenarios=tuple(
             Scenario(
                 name=name,
@@ -404,6 +407,7 @@ def _fig12_scalability(scale: str) -> Study:
             "Bandwidth ablation on the radix-32-class switch-less system "
             "(starved C-group mesh bisection at default scale)."
         ),
+        tags=("figure",),
         scenarios=(local, glob),
     )
 
@@ -440,6 +444,7 @@ def _fig13_misrouting(scale: str) -> Study:
             "Hotspot and worst-case shift patterns; Valiant misrouting "
             "lifts saturation by an order of magnitude."
         ),
+        tags=("figure",),
         scenarios=tuple(
             Scenario(
                 name=name,
@@ -541,6 +546,7 @@ def _fig14_allreduce(scale: str) -> Study:
             "Ring collectives inside one C-group and one W-group; the "
             "switch-less mesh's four injection ports per chip pay off."
         ),
+        tags=("figure",),
         scenarios=(intra_cgroup, intra_wgroup),
     )
 
@@ -573,7 +579,83 @@ def _smoke(scale: str) -> Study:
         name="smoke",
         title="CI smoke study",
         description="Runs in seconds at every scale.",
+        tags=("smoke",),
         scenarios=(scenario,),
+    )
+
+
+# ----------------------------------------------------------------------
+# resilience studies: throughput under failure (repro.faults)
+# ----------------------------------------------------------------------
+@register_study("resilience")
+def _resilience(scale: str) -> Study:
+    """Failure-rate x load sweep, switch-less vs switch-based Dragonfly.
+
+    The fault axis is the per-channel failure probability (``random``
+    model, fixed seed); report the run with
+    :func:`repro.api.resilience_report`.
+    """
+    from .resilience import resilience_study  # late: avoids import cycle
+
+    failure_rates = (0.0, 0.02, 0.05, 0.1)
+    rates = [0.1, 0.25, 0.4, 0.55]
+    if scale == "quick":
+        failure_rates = (0.0, 0.05)
+        rates = [0.15, 0.4]
+    return resilience_study(
+        name="resilience",
+        arches=("switchless", "dragonfly"),
+        failure_rates=failure_rates,
+        rates=rates,
+        preset="small_equiv",
+        params=sim_params(scale),
+        scale=scale,
+    )
+
+
+#: tiny architectures for the resilience smoke study: a 4-W-group
+#: switch-less system of 3x3 C-groups vs a 4-group p=2 Dragonfly.
+_RESILIENCE_SMOKE_ARCHES = {
+    "SW-less": {
+        "topology": "switchless",
+        "topology_opts": {
+            "mesh_dim": 3, "chiplet_dim": 1, "num_local": 2,
+            "num_global": 1,
+        },
+        "routing": "switchless",
+        "routing_opts": {"mode": "minimal"},
+    },
+    "SW-based": {
+        "topology": "dragonfly",
+        "topology_opts": {"p": 2, "a": 3, "h": 1},
+        "routing": "dragonfly",
+        "routing_opts": {"mode": "minimal", "vc_spread": 2},
+    },
+}
+
+
+@register_study("resilience_smoke")
+def _resilience_smoke(scale: str) -> Study:
+    """Seconds-scale fault sweep for CI: 2 failure rates x 2 loads."""
+    from .resilience import resilience_study  # late: avoids import cycle
+
+    params = SimParams(
+        warmup_cycles=100, measure_cycles=250, drain_cycles=150, seed=11
+    )
+    study = resilience_study(
+        name="resilience_smoke",
+        arches=_RESILIENCE_SMOKE_ARCHES,
+        failure_rates=(0.0, 0.08),
+        rates=[0.15, 0.35],
+        params=params,
+        scale=scale,
+    )
+    return Study(
+        name=study.name,
+        title="CI resilience smoke: tiny fault sweep",
+        description="Runs in seconds at every scale.",
+        tags=("resilience", "smoke"),
+        scenarios=study.scenarios,
     )
 
 

@@ -57,6 +57,8 @@ class Scenario:
     baseline: str = ""
     #: sweep cutoff forwarded to the engine (see ``run_experiments``).
     stop_after_saturation: int = 1
+    #: free-form discovery tags (``repro-dragonfly list --tag ...``).
+    tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -109,6 +111,7 @@ class Scenario:
             "note": self.note,
             "baseline": self.baseline,
             "stop_after_saturation": self.stop_after_saturation,
+            "tags": list(self.tags),
             "specs": [s.to_data() for s in self.specs],
         }
 
@@ -128,6 +131,7 @@ class Scenario:
             note=data.get("note", ""),
             baseline=data.get("baseline", ""),
             stop_after_saturation=int(data.get("stop_after_saturation", 1)),
+            tags=tuple(data.get("tags", ())),
         )
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -148,6 +152,8 @@ class Study:
     scenarios: Tuple[Scenario, ...]
     title: str = ""
     description: str = ""
+    #: free-form discovery tags (``repro-dragonfly list --tag ...``).
+    tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -251,6 +257,12 @@ class Study:
             meta=meta,
         )
 
+    def has_tag(self, tag: str) -> bool:
+        """Whether the study or any of its scenarios carries ``tag``."""
+        return tag in self.tags or any(
+            tag in s.tags for s in self.scenarios
+        )
+
     # -- declarative form ----------------------------------------------
     def to_data(self) -> Dict:
         return {
@@ -258,6 +270,7 @@ class Study:
             "name": self.name,
             "title": self.title,
             "description": self.description,
+            "tags": list(self.tags),
             "scenarios": [s.to_data() for s in self.scenarios],
         }
 
@@ -277,6 +290,7 @@ class Study:
             ),
             title=data.get("title", ""),
             description=data.get("description", ""),
+            tags=tuple(data.get("tags", ())),
         )
 
     @classmethod

@@ -3,9 +3,11 @@
 Examples::
 
     repro-dragonfly list                      # scenarios + registered kinds
+    repro-dragonfly list --tag resilience     # filter by scenario tag
     repro-dragonfly run fig10_local --scale quick --workers 4
     repro-dragonfly run scenarios/smoke.json --workers 1 --out smoke.json
     repro-dragonfly compare --arch switchless,dragonfly --pattern uniform
+    repro-dragonfly resilience --failure-rates 0,0.02,0.05 --workers 4
     repro-dragonfly report smoke.json --csv smoke.csv
     repro-dragonfly tables                    # Tables I, II, IV
     repro-dragonfly layout                    # Fig. 9 floorplan summary
@@ -36,6 +38,9 @@ from .api import (
     compare_scenario,
     list_library,
     load_study,
+    resilience_report,
+    resilience_study,
+    verify_study_faults,
 )
 from .core import SwitchlessConfig, build_switchless
 from .engine import (
@@ -117,15 +122,27 @@ def _cmd_run(args) -> int:
     return _run_study(study, args)
 
 
-def _cmd_list(_args) -> int:
+def _cmd_list(args) -> int:
+    tag = getattr(args, "tag", None)
+    shown = 0
     print("bundled scenarios (run with: repro-dragonfly run <name>):")
     for name in list_library():
         study = build_study(name, scale="quick")
+        if tag and not study.has_tag(tag):
+            continue
+        shown += 1
+        tags = f" #{' #'.join(study.tags)}" if study.tags else ""
         print(
             f"  {name:20s} {study.title}  "
             f"[{len(study.scenarios)} scenario(s), {study.num_specs()} "
-            "curve(s)]"
+            f"curve(s)]{tags}"
         )
+        if study.description:
+            print(f"{'':22s}{study.description}")
+    if tag and not shown:
+        print(f"  (no bundled study carries tag {tag!r})")
+    if tag:
+        return 0 if shown else 1
     print()
     print("registered experiment kinds (repro.engine registries):")
     print(f"  topologies   {', '.join(list_topologies())}")
@@ -193,6 +210,69 @@ def _cmd_report(args) -> int:
         Path(args.csv).write_text(result.to_csv())
         print(f"# csv written to {args.csv}")
     return 0
+
+
+def _parse_floats(text: str, what: str) -> list:
+    try:
+        return [float(v) for v in text.split(",") if v.strip()]
+    except ValueError:
+        raise ValueError(f"cannot parse {what} list {text!r}") from None
+
+
+def _cmd_resilience(args) -> int:
+    """Failure-rate x load sweep with retention report and deadlock check."""
+    _setup_logging(args.verbose)
+    try:
+        if args.smoke:
+            study = build_study("resilience_smoke", scale="quick")
+        else:
+            arches = [a for a in args.arch.split(",") if a.strip()]
+            study = resilience_study(
+                arches=arches,
+                failure_rates=_parse_floats(
+                    args.failure_rates, "failure-rate"
+                ),
+                rates=_compare_rates(args),
+                preset=args.preset,
+                traffic=args.pattern.replace("-", "_"),
+                scope=args.scope,
+                routing_mode=args.routing,
+                fault_model=args.model,
+                fault_seed=args.fault_seed,
+                params=_compare_params(args),
+            )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    deadlock_ok = True
+    if not args.no_verify:
+        print("# deadlock freedom on each sampled fault instance:")
+        for rec in verify_study_faults(study, max_pairs=args.max_pairs):
+            status = "deadlock-free" if rec["acyclic"] else "DEADLOCK RISK"
+            print(
+                f"#   {rec['scenario']:12s} {rec['label']:14s} "
+                f"{rec['faults']}: {status}"
+            )
+            deadlock_ok = deadlock_ok and rec["acyclic"]
+
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    result = study.run(workers=args.workers, cache=cache)
+    print(result.render())
+    print()
+    print(resilience_report(result).render())
+    if cache is not None:
+        print(
+            f"# cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"({cache.root})"
+        )
+    if args.out:
+        result.save(args.out)
+        print(f"# results written to {args.out}")
+    if args.csv:
+        Path(args.csv).write_text(result.to_csv())
+        print(f"# csv written to {args.csv}")
+    return 0 if deadlock_ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -280,10 +360,15 @@ def main(argv=None) -> int:
     )
     _add_exec_args(run)
 
-    sub.add_parser(
+    list_p = sub.add_parser(
         "list",
         help="bundled scenarios and registered topology/routing/traffic "
         "kinds",
+    )
+    list_p.add_argument(
+        "--tag", default=None,
+        help="only show bundled studies carrying this tag "
+        "(e.g. figure, smoke, resilience)",
     )
 
     compare = sub.add_parser(
@@ -296,6 +381,47 @@ def main(argv=None) -> int:
     )
     _add_workload_args(compare)
     _add_exec_args(compare)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="throughput-under-failure sweep: failure rate x load with "
+        "saturation-retention report and per-instance deadlock check",
+    )
+    resilience.add_argument(
+        "--arch", default="switchless,dragonfly",
+        help="comma-separated list: switchless, switchless-2b, "
+        "switchless-4b, dragonfly",
+    )
+    resilience.add_argument(
+        "--failure-rates", default="0,0.02,0.05,0.1",
+        help="comma-separated fault axis (random model: per-channel "
+        "failure probability; yield model: defect clusters per wafer)",
+    )
+    resilience.add_argument(
+        "--model", choices=("random", "yield"), default="random",
+        help="fault model realising the failure rates",
+    )
+    resilience.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed of the fault sampling stream (not the sim seed)",
+    )
+    resilience.add_argument(
+        "--no-verify", action="store_true",
+        help="skip the per-instance deadlock-freedom verification",
+    )
+    resilience.add_argument(
+        "--max-pairs", type=int, default=300,
+        help="terminal pairs sampled per deadlock check",
+    )
+    resilience.add_argument(
+        "--smoke", action="store_true",
+        help="run the bundled resilience_smoke study (ignores the "
+        "workload flags; used by CI)",
+    )
+    _add_workload_args(resilience)
+    _add_exec_args(resilience)
+    # resilience probes the saturation region, not the full load axis
+    resilience.set_defaults(points=4, max_rate=0.6)
 
     report = sub.add_parser(
         "report", help="render a saved StudyResult JSON file"
@@ -328,6 +454,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "compare": _cmd_compare,
         "report": _cmd_report,
+        "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,
     }[args.command]

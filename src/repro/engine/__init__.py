@@ -18,6 +18,10 @@ from .executor import run_experiments, simulate_point, spec_saturation
 from .spec import (
     ExperimentSpec,
     build_experiment,
+    build_faults,
+    build_routing,
+    build_system,
+    build_traffic,
     list_presets,
     list_routings,
     list_topologies,
@@ -33,6 +37,10 @@ __all__ = [
     "ExperimentSpec",
     "ResultCache",
     "build_experiment",
+    "build_faults",
+    "build_routing",
+    "build_system",
+    "build_traffic",
     "list_presets",
     "list_routings",
     "list_topologies",

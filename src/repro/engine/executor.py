@@ -71,9 +71,12 @@ def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
     """Simulate one point with its deterministic derived seed."""
     topo_key = (spec.topology, spec.topology_opts)
     system = _lru_get(_systems, topo_key, lambda: build_system(spec))
+    # the fault axis is part of the routing identity: a fault-aware
+    # wrapper (and its repair trees / route memo) must never be reused
+    # for a different fault instance, nor for the healthy system
     routing = _lru_get(
         _routings,
-        topo_key + (spec.routing, spec.routing_opts),
+        topo_key + (spec.routing, spec.routing_opts, spec.faults),
         lambda: build_routing(spec, system),
     )
     graph, routing, traffic = build_experiment(

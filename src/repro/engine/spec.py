@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import SwitchlessConfig, build_switchless
+from ..faults import FaultAwareRouting, FaultMaskedTraffic, FaultSpec, degrade
 from ..network.params import SimParams
 from ..routing import (
     DragonflyRouting,
@@ -52,6 +53,7 @@ from ..traffic import (
 __all__ = [
     "ExperimentSpec",
     "build_experiment",
+    "build_faults",
     "build_routing",
     "build_system",
     "build_traffic",
@@ -68,7 +70,19 @@ __all__ = [
 
 #: bump when the spec -> simulation mapping changes incompatibly, so
 #: stale cache entries are never mistaken for current results.
-ENGINE_VERSION = 1
+#:
+#: Cache-invalidation policy: every field that can change a simulated
+#: number MUST appear in :meth:`ExperimentSpec.config_key` (topology /
+#: routing / traffic kinds and options, params, and the ``faults``
+#: axis).  Adding such a field therefore reshuffles all point digests —
+#: bump this constant alongside so the change is explicit, and note it
+#: in CHANGES.md: users with long-lived ``ResultCache`` directories
+#: should clear them (entries keyed under the old version are simply
+#: never hit again; ``ResultCache.clear()`` reclaims the disk).
+#:
+#: v2: ``faults`` joined the hashed payload (a degraded run must never
+#: alias a cached healthy-wafer result, and vice versa).
+ENGINE_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -187,7 +201,13 @@ def list_presets(topology: str) -> List[str]:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One latency-vs-load experiment, reconstructible from data alone."""
+    """One latency-vs-load experiment, reconstructible from data alone.
+
+    ``faults`` is the (frozen) keyword dict of a
+    :class:`~repro.faults.FaultSpec` — empty for a perfect wafer.  It is
+    part of :meth:`config_key`, so degraded runs and healthy runs can
+    never alias each other in the :class:`~repro.engine.ResultCache`.
+    """
 
     topology: str
     routing: str
@@ -198,6 +218,7 @@ class ExperimentSpec:
     params: SimParams = field(default_factory=SimParams)
     rates: Tuple[float, ...] = ()
     label: str = ""
+    faults: Tuple = ()
 
     @classmethod
     def create(
@@ -212,6 +233,7 @@ class ExperimentSpec:
         params: Optional[SimParams] = None,
         rates: Sequence[float] = (),
         label: str = "",
+        faults: Optional[Dict] = None,
     ) -> "ExperimentSpec":
         """Build a spec from keyword dicts, validating the kind names."""
         for kind, table, what in (
@@ -220,6 +242,7 @@ class ExperimentSpec:
             (traffic, _TRAFFICS, "traffic"),
         ):
             _lookup(table, kind, what)
+        FaultSpec.from_opts(faults or {})  # fail fast on a bad fault axis
         return cls(
             topology=topology,
             routing=routing,
@@ -230,7 +253,12 @@ class ExperimentSpec:
             params=params or SimParams(),
             rates=tuple(float(r) for r in rates),
             label=label,
+            faults=_freeze(faults or {}),
         )
+
+    def with_faults(self, faults: Optional[Dict]) -> "ExperimentSpec":
+        FaultSpec.from_opts(faults or {})
+        return replace(self, faults=_freeze(faults or {}))
 
     def with_rates(self, rates: Sequence[float]) -> "ExperimentSpec":
         return replace(self, rates=tuple(float(r) for r in rates))
@@ -253,6 +281,7 @@ class ExperimentSpec:
             "routing_opts": _thaw_opts(self.routing_opts),
             "traffic": self.traffic,
             "traffic_opts": _thaw_opts(self.traffic_opts),
+            "faults": _thaw_opts(self.faults),
             "params": {
                 k: getattr(self.params, k)
                 for k in self.params.__dataclass_fields__
@@ -281,6 +310,7 @@ class ExperimentSpec:
             routing_opts=data.get("routing_opts"),
             traffic=data["traffic"],
             traffic_opts=data.get("traffic_opts"),
+            faults=data.get("faults"),
             params=params,
             rates=data.get("rates", ()),
             label=data.get("label", ""),
@@ -299,6 +329,7 @@ class ExperimentSpec:
             "topology": [self.topology, self.topology_opts],
             "routing": [self.routing, self.routing_opts],
             "traffic": [self.traffic, self.traffic_opts],
+            "faults": list(self.faults),
             "params": {
                 k: getattr(self.params, k)
                 for k in self.params.__dataclass_fields__
@@ -312,6 +343,8 @@ class ExperimentSpec:
             f"{self.topology}/{self.routing}/{self.traffic}"
             f"[{len(self.rates)} rates]"
         )
+        if self.faults:
+            base += f"+{FaultSpec.from_opts(_thaw_opts(self.faults)).describe()}"
         return f"{self.label} ({base})" if self.label else base
 
 
@@ -342,18 +375,44 @@ def build_system(spec: ExperimentSpec):
     return factory(**_thaw_opts(spec.topology_opts))
 
 
+def build_faults(spec: ExperimentSpec) -> Optional[FaultSpec]:
+    """The spec's fault axis as a :class:`FaultSpec` (None when healthy)."""
+    if not spec.faults:
+        return None
+    fspec = FaultSpec.from_opts(_thaw_opts(spec.faults))
+    return None if fspec.is_null else fspec
+
+
 def build_routing(spec: ExperimentSpec, system):
-    """Build just the routing algorithm of a spec against ``system``."""
+    """Build the routing algorithm of a spec against ``system``.
+
+    When the spec carries a fault axis, the base algorithm is wrapped in
+    :class:`~repro.faults.FaultAwareRouting` against the (memoised)
+    degraded instance, so every produced route avoids failed hardware.
+    """
     factory = _lookup(_ROUTINGS, spec.routing, "routing")
-    return factory(system, **_thaw_opts(spec.routing_opts))
+    routing = factory(system, **_thaw_opts(spec.routing_opts))
+    fspec = build_faults(spec)
+    if fspec is not None:
+        routing = FaultAwareRouting(routing, degrade(system, fspec))
+    return routing
 
 
 def build_traffic(spec: ExperimentSpec, system):
-    """Build just the traffic pattern of a spec against ``system``."""
+    """Build the traffic pattern of a spec against ``system``.
+
+    With a fault axis, the pattern is wrapped in
+    :class:`~repro.faults.FaultMaskedTraffic`: failed endpoints neither
+    inject nor receive (injection masking in the simulator cores).
+    """
     factory = _lookup(_TRAFFICS, spec.traffic, "traffic")
     topts = _thaw_opts(spec.traffic_opts)
     scope = _resolve_scope(system, topts.pop("scope", None))
-    return factory(system, scope, **topts)
+    traffic = factory(system, scope, **topts)
+    fspec = build_faults(spec)
+    if fspec is not None:
+        traffic = FaultMaskedTraffic(traffic, degrade(system, fspec))
+    return traffic
 
 
 def build_experiment(spec: ExperimentSpec, system=None, routing=None):
@@ -361,7 +420,9 @@ def build_experiment(spec: ExperimentSpec, system=None, routing=None):
 
     ``system`` / ``routing`` short-circuit the corresponding builds when
     the caller already holds them (worker-local reuse across the points
-    of a sweep — a deterministic routing's route memo then carries over).
+    of a sweep — a deterministic routing's route memo then carries over;
+    a pre-built routing for a faulted spec must already be the wrapped
+    fault-aware one, as :func:`build_routing` returns).
     """
     if system is None:
         system = build_system(spec)

@@ -14,8 +14,11 @@ from .phy import (
     ConnectorSpec,
     PhySpec,
 )
+from .wafermap import NodeSite, WaferMap
 
 __all__ = [
+    "NodeSite",
+    "WaferMap",
     "WAFER_DIAMETER_MM",
     "CGroupLayout",
     "CGroupLayoutSpec",

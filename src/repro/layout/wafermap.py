@@ -1,0 +1,143 @@
+"""Wafer-coordinate map of a built switch-less system.
+
+The yield-driven fault model (:mod:`repro.faults`) needs to know *where*
+every node, die and link PHY physically sits so that a spatial defect
+cluster can be mapped to the hardware it kills.  :class:`WaferMap`
+derives those positions from the same floorplan parameters as
+:func:`~repro.layout.cgroup_layout.plan_cgroup_layout` (Fig. 9):
+C-groups tile each wafer in a centred grid, chips tile each C-group at
+the chiplet pitch, and every node sits at the centre of its chiplet
+sub-tile — which is also where its PHY shoreline is, so a defect disk
+covering a node position severs the channels attached there.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .cgroup_layout import WAFER_DIAMETER_MM, CGroupLayoutSpec
+
+__all__ = ["NodeSite", "WaferMap"]
+
+
+@dataclass(frozen=True)
+class NodeSite:
+    """Physical placement of one node: wafer id and on-wafer mm coords."""
+
+    wafer: int
+    x_mm: float
+    y_mm: float
+
+    def within(self, x: float, y: float, radius: float) -> bool:
+        """Whether this site lies inside a defect disk on its wafer."""
+        return math.hypot(self.x_mm - x, self.y_mm - y) <= radius
+
+
+class WaferMap:
+    """Node/chip placement of a switch-less system across its wafers.
+
+    Parameters
+    ----------
+    system:
+        A built :class:`~repro.core.system.SwitchlessSystem` (anything
+        exposing ``cfg`` and ``cgroups``; other architectures are not
+        wafer-integrated and have no map).
+    layout_spec:
+        Physical pitch parameters; defaults to the paper's Fig. 9
+        C-group floorplan.
+    """
+
+    def __init__(
+        self, system, layout_spec: CGroupLayoutSpec = CGroupLayoutSpec()
+    ) -> None:
+        cfg = getattr(system, "cfg", None)
+        cgroups = getattr(system, "cgroups", None)
+        if cfg is None or cgroups is None or not hasattr(cfg, "mesh_dim"):
+            raise TypeError(
+                f"{type(system).__name__} is not a wafer-integrated "
+                "switch-less system; the yield fault model needs one"
+            )
+        self.spec = layout_spec
+        self.cfg = cfg
+
+        # chip pitch comes from the floorplan; node pitch subdivides it
+        chip_pitch = layout_spec.chiplet_mm + layout_spec.spacing_mm
+        node_pitch = chip_pitch / cfg.chiplet_dim
+        chips_per_side = cfg.mesh_dim // cfg.chiplet_dim
+        cg_edge = chips_per_side * chip_pitch + layout_spec.spacing_mm
+
+        cpw = cfg.cgroups_per_wafer
+        slots_per_side = max(1, math.ceil(math.sqrt(cpw)))
+        tile = cg_edge + layout_spec.spacing_mm
+        span = slots_per_side * tile
+        base = (WAFER_DIAMETER_MM - span) / 2.0
+
+        #: node id -> :class:`NodeSite`.
+        self.sites: Dict[int, NodeSite] = {}
+        #: chip id -> (wafer, x_mm, y_mm) of the die centre.
+        self.chip_sites: Dict[int, NodeSite] = {}
+        self.num_wafers = 0
+
+        ab = cfg.cgroups_per_wgroup
+        chip_acc: Dict[int, List[Tuple[int, float, float]]] = {}
+        for w, row in enumerate(cgroups):
+            for c, cg in enumerate(row):
+                gidx = w * ab + c
+                wafer = gidx // cpw
+                slot = gidx % cpw
+                ox = base + (slot % slots_per_side) * tile
+                oy = base + (slot // slots_per_side) * tile
+                self.num_wafers = max(self.num_wafers, wafer + 1)
+                mesh = cg.mesh
+                for nid, (y, x) in mesh.coords.items():
+                    site = NodeSite(
+                        wafer,
+                        ox + (x + 0.5) * node_pitch,
+                        oy + (y + 0.5) * node_pitch,
+                    )
+                    self.sites[nid] = site
+                    chip = mesh.graph.nodes[nid].chip
+                    chip_acc.setdefault(chip, []).append(
+                        (wafer, site.x_mm, site.y_mm)
+                    )
+        for chip, pts in chip_acc.items():
+            self.chip_sites[chip] = NodeSite(
+                pts[0][0],
+                sum(p[1] for p in pts) / len(pts),
+                sum(p[2] for p in pts) / len(pts),
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def wafer_radius_mm(self) -> float:
+        return WAFER_DIAMETER_MM / 2.0
+
+    @property
+    def wafer_center(self) -> Tuple[float, float]:
+        r = self.wafer_radius_mm
+        return (r, r)
+
+    def node_site(self, nid: int) -> NodeSite:
+        return self.sites[nid]
+
+    def nodes_within(
+        self, wafer: int, x: float, y: float, radius: float
+    ) -> List[int]:
+        """Node ids on ``wafer`` whose site lies in the defect disk."""
+        return [
+            nid
+            for nid, site in self.sites.items()
+            if site.wafer == wafer and site.within(x, y, radius)
+        ]
+
+    def chips_within(
+        self, wafer: int, x: float, y: float, radius: float
+    ) -> List[int]:
+        """Chip ids on ``wafer`` whose die centre lies in the disk."""
+        return [
+            chip
+            for chip, site in self.chip_sites.items()
+            if site.wafer == wafer and site.within(x, y, radius)
+        ]

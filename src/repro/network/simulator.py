@@ -29,6 +29,15 @@ paper's latency/throughput figures measure — are fully simulated, while
 route *choice* is made at injection, exactly as the paper's oblivious
 minimal/non-minimal algorithms do.
 
+Fault handling: every core drops a packet-start event whose traffic
+pattern returns ``dest(...) is None`` — the hook
+:class:`repro.faults.FaultMaskedTraffic` uses to mask failed endpoints
+(dead terminals are additionally absent from ``active_nodes()``, so the
+injection schedule samples no events for them).  Failed *links* never
+appear in routes because :class:`repro.faults.FaultAwareRouting` routes
+around them; the simulator arrays keep the healthy graph's link ids, so
+degraded and healthy runs share the same core machinery.
+
 :class:`Simulator` is a thin facade over three interchangeable cores:
 
 * :class:`~repro.network.native.NativeCore` (default when a C compiler

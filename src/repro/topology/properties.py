@@ -6,7 +6,8 @@ built router graphs via networkx.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -18,6 +19,9 @@ __all__ = [
     "terminal_diameter",
     "bisection_channels",
     "degree_histogram",
+    "surviving_networkx",
+    "component_summary",
+    "pair_path_diversity",
 ]
 
 
@@ -63,3 +67,84 @@ def degree_histogram(graph: NetworkGraph) -> Dict[int, int]:
         d = graph.degree_out(node.id)
         hist[d] = hist.get(d, 0) + 1
     return hist
+
+
+# ----------------------------------------------------------------------
+# degraded-graph views (used by repro.faults)
+# ----------------------------------------------------------------------
+def surviving_networkx(
+    graph: NetworkGraph,
+    *,
+    failed_links: Iterable[int] = (),
+    failed_nodes: Iterable[int] = (),
+) -> nx.Graph:
+    """Undirected channel graph with the given failures removed.
+
+    A channel survives only if *some* directed link between its endpoint
+    pair survives in each direction; the full-duplex failure closure of
+    :mod:`repro.faults.inject` keeps both directions in sync, so the
+    forward direction alone decides.
+    """
+    dead_links = set(failed_links)
+    dead_nodes = set(failed_nodes)
+    g = nx.Graph()
+    for node in graph.nodes:
+        if node.id not in dead_nodes:
+            g.add_node(node.id, kind=node.kind, chip=node.chip)
+    for link in graph.links:
+        if link.id in dead_links or link.src > link.dst:
+            continue
+        if link.src in dead_nodes or link.dst in dead_nodes:
+            continue
+        g.add_edge(link.src, link.dst, klass=link.klass)
+    return g
+
+
+def component_summary(
+    g: nx.Graph, terminals: Sequence[int]
+) -> Dict[str, object]:
+    """Connectivity summary of a (possibly degraded) undirected graph."""
+    terms = [t for t in terminals if t in g]
+    comps = [set(c) for c in nx.connected_components(g)] if len(g) else []
+    comps.sort(key=len, reverse=True)
+    term_comps = [c for c in comps if any(t in c for t in terms)]
+    largest_terms = (
+        max((sum(1 for t in terms if t in c) for c in term_comps), default=0)
+    )
+    isolated = sum(
+        1 for t in terms if t in g and g.degree(t) == 0
+    )
+    return {
+        "num_components": len(comps),
+        "num_terminal_components": len(term_comps),
+        "connected": len(term_comps) <= 1,
+        "largest_component_terminals": largest_terms,
+        "terminal_reach_fraction": (
+            largest_terms / len(terms) if terms else 0.0
+        ),
+        "isolated_terminals": isolated,
+    }
+
+
+def pair_path_diversity(
+    g: nx.Graph,
+    pairs: Sequence[Tuple[int, int]],
+    *,
+    max_pairs: int = 16,
+    seed: int = 0,
+) -> float:
+    """Mean edge connectivity (link-disjoint path count) over sampled pairs.
+
+    Unreachable or missing-node pairs count as zero diversity, so the
+    metric degrades smoothly as failures partition the network.
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return 0.0
+    if len(pairs) > max_pairs:
+        pairs = random.Random(seed).sample(pairs, max_pairs)
+    total = 0.0
+    for a, b in pairs:
+        if a in g and b in g and nx.has_path(g, a, b):
+            total += nx.edge_connectivity(g, a, b)
+    return total / len(pairs)

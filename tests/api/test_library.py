@@ -19,14 +19,16 @@ FIGURES = [
     "fig14_allreduce",
 ]
 
+EXTRAS = ["smoke", "resilience", "resilience_smoke"]
+
 
 def test_library_contains_the_paper_figures():
     names = list_library()
     assert set(FIGURES) <= set(names)
-    assert "smoke" in names
+    assert set(EXTRAS) <= set(names)
 
 
-@pytest.mark.parametrize("name", FIGURES + ["smoke"])
+@pytest.mark.parametrize("name", FIGURES + EXTRAS)
 def test_every_study_builds_and_round_trips(name):
     for scale in ("quick", "default", "full"):
         study = build_study(name, scale)
@@ -45,7 +47,14 @@ def test_unknown_scale_rejected():
         build_study("smoke", scale="enormous")
 
 
-@pytest.mark.parametrize("name", FIGURES + ["smoke"])
+def test_figures_are_tagged_for_discovery():
+    for name in FIGURES:
+        assert build_study(name, "quick").has_tag("figure")
+    assert build_study("resilience", "quick").has_tag("resilience")
+    assert build_study("smoke", "quick").has_tag("smoke")
+
+
+@pytest.mark.parametrize("name", FIGURES + EXTRAS)
 def test_bundled_files_match_library(name):
     """scenarios/*.json are the default-scale library, committed.
 

@@ -1,0 +1,168 @@
+"""Fault-aware routing: legality, repair VC discipline, deadlock freedom."""
+
+import random
+
+import pytest
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.faults import (
+    FaultAwareRouting,
+    FaultRoutingError,
+    FaultSpec,
+    degrade,
+)
+from repro.routing import SwitchlessRouting, verify_deadlock_free
+from repro.routing.base import validate_path
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+from repro.routing.dragonfly import DragonflyRouting
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_switchless(SwitchlessConfig.radix8_equiv())
+
+
+def _wrapped(system, *, mode="minimal", **fault_opts):
+    deg = degrade(system, FaultSpec.from_opts(fault_opts))
+    base = SwitchlessRouting(system, mode)
+    return FaultAwareRouting(base, deg), deg
+
+
+def _sample_pairs(deg, rng, count):
+    terms = deg.alive_terminals()
+    pairs = []
+    while len(pairs) < count:
+        s, d = rng.sample(terms, 2)
+        if deg.reachable(s, d):
+            pairs.append((s, d))
+    return pairs
+
+
+class TestRouteLegality:
+    def test_routes_avoid_failed_links_and_validate(self, system):
+        fr, deg = _wrapped(
+            system, model="random", link_rate=0.08, die_rate=0.02, seed=3
+        )
+        rng = random.Random(0)
+        for s, d in _sample_pairs(deg, rng, 150):
+            path = fr.route(s, d, rng)
+            validate_path(system.graph, s, d, path, num_vcs=fr.num_vcs)
+            assert deg.path_ok(path)
+        assert fr.repaired_routes > 0  # some pairs really were severed
+
+    def test_unaffected_pairs_keep_base_routes(self, system):
+        fr, deg = _wrapped(
+            system, model="random", link_rate=0.03, seed=4
+        )
+        base = SwitchlessRouting(system, "minimal")
+        rng = random.Random(1)
+        kept = 0
+        for s, d in _sample_pairs(deg, rng, 100):
+            base_path = base.route(s, d, rng)
+            if deg.path_ok(base_path):
+                assert fr.route(s, d, rng) == base_path
+                kept += 1
+        assert kept > 0
+
+    def test_repair_paths_use_only_the_repair_vc(self, system):
+        fr, deg = _wrapped(
+            system, model="random", link_rate=0.08, seed=3
+        )
+        base = SwitchlessRouting(system, "minimal")
+        rng = random.Random(2)
+        repaired = 0
+        for s, d in _sample_pairs(deg, rng, 200):
+            if deg.path_ok(base.route(s, d, rng)):
+                continue
+            path = fr.route(s, d, rng)
+            assert {vc for _l, vc in path} == {fr.repair_vc}
+            repaired += 1
+        assert repaired > 0
+
+    def test_num_vcs_is_base_plus_one(self, system):
+        fr, _ = _wrapped(system, model="random", link_rate=0.05, seed=1)
+        assert fr.num_vcs == SwitchlessRouting(system, "minimal").num_vcs + 1
+
+    def test_dead_endpoint_raises(self, system):
+        fr, deg = _wrapped(system, model="fixed", failed_chips=(0,))
+        dead = next(iter(deg.failed_nodes))
+        alive = deg.alive_terminals()[0]
+        with pytest.raises(FaultRoutingError, match="failed die"):
+            fr.route(dead, alive, random.Random(0))
+
+    def test_partitioned_pair_raises(self, system):
+        graph = system.graph
+        victim = system.cgroups[0][0].nodes[0]
+        channels = tuple(
+            (victim, peer) for peer in graph.neighbors_out(victim)
+        )
+        fr, deg = _wrapped(
+            system, model="fixed", failed_channels=channels
+        )
+        other = next(t for t in deg.alive_terminals() if t != victim)
+        with pytest.raises(FaultRoutingError, match="partition"):
+            fr.route(victim, other, random.Random(0))
+        # and the verifier's enumeration silently skips the pair
+        assert list(fr.enumerate_routes(victim, other)) == []
+
+
+class TestDeadlockFreedom:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_degraded_minimal_is_deadlock_free(self, system, seed):
+        fr, _ = _wrapped(
+            system, model="random", link_rate=0.08, die_rate=0.02,
+            seed=seed,
+        )
+        report = verify_deadlock_free(system.graph, fr, max_pairs=400)
+        assert report.acyclic, report.describe(system.graph)
+
+    def test_degraded_valiant_is_deadlock_free(self, system):
+        fr, _ = _wrapped(
+            system, mode="valiant", model="random", link_rate=0.05, seed=5
+        )
+        report = verify_deadlock_free(system.graph, fr, max_pairs=250)
+        assert report.acyclic, report.describe(system.graph)
+
+    def test_degraded_dragonfly_is_deadlock_free(self):
+        dfly = build_dragonfly(DragonflyConfig.radix8())
+        deg = degrade(
+            dfly, FaultSpec(model="random", link_rate=0.08, seed=2)
+        )
+        fr = FaultAwareRouting(DragonflyRouting(dfly, "minimal"), deg)
+        report = verify_deadlock_free(dfly.graph, fr, max_pairs=400)
+        assert report.acyclic, report.describe(dfly.graph)
+
+    def test_yield_model_instance_is_deadlock_free(self, system):
+        fr, _ = _wrapped(
+            system, model="yield", defects_per_wafer=2.0,
+            defect_radius_mm=12.0, seed=4,
+        )
+        report = verify_deadlock_free(system.graph, fr, max_pairs=300)
+        assert report.acyclic, report.describe(system.graph)
+
+
+class TestEnumeration:
+    def test_enumerate_includes_repair_when_base_severed(self, system):
+        fr, deg = _wrapped(
+            system, model="random", link_rate=0.08, seed=3
+        )
+        base = SwitchlessRouting(system, "minimal")
+        rng = random.Random(3)
+        for s, d in _sample_pairs(deg, rng, 300):
+            if deg.path_ok(base.route(s, d, rng)):
+                continue
+            routes = list(fr.enumerate_routes(s, d))
+            assert routes, "severed pair must still enumerate a route"
+            for path in routes:
+                assert deg.path_ok(path)
+            break
+        else:
+            pytest.fail("no severed pair found at 8% failure rate")
+
+    def test_deterministic_flag_follows_base(self, system):
+        mins, _ = _wrapped(system, model="random", link_rate=0.02, seed=1)
+        vals, _ = _wrapped(
+            system, mode="valiant", model="random", link_rate=0.02, seed=1
+        )
+        assert mins.is_deterministic is True
+        assert vals.is_deterministic is False

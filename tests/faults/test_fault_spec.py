@@ -1,0 +1,139 @@
+"""FaultSpec validation, round-trips, and cache-key coverage."""
+
+import pytest
+
+from repro.engine import ExperimentSpec, ResultCache, point_key
+from repro.faults import FaultSpec
+from repro.network.stats import SimResult
+
+
+def _mk(faults=None, **kw):
+    kw.setdefault("topology", "switchless")
+    kw.setdefault("topology_opts", {"preset": "radix8_equiv"})
+    kw.setdefault("routing", "switchless")
+    kw.setdefault("traffic", "uniform")
+    kw.setdefault("rates", [0.1, 0.2])
+    return ExperimentSpec.create(faults=faults, **kw)
+
+
+class TestFaultSpec:
+    def test_null_default(self):
+        spec = FaultSpec()
+        assert spec.is_null
+        assert spec.to_data() == {}
+        assert FaultSpec.from_opts({}) == spec
+
+    def test_round_trip_all_models(self):
+        specs = [
+            FaultSpec(model="random", link_rate=0.05, die_rate=0.01, seed=3),
+            FaultSpec(
+                model="fixed",
+                failed_channels=((1, 2), (7, 9)),
+                failed_chips=(0, 4),
+            ),
+            FaultSpec(
+                model="yield", defects_per_wafer=1.5,
+                defect_radius_mm=12.0, seed=9,
+            ),
+        ]
+        for spec in specs:
+            assert FaultSpec.from_opts(spec.to_data()) == spec
+
+    def test_from_opts_normalises_lists(self):
+        spec = FaultSpec.from_opts(
+            {"model": "fixed", "failed_channels": [[1, 2]],
+             "failed_chips": [3]}
+        )
+        assert spec.failed_channels == ((1, 2),)
+        assert spec.failed_chips == (3,)
+
+    @pytest.mark.parametrize(
+        "opts, match",
+        [
+            ({"model": "martian"}, "unknown fault model"),
+            ({"model": "random", "link_rate": 1.5}, "link_rate"),
+            ({"model": "random"}, "link_rate > 0 or die_rate > 0"),
+            ({"model": "fixed"}, "failed_channels or failed_chips"),
+            ({"model": "yield"}, "defects_per_wafer"),
+            ({"model": "none", "bogus_knob": 1}, "unknown FaultSpec field"),
+            (
+                {"model": "fixed", "failed_channels": [[1, 1]]},
+                "distinct nodes",
+            ),
+        ],
+    )
+    def test_validation(self, opts, match):
+        with pytest.raises(ValueError, match=match):
+            FaultSpec.from_opts(opts)
+
+    def test_with_seed(self):
+        spec = FaultSpec(model="random", link_rate=0.1, seed=1)
+        assert spec.with_seed(2).seed == 2
+        assert spec.with_seed(2).link_rate == spec.link_rate
+
+    def test_describe_mentions_the_model(self):
+        assert "random" in FaultSpec(model="random", link_rate=0.1).describe()
+        assert "no faults" in FaultSpec().describe()
+
+
+class TestExperimentSpecFaultAxis:
+    def test_round_trip_through_data(self):
+        spec = _mk(faults={"model": "random", "link_rate": 0.05, "seed": 2})
+        clone = ExperimentSpec.from_data(spec.to_data())
+        assert clone == spec
+        assert clone.faults == spec.faults
+
+    def test_old_files_without_faults_load_as_healthy(self):
+        data = _mk().to_data()
+        del data["faults"]
+        assert ExperimentSpec.from_data(data) == _mk()
+
+    def test_create_validates_fault_axis(self):
+        with pytest.raises(ValueError, match="unknown fault model"):
+            _mk(faults={"model": "martian"})
+
+    def test_with_faults_round_trip(self):
+        healthy = _mk()
+        faulty = healthy.with_faults({"model": "random", "link_rate": 0.1})
+        assert faulty.faults and not healthy.faults
+        assert faulty.with_faults(None) == healthy
+
+    def test_describe_shows_faults(self):
+        assert "random" in _mk(
+            faults={"model": "random", "link_rate": 0.1}
+        ).describe()
+
+
+class TestCacheKeyCoverage:
+    """A degraded run must never alias a cached healthy result."""
+
+    def test_config_key_covers_faults(self):
+        healthy = _mk()
+        faulty = _mk(faults={"model": "random", "link_rate": 0.05})
+        assert healthy.config_key() != faulty.config_key()
+
+    def test_distinct_fault_seeds_hash_apart(self):
+        a = _mk(faults={"model": "random", "link_rate": 0.05, "seed": 1})
+        b = _mk(faults={"model": "random", "link_rate": 0.05, "seed": 2})
+        assert a.config_key() != b.config_key()
+
+    def test_point_keys_do_not_alias_in_the_result_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        healthy = _mk()
+        faulty = _mk(faults={"model": "random", "link_rate": 0.05})
+        res = SimResult(
+            offered_rate=0.1, effective_offered=0.1, accepted_rate=0.1,
+            avg_latency=10.0, p50_latency=10.0, p99_latency=12.0,
+            packets_measured=5, packets_delivered=5, flits_ejected=20,
+            active_chips=4, measure_cycles=100,
+        )
+        cache.put(point_key(healthy, 0.1), res)
+        assert cache.get(point_key(faulty, 0.1)) is None
+        assert cache.get(point_key(healthy, 0.1)) is not None
+
+    def test_label_still_excluded_from_hash(self):
+        faults = {"model": "random", "link_rate": 0.05}
+        assert (
+            _mk(faults=faults, label="a").config_key()
+            == _mk(faults=faults, label="b").config_key()
+        )

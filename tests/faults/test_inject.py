@@ -1,0 +1,165 @@
+"""Fault sampling: determinism, closure, and the yield/spatial model."""
+
+import pytest
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.faults import FaultSpec, channel_reverse, sample_faults
+from repro.layout import WaferMap
+from repro.topology.dragonfly import DragonflyConfig, build_dragonfly
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_switchless(SwitchlessConfig.radix8_equiv())
+
+
+class TestRandomModel:
+    def test_same_seed_same_faults(self, system):
+        spec = FaultSpec(model="random", link_rate=0.05, die_rate=0.02,
+                         seed=5)
+        assert sample_faults(system, spec) == sample_faults(system, spec)
+
+    def test_different_seed_different_faults(self, system):
+        a = sample_faults(
+            system, FaultSpec(model="random", link_rate=0.05, seed=1)
+        )
+        b = sample_faults(
+            system, FaultSpec(model="random", link_rate=0.05, seed=2)
+        )
+        assert a.failed_links != b.failed_links
+
+    def test_channel_closure_kills_both_directions(self, system):
+        fs = sample_faults(
+            system, FaultSpec(model="random", link_rate=0.08, seed=3)
+        )
+        assert fs.failed_links
+        for lid in fs.failed_links:
+            assert channel_reverse(system.graph, lid) in fs.failed_links
+
+    def test_rate_scales_failure_count(self, system):
+        lo = sample_faults(
+            system, FaultSpec(model="random", link_rate=0.02, seed=4)
+        )
+        hi = sample_faults(
+            system, FaultSpec(model="random", link_rate=0.3, seed=4)
+        )
+        assert len(hi.failed_links) > len(lo.failed_links)
+
+    def test_link_classes_filter(self, system):
+        fs = sample_faults(
+            system,
+            FaultSpec(model="random", link_rate=1.0, seed=0,
+                      link_classes=("global",)),
+        )
+        for lid in fs.failed_links:
+            assert system.graph.links[lid].klass == "global"
+
+    def test_die_closure_kills_nodes_and_attached_links(self, system):
+        fs = sample_faults(
+            system, FaultSpec(model="random", die_rate=0.05, seed=6)
+        )
+        assert fs.failed_chips
+        graph = system.graph
+        chips = graph.chips()
+        for chip in fs.failed_chips:
+            for nid in chips[chip]:
+                assert nid in fs.failed_nodes
+        for link in graph.links:
+            if link.src in fs.failed_nodes or link.dst in fs.failed_nodes:
+                assert link.id in fs.failed_links
+
+    def test_null_spec_is_empty(self, system):
+        assert sample_faults(system, FaultSpec()).is_empty
+
+
+class TestFixedModel:
+    def test_explicit_channel_and_chip(self, system):
+        graph = system.graph
+        link = next(l for l in graph.links if l.klass == "local")
+        spec = FaultSpec(
+            model="fixed",
+            failed_channels=((link.src, link.dst),),
+            failed_chips=(0,),
+        )
+        fs = sample_faults(system, spec)
+        assert link.id in fs.failed_links
+        assert channel_reverse(graph, link.id) in fs.failed_links
+        assert 0 in fs.failed_chips
+
+    def test_unknown_channel_rejected(self, system):
+        spec = FaultSpec(model="fixed", failed_channels=((0, 10**6),))
+        with pytest.raises(ValueError, match="no link"):
+            sample_faults(system, spec)
+
+    def test_unknown_chip_rejected(self, system):
+        spec = FaultSpec(model="fixed", failed_chips=(10**6,))
+        with pytest.raises(ValueError, match="does not exist"):
+            sample_faults(system, spec)
+
+
+class TestYieldModel:
+    def test_deterministic_and_geometric(self, system):
+        spec = FaultSpec(
+            model="yield", defects_per_wafer=2.0, defect_radius_mm=10.0,
+            seed=11,
+        )
+        a = sample_faults(system, spec)
+        b = sample_faults(system, spec)
+        assert a == b
+        assert a.defects  # clusters were sampled and recorded
+        wmap = WaferMap(system)
+        for d in a.defects:
+            assert 0 <= d.wafer < wmap.num_wafers
+
+    def test_defects_kill_colocated_hardware(self, system):
+        spec = FaultSpec(
+            model="yield", defects_per_wafer=3.0, defect_radius_mm=15.0,
+            seed=2,
+        )
+        fs = sample_faults(system, spec)
+        wmap = WaferMap(system)
+        # every die killed sits inside some defect disk of its wafer
+        for chip in fs.failed_chips:
+            site = wmap.chip_sites[chip]
+            assert any(
+                d.wafer == site.wafer
+                and site.within(d.x_mm, d.y_mm, d.radius_mm)
+                for d in fs.defects
+            )
+
+    def test_yield_needs_a_wafer_system(self):
+        dfly = build_dragonfly(DragonflyConfig.radix8())
+        spec = FaultSpec(
+            model="yield", defects_per_wafer=1.0, seed=0
+        )
+        with pytest.raises(TypeError, match="wafer-integrated"):
+            sample_faults(dfly, spec)
+
+
+class TestWaferMap:
+    def test_every_node_has_a_site_inside_its_wafer(self, system):
+        wmap = WaferMap(system)
+        assert set(wmap.sites) == {
+            n.id for n in system.graph.nodes
+        }
+        cx, cy = wmap.wafer_center
+        for site in wmap.sites.values():
+            assert (
+                (site.x_mm - cx) ** 2 + (site.y_mm - cy) ** 2
+            ) <= wmap.wafer_radius_mm ** 2 * 1.01
+
+    def test_wafer_count_matches_config(self, system):
+        wmap = WaferMap(system)
+        cfg = system.cfg
+        assert wmap.num_wafers == cfg.num_cgroups // cfg.cgroups_per_wafer
+
+
+def test_dragonfly_random_faults_work():
+    """The random model is architecture-agnostic (baseline comparisons)."""
+    dfly = build_dragonfly(DragonflyConfig.radix8())
+    fs = sample_faults(
+        dfly, FaultSpec(model="random", link_rate=0.1, seed=1)
+    )
+    assert fs.failed_links
+    for lid in fs.failed_links:
+        assert dfly.graph.links[lid].klass in ("sr", "local", "global")

@@ -1,0 +1,80 @@
+"""Failed-endpoint injection masking at the traffic layer."""
+
+import random
+
+import pytest
+
+from repro.core import SwitchlessConfig, build_switchless
+from repro.faults import FaultMaskedTraffic, FaultSpec, degrade
+from repro.traffic import UniformTraffic
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_switchless(SwitchlessConfig.radix8_equiv())
+
+
+def _masked(system, **fault_opts):
+    deg = degrade(system, FaultSpec.from_opts(fault_opts))
+    base = UniformTraffic(system.graph, None)
+    return FaultMaskedTraffic(base, deg), deg, base
+
+
+class TestInjectionMask:
+    def test_dead_nodes_do_not_inject(self, system):
+        tr, deg, base = _masked(system, model="fixed", failed_chips=(0, 3))
+        active = set(tr.active_nodes())
+        assert active < set(base.active_nodes())
+        for nid in deg.failed_nodes:
+            assert nid not in active
+
+    def test_load_normalised_per_surviving_chip(self, system):
+        tr, _deg, base = _masked(system, model="fixed", failed_chips=(0,))
+        assert tr.num_active_chips() == base.num_active_chips() - 1
+
+    def test_dests_to_dead_nodes_are_dropped(self, system):
+        tr, deg, _ = _masked(system, model="fixed", failed_chips=(0,))
+        rng = random.Random(0)
+        src = tr.active_nodes()[0]
+        saw_mask = False
+        for _ in range(3000):
+            dst = tr.dest(src, rng)
+            if dst is None:
+                saw_mask = True
+                continue
+            assert deg.alive(dst)
+        assert saw_mask  # uniform traffic must have hit the dead chip
+        assert tr.masked_dests > 0
+
+    def test_dests_to_partitioned_nodes_are_dropped(self, system):
+        graph = system.graph
+        victim = system.cgroups[0][0].nodes[0]
+        channels = tuple(
+            (victim, peer) for peer in graph.neighbors_out(victim)
+        )
+        tr, deg, _ = _masked(
+            system, model="fixed", failed_channels=channels
+        )
+        rng = random.Random(1)
+        src = next(n for n in tr.active_nodes() if n != victim)
+        for _ in range(3000):
+            dst = tr.dest(src, rng)
+            assert dst != victim
+
+    def test_all_sources_dead_rejected(self):
+        tiny = build_switchless(
+            SwitchlessConfig(
+                mesh_dim=2, chiplet_dim=1, num_local=1, num_global=0
+            )
+        )
+        all_chips = tuple(sorted(tiny.graph.chips()))
+        with pytest.raises(ValueError, match="every traffic source"):
+            _masked(tiny, model="fixed", failed_chips=all_chips)
+
+    def test_healthy_mask_is_transparent(self, system):
+        deg = degrade(system, FaultSpec(model="fixed", failed_chips=(1,)))
+        base = UniformTraffic(system.graph, None)
+        tr = FaultMaskedTraffic(base, deg)
+        # attribute delegation reaches through to the base pattern
+        assert tr.graph is base.graph
+        assert tr.name.endswith("+faults")

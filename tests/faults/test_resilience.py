@@ -1,0 +1,219 @@
+"""End-to-end resilience studies: engine, cache, report, deadlock check.
+
+This module carries the PR's acceptance scenario: a fixed-seed
+resilience study (switch-less vs switch-based Dragonfly, 3 failure
+rates x 4 loads) runs through the engine with caching and parallel
+workers, produces a saturation-retention report, and the degraded
+routing passes the deadlock-freedom check on every sampled fault
+instance.
+"""
+
+import pytest
+
+from repro.api import (
+    Study,
+    build_study,
+    resilience_report,
+    resilience_study,
+    verify_study_faults,
+)
+from repro.engine import ResultCache
+from repro.network.params import SimParams
+
+#: tiny but structurally honest systems: 4 W-groups of 3x3 C-groups vs
+#: a 4-group p=2 Dragonfly.
+ARCHES = {
+    "SW-less": {
+        "topology": "switchless",
+        "topology_opts": {
+            "mesh_dim": 3, "chiplet_dim": 1, "num_local": 2,
+            "num_global": 1,
+        },
+        "routing": "switchless",
+        "routing_opts": {"mode": "minimal"},
+    },
+    "SW-based": {
+        "topology": "dragonfly",
+        "topology_opts": {"p": 2, "a": 3, "h": 1},
+        "routing": "dragonfly",
+        "routing_opts": {"mode": "minimal", "vc_spread": 2},
+    },
+}
+
+PARAMS = SimParams(
+    warmup_cycles=80, measure_cycles=220, drain_cycles=120, seed=23
+)
+
+FAILURE_RATES = (0.0, 0.04, 0.1)
+LOADS = (0.08, 0.16, 0.28, 0.4)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return resilience_study(
+        name="acceptance",
+        arches=ARCHES,
+        failure_rates=FAILURE_RATES,
+        rates=LOADS,
+        params=PARAMS,
+        fault_seed=5,
+    )
+
+
+class TestStudyShape:
+    def test_one_scenario_per_failure_rate(self, study):
+        assert study.names() == ["fail-0", "fail-0.04", "fail-0.1"]
+        for scn in study.scenarios:
+            assert set(s.label for s in scn.specs) == set(ARCHES)
+            for spec in scn.specs:
+                assert list(spec.rates) == list(LOADS)
+        assert study.has_tag("resilience")
+
+    def test_healthy_scenario_has_no_fault_axis(self, study):
+        assert all(not s.faults for s in study["fail-0"].specs)
+        assert all(s.faults for s in study["fail-0.1"].specs)
+
+    def test_round_trips_to_json(self, study):
+        import json
+
+        clone = Study.from_data(json.loads(json.dumps(study.to_data())))
+        assert clone == study
+
+    def test_same_fault_seed_across_architectures(self, study):
+        for scn in study.scenarios[1:]:
+            seeds = {
+                dict(s.faults).get("seed") for s in scn.specs
+            }
+            assert len(seeds) == 1
+
+
+class TestDeadlockPerInstance:
+    def test_every_sampled_fault_instance_is_deadlock_free(self, study):
+        records = verify_study_faults(study, max_pairs=200)
+        # one record per (arch, nonzero failure rate)
+        assert len(records) == len(ARCHES) * (len(FAILURE_RATES) - 1)
+        for rec in records:
+            assert rec["acyclic"], (
+                f"{rec['scenario']}/{rec['label']}: "
+                f"{rec['report'].describe()}"
+            )
+
+
+class TestAcceptanceRun:
+    @pytest.fixture(scope="class")
+    def run(self, study, tmp_path_factory):
+        cache = ResultCache(tmp_path_factory.mktemp("resilience-cache"))
+        result = study.run(workers=2, cache=cache)
+        return result, cache
+
+    def test_all_curves_produced(self, run, study):
+        result, _ = run
+        assert result.names() == study.names()
+        for scn in result.scenarios:
+            assert set(c.label for c in scn.curves) == set(ARCHES)
+            for curve in scn.curves:
+                assert curve.points  # at least one point before cutoff
+                assert curve.max_accepted > 0
+
+    def test_retention_report(self, run):
+        result, _ = run
+        report = resilience_report(result)
+        assert set(report.labels()) == set(ARCHES)
+        for label in report.labels():
+            rows = report.rows[label]
+            assert [r["failure_rate"] for r in rows] == list(FAILURE_RATES)
+            assert rows[0]["retention"] == 1.0
+            for r in rows:
+                assert 0.0 <= r["retention"] <= 1.5  # noise headroom
+        text = report.render()
+        assert "retention" in text and "SW-less" in text
+
+    def test_cache_replay_is_identical(self, run, study):
+        result, cache = run
+        assert len(cache) > 0
+        replay = study.run(workers=1, cache=cache)
+        assert replay.to_dict()["scenarios"] == result.to_dict()["scenarios"]
+        assert cache.hits > 0
+
+    def test_parallel_equals_serial(self, run, study):
+        result, _ = run
+        serial = study.run(workers=1)
+        assert (
+            serial.to_dict()["scenarios"] == result.to_dict()["scenarios"]
+        )
+
+
+class TestStudyOptions:
+    def test_routing_mode_is_forwarded(self):
+        study = resilience_study(
+            failure_rates=(0.0, 0.05), rates=(0.1,),
+            routing_mode="valiant", params=PARAMS,
+        )
+        for scn in study.scenarios:
+            for spec in scn.specs:
+                assert dict(spec.routing_opts)["mode"] == "valiant"
+
+    def test_local_scope_is_forwarded(self):
+        study = resilience_study(
+            failure_rates=(0.0,), rates=(0.1,), scope="local",
+            params=PARAMS,
+        )
+        for spec in study.scenarios[0].specs:
+            assert dict(spec.traffic_opts)["scope"] == ("group", 0)
+        with pytest.raises(ValueError, match="scope"):
+            resilience_study(
+                failure_rates=(0.0,), rates=(0.1,), scope="sideways",
+                params=PARAMS,
+            )
+
+    def test_preset_maps_to_dragonfly_equivalent(self):
+        study = resilience_study(
+            failure_rates=(0.0,), rates=(0.1,), preset="radix8_equiv",
+            params=PARAMS,
+        )
+        by_label = {s.label: s for s in study.scenarios[0].specs}
+        assert dict(by_label["SW-less"].topology_opts)["preset"] == (
+            "radix8_equiv"
+        )
+        assert dict(by_label["SW-based"].topology_opts)["preset"] == "radix8"
+
+    def test_yield_model_rejects_non_wafer_architectures(self):
+        with pytest.raises(ValueError, match="wafer"):
+            resilience_study(
+                arches=("switchless", "dragonfly"),
+                failure_rates=(0.0, 1.0), rates=(0.1,),
+                fault_model="yield", params=PARAMS,
+            )
+
+    def test_yield_model_builds_for_switchless_only(self):
+        study = resilience_study(
+            arches=("switchless",),
+            failure_rates=(0.0, 1.5), rates=(0.1,),
+            fault_model="yield", preset="radix8_equiv", params=PARAMS,
+        )
+        faulty = study.scenarios[1].specs[0]
+        assert dict(faulty.faults)["model"] == "yield"
+        # the sampled instance is routable and deadlock free
+        records = verify_study_faults(study, max_pairs=100)
+        assert records and all(r["acyclic"] for r in records)
+
+
+class TestBundledResilienceStudies:
+    def test_bundled_entries_build_at_every_scale(self):
+        for name in ("resilience", "resilience_smoke"):
+            for scale in ("quick", "default", "full"):
+                study = build_study(name, scale)
+                assert study.has_tag("resilience")
+                assert study.num_specs() > 0
+
+    def test_smoke_study_runs_fast_and_reports(self):
+        result = build_study("resilience_smoke", "quick").run(workers=1)
+        report = resilience_report(result)
+        assert set(report.labels()) == {"SW-less", "SW-based"}
+        for rows in report.rows.values():
+            assert len(rows) == 2  # healthy + one degraded step
+
+    def test_report_rejects_non_resilience_results(self):
+        result = build_study("smoke", "quick").run(workers=1)
+        with pytest.raises(ValueError, match="resilience"):
+            resilience_report(result)

@@ -41,6 +41,21 @@ def test_list(capsys):
     assert "fig10_local" in out and "smoke" in out
     assert "switchless" in out and "bit_reverse" in out
     assert "small_equiv" in out
+    # studies are described and tagged for discovery
+    assert "#figure" in out and "#resilience" in out
+    assert "Throughput/latency degradation" in out
+
+
+def test_list_tag_filter(capsys):
+    assert main(["list", "--tag", "resilience"]) == 0
+    out = capsys.readouterr().out
+    assert "resilience_smoke" in out
+    assert "fig10_local" not in out
+
+
+def test_list_unknown_tag(capsys):
+    assert main(["list", "--tag", "martian"]) == 1
+    assert "no bundled study" in capsys.readouterr().out
 
 
 def test_run_scenario_file(capsys, tmp_path):
@@ -156,6 +171,69 @@ def test_sweep_preset_flag(capsys):
 def test_sweep_bad_preset(capsys):
     assert main(["sweep", "--preset", "bogus", "--points", "1"]) == 2
     assert "available" in capsys.readouterr().err
+
+
+def test_resilience_smoke(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    rc = main([
+        "resilience", "--smoke", "--workers", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--out", str(out_file), "--max-pairs", "100",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deadlock-free" in out          # per-instance verification ran
+    assert "resilience report" in out      # retention report rendered
+    assert "retention" in out
+    data = json.loads(out_file.read_text())
+    assert data["schema"] == "repro.study-result/v1"
+    assert [s["name"] for s in data["scenarios"]] == ["fail-0", "fail-0.08"]
+
+
+def test_resilience_custom_axis(capsys, tmp_path):
+    rc = main([
+        "resilience", "--arch", "switchless",
+        "--failure-rates", "0,0.05", "--points", "2", "--max-rate", "0.3",
+        "--preset", "radix8_equiv", "--warmup", "80", "--measure", "200",
+        "--workers", "1", "--no-verify",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fail-0.05" in out
+    assert "deadlock-free" not in out  # verification skipped
+
+
+def test_resilience_rejects_unknown_arch(capsys):
+    assert main(["resilience", "--arch", "torus9d"]) == 2
+    assert "unknown architecture" in capsys.readouterr().err
+
+
+def test_resilience_rejects_yield_model_for_dragonfly(capsys):
+    assert main([
+        "resilience", "--model", "yield",
+        "--arch", "switchless,dragonfly",
+    ]) == 2
+    assert "wafer" in capsys.readouterr().err
+
+
+def test_resilience_forwards_routing_mode(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    rc = main([
+        "resilience", "--arch", "switchless", "--routing", "valiant",
+        "--failure-rates", "0,0.05", "--points", "1", "--max-rate", "0.2",
+        "--preset", "radix8_equiv", "--warmup", "80", "--measure", "200",
+        "--workers", "1", "--max-pairs", "60", "--out", str(out_file),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "deadlock-free" in out
+    data = json.loads(out_file.read_text())
+    assert data["scenarios"][0]["curves"][0]["label"] == "SW-less"
+
+
+def test_resilience_rejects_bad_rate_list(capsys):
+    assert main(["resilience", "--failure-rates", "0,zap"]) == 2
+    assert "cannot parse" in capsys.readouterr().err
 
 
 def test_unknown_command():
