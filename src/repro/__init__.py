@@ -10,6 +10,9 @@ Public API overview
     HammingMesh, PolarFly) lowered to a common router-graph substrate.
 ``repro.network``
     Cycle-accurate flit-level virtual-channel simulator.
+``repro.metrics``
+    Composable observability: metric probes, typed channels and the
+    post-run record surface they decode.
 ``repro.routing``
     Minimal / non-minimal deadlock-free routing and the channel-dependency
     deadlock verifier.

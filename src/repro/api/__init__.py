@@ -39,6 +39,7 @@ Resilience::
     print(resilience_report(result).render())
 """
 
+from ..metrics import MetricChannel, build_probe, list_probes
 from .compare import compare_scenario
 from .library import (
     SCALES,
@@ -83,14 +84,17 @@ __all__ = [
     "STUDY_RESULT_SCHEMA",
     "STUDY_SCHEMA",
     "CurveResult",
+    "MetricChannel",
     "PointResult",
     "ResilienceReport",
     "Scenario",
     "ScenarioResult",
     "Study",
     "StudyResult",
+    "build_probe",
     "build_study",
     "compare_scenario",
+    "list_probes",
     "dragonfly_arch",
     "library_studies",
     "list_library",

@@ -26,6 +26,7 @@ import re
 from typing import Dict, Optional, Sequence
 
 from ..engine import list_presets
+from ..engine.spec import suggest
 from ..network.params import SimParams
 from .library import dragonfly_arch, make_spec, switchless_arch
 from .scenario import Scenario
@@ -48,7 +49,8 @@ def validate_preset(preset: str) -> str:
     known = list_presets("switchless")
     if preset not in known:
         raise ValueError(
-            f"unknown preset {preset!r}; available: {known}"
+            f"unknown preset {preset!r}{suggest(preset, known)}; "
+            f"available: {known}"
         )
     return preset
 

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..engine import ExperimentSpec
+from ..engine.spec import suggest
 from ..network.params import SimParams
 from .scenario import Scenario, Study
 
@@ -169,7 +170,9 @@ def build_study(name: str, scale: str = "default") -> Study:
         builder = _LIBRARY[name]
     except KeyError:
         raise ValueError(
-            f"unknown library study {name!r}; bundled: {list_library()}"
+            f"unknown library study {name!r}"
+            f"{suggest(name, list_library())}; "
+            f"bundled: {list_library()}"
         ) from None
     return builder(scale)
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from ..metrics import MetricChannel
 from ..network.stats import SimResult
 from ..network.sweep import LoadSweep
 
@@ -73,6 +74,20 @@ class PointResult:
     def saturated(self) -> bool:
         return self.result.saturated
 
+    @property
+    def channels(self) -> Dict[str, MetricChannel]:
+        """Metric channels of this point (see :mod:`repro.metrics`)."""
+        return self.result.channels
+
+    def channel(self, name: str) -> MetricChannel:
+        try:
+            return self.result.channels[name]
+        except KeyError:
+            raise KeyError(
+                f"point rate={self.rate} has no channel {name!r}; "
+                f"channels: {sorted(self.result.channels)}"
+            ) from None
+
     def to_dict(self) -> Dict:
         return {"rate": self.rate, "result": self.result.to_dict()}
 
@@ -112,8 +127,18 @@ class CurveResult:
         return max((p.accepted for p in self.points), default=0.0)
 
     def zero_load_latency(self) -> float:
-        """Average latency at the lowest measured rate."""
-        return self.points[0].avg_latency if self.points else float("nan")
+        """Average latency at the lowest *non-saturated* measured rate.
+
+        Saturated points are skipped (their latency reflects the
+        measurement window, not the network); ``nan`` when every point
+        saturated or the curve is empty — summaries carry the NaN
+        through (JSON ``null``, empty CSV cell) rather than reporting
+        a bogus number.
+        """
+        for p in self.points:
+            if not p.saturated:
+                return p.avg_latency
+        return float("nan")
 
     def summary(self) -> Dict[str, float]:
         return {
@@ -121,6 +146,15 @@ class CurveResult:
             "max_accepted": self.max_accepted,
             "zero_load_latency": self.zero_load_latency(),
         }
+
+    def channel_names(self) -> List[str]:
+        """Channel names present on any point of this curve."""
+        names: List[str] = []
+        for p in self.points:
+            for name in p.channels:
+                if name not in names:
+                    names.append(name)
+        return names
 
     def format_table(self) -> str:
         lines = [f"# {self.label}", "offered  accepted  avg_latency"]
@@ -344,6 +378,70 @@ class StudyResult:
     @classmethod
     def load(cls, path: Union[str, Path]) -> "StudyResult":
         return cls.from_json(Path(path).read_text())
+
+    # -- metric channels ----------------------------------------------
+    def channel_names(self) -> List[str]:
+        """Channel names present anywhere in the study, in first-seen
+        order (probe-off studies return ``[]``)."""
+        names: List[str] = []
+        for scn in self.scenarios:
+            for curve in scn.curves:
+                for name in curve.channel_names():
+                    if name not in names:
+                        names.append(name)
+        return names
+
+    def iter_channels(self, name: str):
+        """Yield ``(scenario, curve, point, channel)`` for every point
+        carrying channel ``name``."""
+        for scn in self.scenarios:
+            for curve in scn.curves:
+                for p in curve.points:
+                    ch = p.channels.get(name)
+                    if ch is not None:
+                        yield scn, curve, p, ch
+
+    def channel_csv(self, name: str) -> str:
+        """Long-form CSV of one channel across every point.
+
+        Rows are the channel's own rows, prefixed with
+        ``scenario,curve,rate`` columns so a single file holds the
+        whole study's telemetry for that channel.
+        """
+        lines: List[str] = []
+        for scn, curve, p, ch in self.iter_channels(name):
+            block = ch.to_csv(
+                prefix=(
+                    f"scenario={scn.name}",
+                    f"curve={curve.label}",
+                    f"rate={_fmt(p.rate)}",
+                )
+            ).splitlines()
+            if not lines:
+                lines.append(block[0])
+            lines.extend(block[1:])
+        if not lines:
+            raise KeyError(
+                f"study {self.name!r} has no channel {name!r}; "
+                f"channels: {self.channel_names()}"
+            )
+        return "\n".join(lines) + "\n"
+
+    def render_channel(self, name: str, max_rows: int = 12) -> str:
+        """Text rendering of one channel across every point."""
+        out: List[str] = []
+        for scn, curve, p, ch in self.iter_channels(name):
+            out.append(
+                f"==== {scn.name} / {curve.label} @ rate "
+                f"{_fmt(p.rate)} ===="
+            )
+            out.append(ch.format_table(max_rows=max_rows))
+        if not out:
+            raise KeyError(
+                f"study {self.name!r} has no channel {name!r}; "
+                f"channels: {self.channel_names()}"
+            )
+        return "\n".join(out)
 
     def to_csv(self) -> str:
         """Flat per-point table (one header row, ``,``-separated)."""

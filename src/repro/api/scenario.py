@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -91,6 +91,14 @@ class Scenario:
 
     def labels(self) -> List[str]:
         return [_curve_label(s) for s in self.specs]
+
+    def with_metrics(self, metrics) -> "Scenario":
+        """Copy with every spec's probe axis replaced (see
+        :meth:`~repro.engine.ExperimentSpec.with_metrics`)."""
+        return replace(
+            self,
+            specs=tuple(s.with_metrics(metrics) for s in self.specs),
+        )
 
     def run(
         self,
@@ -190,6 +198,20 @@ class Study:
 
     def __getitem__(self, name: str) -> Scenario:
         return self.scenario(name)
+
+    def with_metrics(self, metrics) -> "Study":
+        """Copy with the probe axis applied to every scenario's specs.
+
+        The CLI's ``run --metrics link_util,misroute`` flag goes
+        through here; channels then appear on every simulated point of
+        the returned study's results.
+        """
+        return replace(
+            self,
+            scenarios=tuple(
+                s.with_metrics(metrics) for s in self.scenarios
+            ),
+        )
 
     # -- execution -----------------------------------------------------
     def run(

@@ -6,9 +6,13 @@ Examples::
     repro-dragonfly list --tag resilience     # filter by scenario tag
     repro-dragonfly run fig10_local --scale quick --workers 4
     repro-dragonfly run scenarios/smoke.json --workers 1 --out smoke.json
+    repro-dragonfly run smoke --metrics link_util,misroute --out s.json
     repro-dragonfly compare --arch switchless,dragonfly --pattern uniform
     repro-dragonfly resilience --failure-rates 0,0.02,0.05 --workers 4
+    repro-dragonfly metrics                   # registered probe kinds
+    repro-dragonfly metrics s.json            # channels in a result file
     repro-dragonfly report smoke.json --csv smoke.csv
+    repro-dragonfly report s.json --channel link_util --csv links.csv
     repro-dragonfly tables                    # Tables I, II, IV
     repro-dragonfly layout                    # Fig. 9 floorplan summary
     repro-dragonfly verify --policy reduced   # deadlock-freedom check
@@ -51,6 +55,7 @@ from .engine import (
     list_traffics,
 )
 from .layout import plan_cgroup_layout
+from .metrics import probe_descriptions
 from .network import SimParams
 from .routing import SwitchlessRouting, verify_deadlock_free
 
@@ -89,6 +94,14 @@ def _setup_logging(verbose: bool) -> None:
 
 def _run_study(study, args) -> int:
     """Shared run/report/export path of ``run``, ``compare``, ``sweep``."""
+    metrics = getattr(args, "metrics", None)
+    if metrics:
+        names = [m.strip() for m in metrics.split(",") if m.strip()]
+        try:
+            study = study.with_metrics(names)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     result = study.run(workers=args.workers, cache=cache)
     print(result.render())
@@ -205,10 +218,48 @@ def _cmd_report(args) -> int:
     except (OSError, ValueError, KeyError) as exc:
         print(f"error: cannot read {args.results}: {exc}", file=sys.stderr)
         return 2
+    channel = getattr(args, "channel", None)
+    if channel:
+        try:
+            print(result.render_channel(channel))
+            if args.csv:
+                Path(args.csv).write_text(result.channel_csv(channel))
+                print(f"# channel csv written to {args.csv}")
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        return 0
     print(result.render())
     if args.csv:
         Path(args.csv).write_text(result.to_csv())
         print(f"# csv written to {args.csv}")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Probe-kind listing, or the channels inside a results file."""
+    if not args.results:
+        print("registered metric probes (run with: "
+              "repro-dragonfly run <name> --metrics <kinds>):")
+        for name, desc in probe_descriptions().items():
+            print(f"  {name:18s} {desc}")
+        return 0
+    try:
+        result = StudyResult.load(args.results)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read {args.results}: {exc}", file=sys.stderr)
+        return 2
+    names = result.channel_names()
+    if not names:
+        print(f"{args.results}: no metric channels (the study ran "
+              "without a metrics axis)")
+        return 1
+    print(f"{args.results}: metric channels")
+    for name in names:
+        points = sum(1 for _ in result.iter_channels(name))
+        print(f"  {name:18s} on {points} point(s)")
+    print("render with: repro-dragonfly report "
+          f"{args.results} --channel <name>")
     return 0
 
 
@@ -308,6 +359,12 @@ def _add_exec_args(parser) -> None:
     parser.add_argument(
         "--csv", default=None, metavar="FILE",
         help="also write the flat per-point CSV here",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="KINDS",
+        help="attach metric probes to every curve (comma-separated "
+        "kinds, see 'repro-dragonfly metrics'); channels land in the "
+        "results JSON",
     )
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="engine progress logging")
@@ -429,7 +486,23 @@ def main(argv=None) -> int:
     report.add_argument("results", help="path to a results JSON file")
     report.add_argument(
         "--csv", default=None, metavar="FILE",
-        help="also write the flat per-point CSV here",
+        help="also write the flat per-point CSV here (with --channel: "
+        "that channel's long-form CSV)",
+    )
+    report.add_argument(
+        "--channel", default=None, metavar="NAME",
+        help="render one metric channel across all points instead of "
+        "the curve tables (see 'repro-dragonfly metrics <results>')",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="list registered metric probes, or the channels inside a "
+        "results file",
+    )
+    metrics.add_argument(
+        "results", nargs="?", default=None,
+        help="optional path to a StudyResult JSON file",
     )
 
     sweep = sub.add_parser(
@@ -454,6 +527,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "compare": _cmd_compare,
         "report": _cmd_report,
+        "metrics": _cmd_metrics,
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,

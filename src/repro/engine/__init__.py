@@ -19,6 +19,7 @@ from .spec import (
     ExperimentSpec,
     build_experiment,
     build_faults,
+    build_metrics,
     build_routing,
     build_system,
     build_traffic,
@@ -31,6 +32,7 @@ from .spec import (
     register_routing,
     register_topology,
     register_traffic,
+    suggest,
 )
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "ResultCache",
     "build_experiment",
     "build_faults",
+    "build_metrics",
     "build_routing",
     "build_system",
     "build_traffic",
@@ -53,4 +56,5 @@ __all__ = [
     "run_experiments",
     "simulate_point",
     "spec_saturation",
+    "suggest",
 ]

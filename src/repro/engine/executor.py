@@ -32,6 +32,7 @@ from .cache import ResultCache
 from .spec import (
     ExperimentSpec,
     build_experiment,
+    build_metrics,
     build_routing,
     build_system,
     point_key,
@@ -83,7 +84,9 @@ def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
         spec, system=system, routing=routing
     )
     params = spec.params.scaled(seed=point_seed(spec, rate))
-    return Simulator(graph, routing, traffic, params).run(rate)
+    return Simulator(
+        graph, routing, traffic, params, probes=build_metrics(spec)
+    ).run(rate)
 
 
 def _point_task(task: Tuple[int, int, ExperimentSpec, float]):

@@ -24,6 +24,7 @@ snake-ordered chips, for ring collectives).
 
 from __future__ import annotations
 
+import difflib
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
@@ -31,6 +32,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core import SwitchlessConfig, build_switchless
 from ..faults import FaultAwareRouting, FaultMaskedTraffic, FaultSpec, degrade
+from ..metrics import build_probes, metrics_to_data, normalize_metrics
 from ..network.params import SimParams
 from ..routing import (
     DragonflyRouting,
@@ -54,6 +56,7 @@ __all__ = [
     "ExperimentSpec",
     "build_experiment",
     "build_faults",
+    "build_metrics",
     "build_routing",
     "build_system",
     "build_traffic",
@@ -66,6 +69,7 @@ __all__ = [
     "register_routing",
     "register_topology",
     "register_traffic",
+    "suggest",
 ]
 
 #: bump when the spec -> simulation mapping changes incompatibly, so
@@ -82,7 +86,28 @@ __all__ = [
 #:
 #: v2: ``faults`` joined the hashed payload (a degraded run must never
 #: alias a cached healthy-wafer result, and vice versa).
-ENGINE_VERSION = 2
+#:
+#: v3: ``metrics`` joined the hashed payload.  Probes never change the
+#: simulated numbers, but a cached probe-off point must not satisfy a
+#: probe-on request (its payload carries no channels) — and vice versa
+#: a probe-on entry would smuggle channels into probe-off results.
+ENGINE_VERSION = 3
+
+
+def suggest(name: str, candidates: Sequence[str]) -> str:
+    """A ``"; did you mean X?"`` fragment for unknown-name errors.
+
+    Empty when nothing in ``candidates`` is close — callers append the
+    result to their error message unconditionally.
+    """
+    close = difflib.get_close_matches(name, list(candidates), n=3,
+                                      cutoff=0.5)
+    if not close:
+        return ""
+    if len(close) == 1:
+        return f"; did you mean {close[0]!r}?"
+    listed = ", ".join(repr(c) for c in close[:-1])
+    return f"; did you mean {listed} or {close[-1]!r}?"
 
 
 # ----------------------------------------------------------------------
@@ -207,6 +232,12 @@ class ExperimentSpec:
     :class:`~repro.faults.FaultSpec` — empty for a perfect wafer.  It is
     part of :meth:`config_key`, so degraded runs and healthy runs can
     never alias each other in the :class:`~repro.engine.ResultCache`.
+
+    ``metrics`` is the frozen probe axis (see :mod:`repro.metrics`):
+    ``(name, ((option, value), ...))`` entries naming registered probe
+    kinds.  Probes are attached per simulated point and their channels
+    ride inside the point's ``SimResult`` — through the cache too,
+    which is why the axis is hashed (see the v3 note above).
     """
 
     topology: str
@@ -219,6 +250,7 @@ class ExperimentSpec:
     rates: Tuple[float, ...] = ()
     label: str = ""
     faults: Tuple = ()
+    metrics: Tuple = ()
 
     @classmethod
     def create(
@@ -234,6 +266,7 @@ class ExperimentSpec:
         rates: Sequence[float] = (),
         label: str = "",
         faults: Optional[Dict] = None,
+        metrics=None,
     ) -> "ExperimentSpec":
         """Build a spec from keyword dicts, validating the kind names."""
         for kind, table, what in (
@@ -254,11 +287,16 @@ class ExperimentSpec:
             rates=tuple(float(r) for r in rates),
             label=label,
             faults=_freeze(faults or {}),
+            metrics=normalize_metrics(metrics),  # fail fast here too
         )
 
     def with_faults(self, faults: Optional[Dict]) -> "ExperimentSpec":
         FaultSpec.from_opts(faults or {})
         return replace(self, faults=_freeze(faults or {}))
+
+    def with_metrics(self, metrics) -> "ExperimentSpec":
+        """Copy with the probe axis replaced (``None``/``()`` clears)."""
+        return replace(self, metrics=normalize_metrics(metrics))
 
     def with_rates(self, rates: Sequence[float]) -> "ExperimentSpec":
         return replace(self, rates=tuple(float(r) for r in rates))
@@ -274,7 +312,7 @@ class ExperimentSpec:
         the output is directly JSON-serialisable (tuples become lists;
         :meth:`from_data` re-freezes either form identically).
         """
-        return {
+        data = {
             "topology": self.topology,
             "topology_opts": _thaw_opts(self.topology_opts),
             "routing": self.routing,
@@ -289,6 +327,11 @@ class ExperimentSpec:
             "rates": list(self.rates),
             "label": self.label,
         }
+        if self.metrics:
+            # omitted when empty, so pre-metrics scenario files and
+            # probe-less specs serialise byte-identically to before
+            data["metrics"] = metrics_to_data(self.metrics)
+        return data
 
     @classmethod
     def from_data(cls, data: Dict) -> "ExperimentSpec":
@@ -314,6 +357,7 @@ class ExperimentSpec:
             params=params,
             rates=data.get("rates", ()),
             label=data.get("label", ""),
+            metrics=data.get("metrics"),
         )
 
     # -- hashing -------------------------------------------------------
@@ -330,6 +374,7 @@ class ExperimentSpec:
             "routing": [self.routing, self.routing_opts],
             "traffic": [self.traffic, self.traffic_opts],
             "faults": list(self.faults),
+            "metrics": list(self.metrics),
             "params": {
                 k: getattr(self.params, k)
                 for k in self.params.__dataclass_fields__
@@ -345,6 +390,8 @@ class ExperimentSpec:
         )
         if self.faults:
             base += f"+{FaultSpec.from_opts(_thaw_opts(self.faults)).describe()}"
+        if self.metrics:
+            base += f"+probes[{','.join(name for name, _ in self.metrics)}]"
         return f"{self.label} ({base})" if self.label else base
 
 
@@ -396,6 +443,11 @@ def build_routing(spec: ExperimentSpec, system):
     if fspec is not None:
         routing = FaultAwareRouting(routing, degrade(system, fspec))
     return routing
+
+
+def build_metrics(spec: ExperimentSpec) -> List:
+    """The spec's probe axis realised as probe instances ([] when off)."""
+    return build_probes(spec.metrics) if spec.metrics else []
 
 
 def build_traffic(spec: ExperimentSpec, system):
@@ -459,11 +511,13 @@ def _system_groups(system) -> int:
 def _config_from(config_cls, opts: Dict):
     preset = opts.pop("preset", None)
     if preset is not None:
-        factory = getattr(config_cls, preset, None)
+        known = _presets_of(config_cls)
+        factory = getattr(config_cls, preset, None) if preset in known \
+            else None
         if factory is None or not callable(factory):
             raise ValueError(
-                f"{config_cls.__name__} has no preset {preset!r}; "
-                f"available: {_presets_of(config_cls)}"
+                f"{config_cls.__name__} has no preset {preset!r}"
+                f"{suggest(preset, known)}; available: {known}"
             )
         return factory(**opts)
     return config_cls(**opts)

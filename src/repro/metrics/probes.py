@@ -1,0 +1,441 @@
+"""Built-in probe kinds.
+
+Every probe here decodes the :class:`~repro.metrics.RunRecord` bulk
+arrays directly (vectorised where it pays) instead of using the generic
+event replay, but produces exactly what an event-surface implementation
+would: all statistics are restricted to the *measured* packet
+population (packets created inside the measurement window), and — for
+anything route- or completion-based — to the measured packets that
+were actually delivered, mirroring ``SimResult``'s conventions.
+
+Registered kinds:
+
+``link_util``
+    flit traversals per directed link (Fig. 13-style link-load maps);
+``vc_util``
+    the same resolved per (link, virtual channel);
+``latency_hist``
+    binned latency distribution with the SimResult percentiles;
+``timeseries``
+    cycle-window telemetry: injections, completions, backlog and
+    latency evolution across the measurement window;
+``misroute``
+    hop accounting against BFS-minimal distances: misroute ratio and
+    excess-hop histogram (the Fig. 13 misrouting metric);
+``ejection_fairness``
+    delivered flits per destination chip with a Jain fairness index.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .channel import MetricChannel
+from .probe import Probe, register_probe
+from .record import RunRecord
+
+__all__ = [
+    "EjectionFairnessProbe",
+    "LatencyHistogramProbe",
+    "LinkUtilizationProbe",
+    "MisrouteProbe",
+    "TimeSeriesProbe",
+    "VCUtilizationProbe",
+]
+
+
+def _nan() -> float:
+    return float("nan")
+
+
+def _mean(values) -> float:
+    values = list(values)
+    return float(np.mean(values)) if values else _nan()
+
+
+def _route_flit_counts(record: RunRecord, key) -> Counter:
+    """Flit traversals of measured delivered packets, grouped by
+    ``key(lv)`` — the one route walk both utilisation probes share."""
+    counts: Counter = Counter()
+    pkt_len = record.packet_length
+    for pid in record.measured_delivered_pids():
+        for lv in record.route(pid):
+            counts[key(lv)] += pkt_len
+    return counts
+
+
+def _keep_hottest(rows, top: int, flits_index: int):
+    """Top-``top`` rows by flit count, re-sorted ascending by id.
+
+    Callers must compute summary statistics from the *full* table
+    first — truncation only thins what gets exported as rows.
+    """
+    if top and len(rows) > top:
+        rows = sorted(
+            rows, key=lambda r: (-r[flits_index],) + r[:flits_index]
+        )[:top]
+        rows.sort(key=lambda r: r[:flits_index])
+    return rows
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class LinkUtilizationProbe(Probe):
+    """Flit traversals per directed link (measured delivered packets)."""
+
+    name = "link_util"
+    description = (
+        "per-link flit load and utilisation (measured delivered packets)"
+    )
+
+    def __init__(self, top: int = 0) -> None:
+        #: keep only the ``top`` most-loaded links (0 = all used links).
+        self.top = int(top)
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        num_vcs = record.num_vcs
+        counts = _route_flit_counts(record, lambda lv: lv // num_vcs)
+        cycles = max(1, record.measure_cycles)
+        total = sum(counts.values())
+        rows = []
+        for link, flits in sorted(counts.items()):
+            src, dst = (
+                record.link_ends[link]
+                if link < len(record.link_ends)
+                else (-1, -1)
+            )
+            rows.append(
+                (
+                    link,
+                    src,
+                    dst,
+                    flits,
+                    flits / cycles,
+                    flits / total if total else 0.0,
+                )
+            )
+        loads = [r[4] for r in rows]  # summary: the FULL table
+        max_row = max(rows, key=lambda r: r[3], default=None)
+        rows = _keep_hottest(rows, self.top, flits_index=3)
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("link", "src", "dst", "flits", "flits_per_cycle",
+                     "share"),
+            rows=tuple(rows),
+            summary={
+                "links_used": float(len(counts)),
+                "total_flit_hops": float(total),
+                "mean_flits_per_cycle": _mean(loads),
+                "max_flits_per_cycle": max(loads, default=_nan()),
+                "max_link": float(max_row[0]) if max_row else _nan(),
+            },
+            meta={"top": self.top, "population": "measured_delivered"},
+        )
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class VCUtilizationProbe(Probe):
+    """Flit traversals per (link, virtual channel)."""
+
+    name = "vc_util"
+    description = "per-(link, VC) flit load (measured delivered packets)"
+
+    def __init__(self, top: int = 0) -> None:
+        self.top = int(top)
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        counts = _route_flit_counts(record, lambda lv: lv)
+        cycles = max(1, record.measure_cycles)
+        num_vcs = record.num_vcs
+        rows = [
+            (lv // num_vcs, lv % num_vcs, flits, flits / cycles)
+            for lv, flits in sorted(counts.items())
+        ]
+        loads = [r[2] for r in rows]  # summary: the FULL table
+        rows = _keep_hottest(rows, self.top, flits_index=2)
+        per_vc: Counter = Counter()
+        for lv, flits in counts.items():
+            per_vc[lv % num_vcs] += flits
+        balance = (
+            max(per_vc.values()) / (sum(per_vc.values()) / len(per_vc))
+            if per_vc
+            else _nan()
+        )
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("link", "vc", "flits", "flits_per_cycle"),
+            rows=tuple(rows),
+            summary={
+                "lvs_used": float(len(counts)),
+                "max_flits": float(max(loads, default=0)),
+                "vc_imbalance": balance,
+            },
+            meta={"top": self.top, "num_vcs": num_vcs},
+        )
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class LatencyHistogramProbe(Probe):
+    """Binned latency distribution of measured delivered packets."""
+
+    name = "latency_hist"
+    description = "latency histogram + percentiles (measured packets)"
+
+    def __init__(self, bins: int = 16) -> None:
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.bins = int(bins)
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        lats = np.asarray(
+            [record.latency(pid) for pid in record.measured_delivered_pids()],
+            dtype=np.float64,
+        )
+        if lats.size:
+            counts, edges = np.histogram(lats, bins=self.bins)
+            rows = tuple(
+                (float(edges[i]), float(edges[i + 1]), int(counts[i]))
+                for i in range(len(counts))
+            )
+            summary = {
+                "packets": float(lats.size),
+                "avg": float(lats.mean()),
+                "p50": float(np.percentile(lats, 50)),
+                "p99": float(np.percentile(lats, 99)),
+                "min": float(lats.min()),
+                "max": float(lats.max()),
+            }
+        else:
+            rows = ()
+            summary = {
+                "packets": 0.0, "avg": _nan(), "p50": _nan(),
+                "p99": _nan(), "min": _nan(), "max": _nan(),
+            }
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="histogram",
+            columns=("bin_lo", "bin_hi", "count"),
+            rows=rows,
+            summary=summary,
+            meta={"bins": self.bins, "unit": "cycles"},
+        )
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class TimeSeriesProbe(Probe):
+    """Cycle-window telemetry across the measurement window.
+
+    Each row covers ``window`` cycles of the measurement window:
+    packets injected (created), packets completed (tail ejected —
+    completions landing in the drain are folded into a final row),
+    the measured-population backlog at window end, and the mean latency
+    of the packets *created* in the window (a congestion-onset signal:
+    it grows as queues build).
+    """
+
+    name = "timeseries"
+    description = (
+        "windowed injections/completions/backlog/latency evolution"
+    )
+
+    def __init__(self, window: int = 200) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = int(window)
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        w = self.window
+        start, end = record.measure_start, record.measure_end
+        span = max(1, end - start)
+        nwin = (span + w - 1) // w
+        injected = [0] * (nwin + 1)   # [-1] = fold-over (never used for t0)
+        completed = [0] * (nwin + 1)  # [-1] = completions in the drain
+        lat_sum = [0] * nwin
+        lat_n = [0] * nwin
+        for pid in record.measured_pids():
+            wi = (record.p_t0[pid] - start) // w
+            injected[wi] += 1
+            done = record.p_done[pid]
+            if done >= 0:
+                completed[min((done - start) // w, nwin)] += 1
+                lat_sum[wi] += done - record.p_t0[pid]
+                lat_n[wi] += 1
+        rows = []
+        backlog = 0
+        for wi in range(nwin):
+            backlog += injected[wi] - completed[wi]
+            rows.append(
+                (
+                    start + wi * w,
+                    min(start + (wi + 1) * w, end),
+                    injected[wi],
+                    completed[wi],
+                    backlog,
+                    lat_sum[wi] / lat_n[wi] if lat_n[wi] else _nan(),
+                )
+            )
+        lat_first = rows[0][5] if rows else _nan()
+        lat_last = rows[-1][5] if rows else _nan()
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="timeseries",
+            columns=("t_start", "t_end", "injected", "completed",
+                     "backlog", "avg_latency"),
+            rows=tuple(rows),
+            summary={
+                "windows": float(nwin),
+                "peak_backlog": float(max((r[4] for r in rows), default=0)),
+                "completed_in_drain": float(completed[nwin]),
+                "first_window_latency": lat_first,
+                "last_window_latency": lat_last,
+            },
+            meta={"window": w, "unit": "cycles"},
+        )
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class MisrouteProbe(Probe):
+    """Hop accounting against BFS-minimal router distances.
+
+    A measured delivered packet is *misrouted* when its route is longer
+    than the minimal hop distance from its source to its destination
+    router over the simulated graph — exactly the population Valiant
+    routing inflates in Fig. 13.  Distances are computed post-run by
+    BFS over the record's *surviving* directed links (failed links of
+    a degraded run are excluded, so routes repaired around faults are
+    measured against an achievable floor), memoised per source.
+
+    Note the floor is *graph*-minimal: flat routings (mesh XY) report a
+    0 ratio in minimal mode, while hierarchical policies (switch-less
+    l-g-l) are minimal within their channel classes and may exceed the
+    unconstrained BFS distance even without Valiant detours.  The
+    Fig. 13 signal is therefore the ratio *between* minimal and
+    non-minimal runs of the same configuration, which this floor makes
+    directly comparable.
+    """
+
+    name = "misroute"
+    description = (
+        "misroute ratio and excess-hop histogram vs BFS-minimal paths"
+    )
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        adj: Dict[int, List[int]] = defaultdict(list)
+        failed = record.failed_links
+        for link, (src, dst) in enumerate(record.link_ends):
+            if link in failed:
+                continue
+            adj[src].append(dst)
+        dist_from: Dict[int, Dict[int, int]] = {}
+
+        def dist(src: int, dst: int) -> int:
+            table = dist_from.get(src)
+            if table is None:
+                table = {src: 0}
+                frontier = [src]
+                while frontier:
+                    nxt = []
+                    for u in frontier:
+                        du = table[u]
+                        for v in adj.get(u, ()):
+                            if v not in table:
+                                table[v] = du + 1
+                                nxt.append(v)
+                    frontier = nxt
+                dist_from[src] = table
+            return table.get(dst, -1)
+
+        excess_hist: Counter = Counter()
+        packets = 0
+        misrouted = 0
+        hops_total = 0
+        min_total = 0
+        for pid in record.measured_delivered_pids():
+            hops = record.p_hops[pid]
+            lo = dist(record.p_src[pid], record.p_dst[pid])
+            if lo < 0:
+                # a delivered packet proves the pair was connected, so
+                # BFS over the surviving links should always reach;
+                # keep the observed route as the floor as a safety net
+                lo = hops
+            packets += 1
+            hops_total += hops
+            min_total += lo
+            excess = hops - lo
+            excess_hist[excess] += 1
+            if excess > 0:
+                misrouted += 1
+        rows = tuple(
+            (excess, count) for excess, count in sorted(excess_hist.items())
+        )
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="histogram",
+            columns=("excess_hops", "packets"),
+            rows=rows,
+            summary={
+                "packets": float(packets),
+                "misrouted": float(misrouted),
+                "misroute_ratio": misrouted / packets if packets else _nan(),
+                "avg_hops": hops_total / packets if packets else _nan(),
+                "avg_min_hops": min_total / packets if packets else _nan(),
+                "avg_excess": (
+                    (hops_total - min_total) / packets if packets else _nan()
+                ),
+                "max_excess": float(max(excess_hist, default=0)),
+            },
+            meta={"population": "measured_delivered"},
+        )
+
+
+# ----------------------------------------------------------------------
+@register_probe
+class EjectionFairnessProbe(Probe):
+    """Delivered flits per destination chip + Jain fairness index."""
+
+    name = "ejection_fairness"
+    description = "per-destination-chip delivered flits + Jain index"
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        pkt_len = record.packet_length
+        per_chip: Counter = Counter()
+        pkts_per_chip: Counter = Counter()
+        for pid in record.measured_delivered_pids():
+            chip = record.node_chip.get(record.p_dst[pid], -1)
+            per_chip[chip] += pkt_len
+            pkts_per_chip[chip] += 1
+        rows = tuple(
+            (chip, pkts_per_chip[chip], flits)
+            for chip, flits in sorted(per_chip.items())
+        )
+        flits = list(per_chip.values())
+        if flits:
+            total = float(sum(flits))
+            sq = float(sum(f * f for f in flits))
+            jain = total * total / (len(flits) * sq) if sq else _nan()
+        else:
+            jain = _nan()
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("chip", "packets", "flits"),
+            rows=rows,
+            summary={
+                "chips": float(len(per_chip)),
+                "jain_index": jain,
+                "min_flits": float(min(flits, default=0)),
+                "max_flits": float(max(flits, default=0)),
+                "mean_flits": _mean(flits),
+            },
+            meta={"population": "measured_delivered"},
+        )

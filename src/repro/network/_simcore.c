@@ -109,6 +109,7 @@ typedef struct {
     /* measurement output */
     i64 *lat_out;    /* [>= packets] */
     i64 *hops_out;   /* [>= packets] */
+    i64 *pid_out;    /* [>= packets] delivered pid per latency sample */
     /* scratch (max_in + 1 each) */
     i64 *sc_desc;
     i64 *sc_key;
@@ -209,6 +210,7 @@ i64 sim_run(S *s)
                     few += pkt_len;
                     s->lat_out[n_lat] = 0;
                     s->hops_out[n_lat] = 0;
+                    s->pid_out[n_lat] = pid;
                     n_lat++;
                 }
                 continue;
@@ -391,6 +393,7 @@ i64 sim_run(S *s)
                                         t - s->p_t0[pid];
                                     s->hops_out[n_lat] =
                                         s->p_hops[pid];
+                                    s->pid_out[n_lat] = pid;
                                     n_lat++;
                                 }
                             } else {

@@ -114,6 +114,7 @@ class _SimState(ctypes.Structure):
         ("ev_pid", _i64p),
         ("lat_out", _i64p),
         ("hops_out", _i64p),
+        ("pid_out", _i64p),
         ("sc_desc", _i64p),
         ("sc_key", _i64p),
         ("sc_cand", _i64p),
@@ -225,10 +226,18 @@ class NativeCore(ArrayCore):
     Construction, route resolution, scheduling and measurement stay in
     Python (inherited from :class:`ArrayCore`); only the per-cycle loop
     is delegated.  Results are bit-identical to the pure-Python core.
+
+    Probing (see :mod:`repro.metrics`) needs no kernel callbacks: the
+    kernel already reports every delivered measured packet's latency,
+    and alongside it writes the packet id (``pid_out``) — a bulk
+    counter the probe layer decodes post-run.  Source/destination are
+    captured in the Python pre-pass (:meth:`_resolve_packets`).
     Raises :class:`RuntimeError` when the kernel cannot be compiled —
     callers that want a fallback should check :func:`native_available`
     first (as :class:`~repro.network.simulator.Simulator` does).
     """
+
+    core_id = "native"
 
     def __init__(self, graph, routing, traffic, params) -> None:
         super().__init__(graph, routing, traffic, params)
@@ -310,6 +319,9 @@ class NativeCore(ArrayCore):
         p_hops = self._p_hops
         p_t0 = self._p_t0
         p_meas = self._p_meas
+        probing = self._probe_mode
+        p_src = self._p_src
+        p_dst = self._p_dst
 
         warm = t0 + self.params.warmup_cycles
         meas_end = warm + self.params.measure_cycles
@@ -327,6 +339,9 @@ class NativeCore(ArrayCore):
             off, nhops = route_slice(nid, dst)
             pid = npk
             npk += 1
+            if probing:
+                p_src.append(nid)
+                p_dst.append(dst)
             p_off.append(off)
             p_hops.append(nhops)
             p_t0.append(t)
@@ -405,6 +420,7 @@ class NativeCore(ArrayCore):
         out_cap = self._num_packets - len(self._latencies)
         lat_out = _zeros(out_cap)
         hops_out = _zeros(out_cap)
+        pid_out = _zeros(out_cap)
         np_p_off = _as_i64(self._p_off)
         np_p_hops = _as_i64(self._p_hops)
         np_p_t0 = _as_i64(self._p_t0)
@@ -477,6 +493,7 @@ class NativeCore(ArrayCore):
             ev_pid=_ptr(np_ev_pid),
             lat_out=_ptr(lat_out),
             hops_out=_ptr(hops_out),
+            pid_out=_ptr(pid_out),
             sc_desc=_ptr(self._n_sc[0]),
             sc_key=_ptr(self._n_sc[1]),
             sc_cand=_ptr(self._n_sc[2]),
@@ -497,6 +514,8 @@ class NativeCore(ArrayCore):
         n_lat = int(st.n_lat)
         self._latencies.extend(lat_out[:n_lat].tolist())
         self._hops.extend(hops_out[:n_lat].tolist())
+        if self._probe_mode:
+            self._eject_pid.extend(pid_out[:n_lat].tolist())
 
         return SimResult.from_samples(
             offered_rate=rate,

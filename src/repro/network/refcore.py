@@ -32,6 +32,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..metrics.record import RunRecord, failed_links_of
 from ..topology.graph import NetworkGraph
 from .packet import Packet
 from .params import SimParams
@@ -43,6 +44,9 @@ __all__ = ["ReferenceCore"]
 
 class ReferenceCore:
     """Object-based simulation core (see module docstring)."""
+
+    #: name reported in :class:`~repro.metrics.RunRecord.core`.
+    core_id = "reference"
 
     def __init__(
         self,
@@ -126,6 +130,12 @@ class ReferenceCore:
 
         # Measurement.
         self._pid = 0
+        # Probe surface (repro.metrics): when enabled, every created
+        # Packet is retained so run_record() can rebuild the flat
+        # per-packet arrays post-run.  Object retention has no effect
+        # on simulation state or RNG consumption.
+        self._probe_mode = False
+        self._packets: List[Packet] = []
         self._latencies: List[int] = []
         self._hops: List[int] = []
         self._packets_measured = 0
@@ -185,7 +195,66 @@ class ReferenceCore:
         )
         pkt.path_lv = path_lv
         self._pid += 1
+        if self._probe_mode:
+            self._packets.append(pkt)
         return pkt
+
+    # ------------------------------------------------------------------
+    def enable_probes(self) -> None:
+        """Start retaining packets for the probe surface."""
+        if self._clock:
+            raise RuntimeError(
+                "probes must be enabled before the first run()"
+            )
+        self._probe_mode = True
+
+    def run_record(self, rate: float) -> RunRecord:
+        """Bulk measurement record of this core's runs so far."""
+        if not self._probe_mode:
+            raise RuntimeError(
+                "probing was not enabled on this core; pass probes= to "
+                "Simulator (or call enable_probes() before run())"
+            )
+        p = self.params
+        graph = self.graph
+        measure_end = self._clock - p.drain_cycles
+        p_src, p_dst, p_t0, p_meas = [], [], [], []
+        p_done, p_hops, p_off = [], [], []
+        route_lv: List[int] = []
+        for pkt in self._packets:
+            p_src.append(pkt.src)
+            p_dst.append(pkt.dst)
+            p_t0.append(pkt.t_create)
+            p_meas.append(1 if pkt.measured else 0)
+            p_done.append(pkt.t_done)
+            p_hops.append(pkt.path_len)
+            p_off.append(len(route_lv))
+            route_lv.extend(pkt.path_lv)
+        return RunRecord(
+            core=self.core_id,
+            rate=rate,
+            num_nodes=graph.num_nodes,
+            num_links=graph.num_links,
+            num_vcs=self.num_vcs,
+            packet_length=p.packet_length,
+            measure_start=measure_end - p.measure_cycles,
+            measure_end=measure_end,
+            measure_cycles=p.measure_cycles,
+            active_chips=self._active_chips,
+            p_src=p_src,
+            p_dst=p_dst,
+            p_t0=p_t0,
+            p_meas=p_meas,
+            p_done=p_done,
+            p_hops=p_hops,
+            p_off=p_off,
+            route_lv=route_lv,
+            node_chip={
+                nid: node.chip for nid, node in enumerate(graph.nodes)
+            },
+            link_ends=[(l.src, l.dst) for l in graph.links],
+            failed_links=failed_links_of(self.routing),
+        )
 
     def _finish_flit(self, pkt: Packet, fidx: int, t: int, in_window: bool) -> None:
         """Account one flit leaving the network at its destination."""

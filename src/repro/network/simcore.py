@@ -58,6 +58,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..metrics.record import RunRecord, failed_links_of
 from ..topology.graph import NetworkGraph
 from .params import SimParams
 from .schedule import InjectionSchedule, build_injection_schedule
@@ -84,6 +85,9 @@ _FIDX_INC = 1 << (_FIDX_SHIFT + _EV_SHIFT)
 
 class ArrayCore:
     """Array-backed simulation core (see module docstring)."""
+
+    #: name reported in :class:`~repro.metrics.RunRecord.core`.
+    core_id = "array"
 
     def __init__(
         self,
@@ -167,6 +171,15 @@ class ArrayCore:
 
         self._latencies: List[int] = []
         self._hops: List[int] = []
+        # Probe bookkeeping (see repro.metrics): disabled by default —
+        # the hot loop then records nothing beyond the lists above.
+        # When enabled (before the first run) the injection site keeps
+        # per-packet source/destination and the ejection sites keep the
+        # delivered packet ids, aligned with ``_latencies``.
+        self._probe_mode = False
+        self._p_src: List[int] = []
+        self._p_dst: List[int] = []
+        self._eject_pid: List[int] = []
         self._packets_measured = 0
         self._flits_ejected_window = 0
         self.total_flits_injected = 0
@@ -230,6 +243,62 @@ class ArrayCore:
         self._s_delay = [0] * num_nodes
         self._s_fidx = [0] * num_nodes
         self._loop_ready = True
+
+    # ------------------------------------------------------------------
+    def enable_probes(self) -> None:
+        """Start recording the per-packet probe surface.
+
+        Must be called before the first ``run()`` — packets injected
+        earlier have no recorded source/destination, which would
+        misalign the arrays.
+        """
+        if self._clock:
+            raise RuntimeError(
+                "probes must be enabled before the first run()"
+            )
+        self._probe_mode = True
+
+    def run_record(self, rate: float) -> RunRecord:
+        """Bulk measurement record of this core's runs so far."""
+        if not self._probe_mode:
+            raise RuntimeError(
+                "probing was not enabled on this core; pass probes= to "
+                "Simulator (or call enable_probes() before run())"
+            )
+        npk = self._num_packets
+        p_done = [-1] * npk
+        p_t0 = self._p_t0
+        latencies = self._latencies
+        for i, pid in enumerate(self._eject_pid):
+            p_done[pid] = p_t0[pid] + latencies[i]
+        p = self.params
+        graph = self.graph
+        measure_end = self._clock - p.drain_cycles
+        return RunRecord(
+            core=self.core_id,
+            rate=rate,
+            num_nodes=graph.num_nodes,
+            num_links=graph.num_links,
+            num_vcs=self.num_vcs,
+            packet_length=p.packet_length,
+            measure_start=measure_end - p.measure_cycles,
+            measure_end=measure_end,
+            measure_cycles=p.measure_cycles,
+            active_chips=self._active_chips,
+            p_src=list(self._p_src),
+            p_dst=list(self._p_dst),
+            p_t0=list(p_t0[:npk]),
+            p_meas=list(self._p_meas[:npk]),
+            p_done=p_done,
+            p_hops=list(self._p_hops[:npk]),
+            p_off=list(self._p_off[:npk]),
+            route_lv=self._route_lv,
+            node_chip={
+                nid: node.chip for nid, node in enumerate(graph.nodes)
+            },
+            link_ends=[(l.src, l.dst) for l in graph.links],
+            failed_links=failed_links_of(self.routing),
+        )
 
     # ------------------------------------------------------------------
     def injection_probs(self, rate: float) -> List[float]:
@@ -408,6 +477,10 @@ class ArrayCore:
 
         latencies = self._latencies
         hops_out = self._hops
+        probing = self._probe_mode
+        p_src = self._p_src
+        p_dst = self._p_dst
+        eject_pid = self._eject_pid
         pm = self._packets_measured
         few = self._flits_ejected_window
         tfi = self.total_flits_injected
@@ -513,6 +586,9 @@ class ArrayCore:
                 p_hops[pid] = nhops
                 p_t0[pid] = t
                 p_meas[pid] = in_window
+                if probing:
+                    p_src.append(nid)
+                    p_dst.append(dst)
                 if in_window:
                     pm += 1
                 if nhops == 0:
@@ -523,6 +599,8 @@ class ArrayCore:
                         few += pkt_len
                         latencies.append(0)
                         hops_out.append(0)
+                        if probing:
+                            eject_pid.append(pid)
                     continue
                 sq = srcq[nid]
                 if not sq:
@@ -600,6 +678,8 @@ class ArrayCore:
                                 if p_meas[pid]:
                                     latencies.append(t - p_t0[pid])
                                     hops_out.append(p_hops[pid])
+                                    if probing:
+                                        eject_pid.append(pid)
                             n += 1
                             if not b:
                                 del ne[lv]
@@ -743,6 +823,8 @@ class ArrayCore:
                                     if p_meas[pid]:
                                         latencies.append(t - p_t0[pid])
                                         hops_out.append(p_hops[pid])
+                                        if probing:
+                                            eject_pid.append(pid)
                                 n += 1
                                 if not b:
                                     del ne[lv]
@@ -877,6 +959,8 @@ class ArrayCore:
                                                 t - p_t0[pid]
                                             )
                                             hops_out.append(p_hops[pid])
+                                            if probing:
+                                                eject_pid.append(pid)
                                     if b:
                                         set_head(desc, b[0])
                                     else:

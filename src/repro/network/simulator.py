@@ -63,8 +63,10 @@ numbers differ while curves agree within seed noise
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import List, Optional, Sequence, Union
 
+from ..metrics import Probe, build_probe
+from ..metrics.record import RunRecord
 from ..topology.graph import NetworkGraph
 from .native import NativeCore, native_available
 from .params import SimParams
@@ -111,6 +113,21 @@ class Simulator:
         ``"native"``, ``"array"`` or ``"reference"``; ``None`` reads
         the ``REPRO_SIM_CORE`` environment variable, then picks the
         native core when it can be compiled, else the array core.
+    probes:
+        Optional metric probes (see :mod:`repro.metrics`): a sequence
+        of :class:`~repro.metrics.Probe` instances and/or registered
+        kind names.  With probes attached, :meth:`run` additionally
+        decodes the core's post-run record into typed channels stored
+        on ``SimResult.channels`` (and keeps the record itself on
+        :attr:`last_record`).  Without probes nothing is recorded and
+        results are bit-identical to a probe-less build.
+
+        A probed simulator is **single-run**: the cores accumulate
+        measurement state across repeated ``run()`` calls, but probes
+        decode the record against one measurement window, so a second
+        probed ``run()`` raises instead of producing channels that mix
+        windows.  Build a fresh ``Simulator`` per probed point (the
+        engine always does).
     """
 
     def __init__(
@@ -121,6 +138,7 @@ class Simulator:
         params: SimParams,
         *,
         core: Optional[str] = None,
+        probes: Optional[Sequence[Union[Probe, str]]] = None,
     ) -> None:
         if core is None:
             core = os.environ.get(CORE_ENV) or None
@@ -135,6 +153,21 @@ class Simulator:
             ) from None
         self.core_name = _CORE_NAMES[core_cls]
         self._core = core_cls(graph, routing, traffic, params)
+        self.probes: List[Probe] = []
+        for p in probes or ():
+            if isinstance(p, Probe):
+                self.probes.append(p)
+            elif isinstance(p, str):
+                self.probes.append(build_probe(p))
+            else:  # (name, options) pair, as the spec metrics axis uses
+                name, opts = p
+                self.probes.append(build_probe(name, **dict(opts)))
+        #: the most recent run's :class:`~repro.metrics.RunRecord`
+        #: (``None`` until a probed run happened).
+        self.last_record: Optional[RunRecord] = None
+        if self.probes:
+            self._core.enable_probes()
+        self._probed_runs = 0
 
     # -- construction-time bindings (read-only conveniences) -----------
     @property
@@ -177,8 +210,28 @@ class Simulator:
         pattern's active chips.  ``schedule`` pins the packet-start
         events (used by the cross-core equivalence harness); by default
         the core samples its own.
+
+        With probes attached, each probe decodes the run's record into
+        one channel on the returned result — strictly after the core
+        finished, so the simulated numbers are unaffected.
         """
-        return self._core.run(rate, schedule=schedule)
+        if self.probes:
+            if self._probed_runs:
+                raise RuntimeError(
+                    "a probed Simulator is single-run: probes decode "
+                    "one measurement window, but repeated run() calls "
+                    "accumulate across windows — build a fresh "
+                    "Simulator per probed point"
+                )
+            self._probed_runs = 1
+        result = self._core.run(rate, schedule=schedule)
+        if self.probes:
+            record = self._core.run_record(rate)
+            self.last_record = record
+            for probe in self.probes:
+                channel = probe.collect(record)
+                result.channels[channel.name] = channel
+        return result
 
     # -- conservation bookkeeping ---------------------------------------
     @property

@@ -8,6 +8,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..metrics.channel import MetricChannel
+
 __all__ = ["SIMRESULT_SCHEMA", "SimResult"]
 
 #: stable schema tag stamped into serialised results; bump the version
@@ -68,6 +70,11 @@ class SimResult:
     avg_hops: float = float("nan")
     #: extra per-run diagnostics (delivered fraction, etc).
     extras: Dict[str, float] = field(default_factory=dict)
+    #: typed metric channels produced by attached probes (see
+    #: :mod:`repro.metrics`), keyed by channel name.  Empty for
+    #: probe-off runs — and then absent from :meth:`to_dict`, so
+    #: probe-off payloads stay byte-identical to pre-probe versions.
+    channels: Dict[str, MetricChannel] = field(default_factory=dict)
 
     @property
     def delivered_fraction(self) -> float:
@@ -145,6 +152,10 @@ class SimResult:
                 val = None
             out[name] = val
         out["extras"] = dict(self.extras)
+        if self.channels:
+            out["channels"] = {
+                name: ch.to_dict() for name, ch in self.channels.items()
+            }
         return out
 
     @classmethod
@@ -165,7 +176,15 @@ class SimResult:
             if val is None:
                 val = float("nan")
             kwargs[name] = typ(val)
-        return cls(extras=dict(data.get("extras", {})), **kwargs)
+        channels = {
+            name: MetricChannel.from_dict(ch)
+            for name, ch in data.get("channels", {}).items()
+        }
+        return cls(
+            extras=dict(data.get("extras", {})),
+            channels=channels,
+            **kwargs,
+        )
 
     def __str__(self) -> str:
         return (

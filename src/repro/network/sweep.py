@@ -45,8 +45,19 @@ class LoadSweep:
         return max((r.accepted_rate for r in self.results), default=0.0)
 
     def zero_load_latency(self) -> float:
-        """Average latency at the lowest measured rate."""
-        return self.results[0].avg_latency if self.results else float("nan")
+        """Average latency at the lowest *non-saturated* measured rate.
+
+        A saturated point's mean latency is a queueing artefact (it
+        mostly measures how long the window was), so saturated points
+        are skipped even when they sit first in the sweep — e.g. a
+        sweep whose lowest offered load already exceeded saturation.
+        Returns ``nan`` when every measured point saturated (or the
+        sweep is empty): there is no zero-load regime to report.
+        """
+        for res in self.results:
+            if not res.saturated:
+                return res.avg_latency
+        return float("nan")
 
     def rows(self) -> List[Tuple[float, float, float]]:
         """(offered, accepted, avg latency) rows for tabular output."""

@@ -63,6 +63,18 @@ class TestSummaries:
     def test_unsaturated_curve_is_inf(self):
         assert curve("c").saturation_rate == float("inf")
 
+    def test_zero_load_latency_skips_saturated_first_point(self):
+        import math
+
+        sat = point(0.2, 0.05, 500.0, delivered=10, measured=200)
+        ok = point(0.4, 0.4, 12.0)
+        c = CurveResult(label="c", points=(sat, ok))
+        assert c.zero_load_latency() == 12.0
+        all_sat = CurveResult(label="c", points=(sat,))
+        assert math.isnan(all_sat.zero_load_latency())
+        # the summary carries the NaN (serialised as null/empty cell)
+        assert math.isnan(all_sat.summary()["zero_load_latency"])
+
     def test_scenario_summary_vs_baseline(self):
         rows = study_result()["panel"].summary()
         by_label = {r["label"]: r for r in rows}

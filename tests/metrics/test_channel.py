@@ -1,0 +1,93 @@
+"""MetricChannel: construction, serialisation, CSV and rendering."""
+
+import json
+import math
+
+import pytest
+
+from repro.metrics import METRIC_CHANNEL_SCHEMA, MetricChannel
+
+
+def channel():
+    return MetricChannel(
+        name="link_util",
+        kind="table",
+        columns=("link", "flits", "load"),
+        rows=((0, 12, 0.25), (3, 4, float("nan"))),
+        summary={"links_used": 2.0, "max_load": 0.25, "gap": float("nan")},
+        meta={"top": 0},
+    )
+
+
+class TestConstruction:
+    def test_requires_name(self):
+        with pytest.raises(ValueError, match="needs a name"):
+            MetricChannel(name="")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="does not match"):
+            MetricChannel(
+                name="x", columns=("a", "b"), rows=((1,),)
+            )
+
+    def test_column_access(self):
+        ch = channel()
+        assert ch.column("flits") == [12, 4]
+        with pytest.raises(KeyError, match="no column"):
+            ch.column("zap")
+
+    def test_top(self):
+        ch = channel()
+        assert ch.top("flits", 1) == [(0, 12, 0.25)]
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identity(self):
+        ch = channel()
+        clone = MetricChannel.from_json(ch.to_json())
+        # NaN != NaN, so compare the serialised forms
+        assert clone.to_dict() == ch.to_dict()
+        assert clone.name == ch.name
+        assert clone.columns == ch.columns
+        assert clone.rows[0] == ch.rows[0]
+        assert math.isnan(clone.rows[1][2])
+        assert math.isnan(clone.summary["gap"])
+
+    def test_schema_tagged(self):
+        data = channel().to_dict()
+        assert data["schema"] == METRIC_CHANNEL_SCHEMA
+        # NaN encodes as null, so the payload is strict JSON
+        text = json.dumps(data, allow_nan=False)
+        assert "NaN" not in text
+
+    def test_foreign_schema_rejected(self):
+        data = channel().to_dict()
+        data["schema"] = "martian/v7"
+        with pytest.raises(ValueError, match="martian/v7"):
+            MetricChannel.from_dict(data)
+
+    def test_untagged_payload_accepted(self):
+        data = channel().to_dict()
+        del data["schema"]
+        assert MetricChannel.from_dict(data).name == "link_util"
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        lines = channel().to_csv().splitlines()
+        assert lines[0] == "link,flits,load"
+        assert lines[1] == "0,12,0.25"
+        # NaN cells are empty, like StudyResult.to_csv
+        assert lines[2] == "3,4,"
+
+    def test_prefix_columns(self):
+        lines = channel().to_csv(
+            prefix=("curve=SW-less", "rate=0.4")
+        ).splitlines()
+        assert lines[0] == "curve,rate,link,flits,load"
+        assert lines[1].startswith("SW-less,0.4,")
+
+    def test_format_table_truncates(self):
+        text = channel().format_table(max_rows=1)
+        assert "link_util" in text
+        assert "(1 more rows)" in text

@@ -71,6 +71,18 @@ class TestLoadSweepProperties:
         assert math.isinf(sweep.saturation_rate)
         assert math.isnan(sweep.zero_load_latency())
 
+    def test_zero_load_latency_skips_saturated_lowest_point(self):
+        """A sweep whose first offered load already saturated must not
+        report that point's latency as 'zero load'."""
+        sweep = self.sweep([True, False, False])
+        assert sweep.zero_load_latency() == pytest.approx(
+            sweep.results[1].avg_latency
+        )
+
+    def test_zero_load_latency_nan_when_all_points_saturated(self):
+        sweep = self.sweep([True, True])
+        assert math.isnan(sweep.zero_load_latency())
+
 
 class TestStopAfterSaturation:
     RATES = [0.3, 0.8, 1.5, 2.5, 3.5]

@@ -87,6 +87,20 @@ def test_run_unknown_name(capsys):
     assert "bundled" in capsys.readouterr().err
 
 
+def test_run_misspelled_name_suggests(capsys):
+    assert main(["run", "fig10_locale"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+    assert "fig10_local" in err
+
+
+def test_sweep_misspelled_preset_suggests(capsys):
+    assert main(["sweep", "--preset", "small_equif", "--points", "1"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+    assert "small_equiv" in err
+
+
 def test_run_missing_file(capsys):
     assert main(["run", "no/such/scenario.json"]) == 2
     assert "cannot load" in capsys.readouterr().err
