@@ -25,7 +25,13 @@ import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..network.simulator import Simulator
+from ..network.native import THREADS_ENV, NativeBatch, native_available
+from ..network.simulator import (
+    CORE_ENV,
+    Simulator,
+    _attach_probe_channels,
+    run_batch,
+)
 from ..network.stats import SimResult
 from ..network.sweep import LoadSweep, assemble_sweep, cutoff_walk
 from .cache import ResultCache
@@ -46,6 +52,21 @@ logger = logging.getLogger("repro.engine")
 #: environment override for the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
 
+#: environment override for the engine's batched fast path: unset/auto
+#: batches whenever the native core is in play; ``0``/``off`` forces
+#: the per-point path.
+BATCH_ENV = "REPRO_SIM_BATCH"
+
+#: minimum lanes per batch dispatch.  Each chunk is one packed kernel
+#: call; points past a saturation cutoff inside the final chunk are
+#: speculative (cached but excluded from the sweep), exactly like the
+#: parallel scheduler's in-flight points — so the chunk size bounds
+#: speculation the same way ``workers`` does there.  Eight lanes
+#: amortize per-chunk setup (batch construction, route-plane lookups)
+#: measurably better than four while still keeping at most seven
+#: speculative points past a cutoff.
+_BATCH_CHUNK_MIN = 8
+
 # Worker-local reuse of built topologies and routings: building a graph
 # can cost as much as simulating a low-rate point, every point of a
 # sweep shares one, and a reused deterministic routing carries its
@@ -54,6 +75,12 @@ WORKERS_ENV = "REPRO_WORKERS"
 _SYSTEM_LRU_SIZE = 4
 _systems: "OrderedDict[Tuple, object]" = OrderedDict()
 _routings: "OrderedDict[Tuple, object]" = OrderedDict()
+# Batched path only: the donor core carrying a routing's resolved
+# route plane (arena + memo + numpy mirrors), keyed like _routings, so
+# consecutive batched sweeps of one configuration skip route
+# resolution entirely.  The per-point path keeps its pre-batch
+# behaviour (fresh core, lazy resolution per point).
+_route_planes: "OrderedDict[Tuple, object]" = OrderedDict()
 
 
 def _lru_get(table: "OrderedDict[Tuple, object]", key: Tuple, build):
@@ -94,17 +121,58 @@ def _point_task(task: Tuple[int, int, ExperimentSpec, float]):
     return si, ri, simulate_point(spec, rate)
 
 
-def _resolve_workers(workers: Optional[int], total_points: int) -> int:
+def _resolve_workers(
+    workers: Optional[int],
+    total_points: int,
+    kernel_threads: int = 1,
+) -> int:
     """Pool size: explicit/env/cpu-count default, clamped to both the
     amount of work and the machine.  Oversubscribing a CPU-bound
     simulation only adds pool overhead — an early benchmark forced 4
     workers onto a 1-CPU host and reported the resulting 0.7x slowdown
-    as a parallel 'speedup'."""
+    as a parallel 'speedup'.
+
+    ``kernel_threads`` is how many threads each worker's kernel calls
+    will spin up (the batched path's lane threads); the clamp keeps
+    ``workers x kernel_threads <= cpu_count`` so process- and
+    thread-level parallelism never multiply into oversubscription.
+    """
     cpus = os.cpu_count() or 1
     if workers is None:
         env = os.environ.get(WORKERS_ENV)
         workers = int(env) if env else cpus
-    return max(1, min(workers, total_points, cpus))
+    budget = max(1, cpus // max(1, kernel_threads))
+    return max(1, min(workers, total_points, budget))
+
+
+def _kernel_threads() -> int:
+    """Lane threads per batched kernel call (``REPRO_SIM_THREADS`` or
+    the CPU count; :func:`repro.network.native.resolve_threads` clamps
+    to the actual lane count per call)."""
+    env = os.environ.get(THREADS_ENV)
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _batch_enabled(batch: Optional[bool]) -> bool:
+    """Whether run_experiments takes the batched fast path.
+
+    Explicit ``batch=`` wins; otherwise auto: batch when the native
+    core would be the session's core (available and not overridden via
+    ``REPRO_SIM_CORE``) and ``REPRO_SIM_BATCH`` does not disable it.
+    The auto rule keeps non-native sessions on the per-point path,
+    whose process pool is what parallelises pure-Python cores.
+    """
+    if batch is not None:
+        return bool(batch)
+    env = (os.environ.get(BATCH_ENV) or "").strip().lower()
+    if env in ("0", "off", "no", "false"):
+        return False
+    core = os.environ.get(CORE_ENV)
+    if core and core not in ("native",):
+        return False
+    return native_available()
 
 
 def _pool_context():
@@ -127,6 +195,7 @@ def run_experiments(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     stop_after_saturation: int = 1,
+    batch: Optional[bool] = None,
 ) -> List[LoadSweep]:
     """Run every spec's sweep, fanning points out over a process pool.
 
@@ -139,12 +208,24 @@ def run_experiments(
         Pool size.  ``None`` reads ``REPRO_WORKERS`` and falls back to
         the CPU count; ``<= 1`` selects the serial in-process path,
         which runs points strictly in rate order (no speculation).
+        On the batched path, workers parallelise *sweeps* while kernel
+        threads parallelise lanes within a sweep, clamped together so
+        ``workers x threads <= cpu_count``.
     cache:
         Optional on-disk store; previously simulated points are loaded
         instead of re-run, and fresh points are written back.
     stop_after_saturation:
         Cut each sweep off after this many saturated points, exactly as
         :func:`repro.network.sweep.sweep_rates` does.
+    batch:
+        ``True``/``False`` forces the batched fast path on/off;
+        ``None`` (default) auto-enables it when the native core is the
+        session's core (see ``REPRO_SIM_BATCH``).  Batched results are
+        bit-identical to per-point results: each lane keeps its
+        :func:`~repro.engine.spec.point_seed`-derived seed, cache
+        entries are interchangeable between both paths, and saturation
+        cutoffs still stop a sweep (a final chunk may speculate a few
+        points past the cutoff, exactly like the parallel scheduler).
     """
     if stop_after_saturation < 1:
         raise ValueError("stop_after_saturation must be >= 1")
@@ -165,11 +246,22 @@ def run_experiments(
         for ri in range(len(spec.rates))
         if ri not in have[si]
     )
-    workers = _resolve_workers(workers, total_missing)
+    use_batch = total_missing > 0 and _batch_enabled(batch)
+    if use_batch:
+        threads = _kernel_threads()
+        workers = _resolve_workers(
+            workers, len(specs), kernel_threads=threads
+        )
+    else:
+        workers = _resolve_workers(workers, total_missing)
     t0 = time.perf_counter()
 
     if total_missing == 0:
         pass  # everything replayed from cache
+    elif use_batch:
+        _run_batched(
+            specs, have, cache, stop_after_saturation, workers, threads
+        )
     elif workers <= 1:
         _run_serial(specs, have, cache, stop_after_saturation)
     else:
@@ -320,6 +412,157 @@ def _run_parallel(
                     specs[si].describe(), specs[si].rates[ri], len(inflight),
                 )
             _refill(inflight)
+
+
+def _sweep_batch(
+    spec: ExperimentSpec,
+    have_ri: Dict[int, SimResult],
+    stop_after_saturation: int,
+    threads: int,
+) -> Dict[int, SimResult]:
+    """Walk one spec's sweep in packed lane batches.
+
+    Each iteration dispatches the next ``max(_BATCH_CHUNK_MIN,
+    threads)`` missing rates as one packed batch — per-lane seeds are
+    the same :func:`~repro.engine.spec.point_seed` values
+    ``simulate_point`` uses, so every point's result is bit-identical
+    to the per-point path.  The cutoff walk re-runs between chunks, so
+    a saturated sweep stops after at most one speculative chunk.  On
+    the native path consecutive chunks hand the resolved route plane
+    forward (``route_donor``), so each (src, dst) route is resolved
+    once per *sweep*, not once per chunk.  Returns only the newly
+    simulated points.
+    """
+    topo_key = (spec.topology, spec.topology_opts)
+    system = _lru_get(_systems, topo_key, lambda: build_system(spec))
+    routing_key = topo_key + (
+        spec.routing, spec.routing_opts, spec.faults
+    )
+    routing = _lru_get(
+        _routings, routing_key, lambda: build_routing(spec, system)
+    )
+    graph, routing, traffic = build_experiment(
+        spec, system=system, routing=routing
+    )
+    probes = build_metrics(spec)
+    native = (
+        os.environ.get(CORE_ENV) in (None, "", "native")
+        and native_available()
+    )
+    # NativeBatch validates the donor (same graph/routing objects,
+    # deterministic) and silently ignores a stale one, so a plane
+    # whose routing was rebuilt after LRU eviction is never misused.
+    donor = _route_planes.get(routing_key) if native else None
+    chunk_size = max(_BATCH_CHUNK_MIN, threads)
+    merged = dict(have_ri)
+    new: Dict[int, SimResult] = {}
+    while True:
+        complete, first = cutoff_walk(
+            len(spec.rates), merged, stop_after_saturation
+        )
+        if complete:
+            break
+        pending = [
+            ri
+            for ri in range(first, len(spec.rates))
+            if ri not in merged
+        ]
+        chunk = pending[:chunk_size]
+        lanes = [
+            (point_seed(spec, spec.rates[ri]), spec.rates[ri])
+            for ri in chunk
+        ]
+        t0 = time.perf_counter()
+        if native:
+            batch = NativeBatch(
+                graph,
+                routing,
+                traffic,
+                spec.params,
+                [seed for seed, _ in lanes],
+                probes=bool(probes),
+                route_donor=donor,
+            )
+            results = batch.run(
+                [rate for _, rate in lanes], threads=threads
+            )
+            donor = batch.route_donor or donor
+            if probes:
+                for (_, rate), core, res in zip(
+                    lanes, batch.lanes, results
+                ):
+                    _attach_probe_channels(core, rate, probes, res)
+        else:
+            results = run_batch(
+                graph,
+                routing,
+                traffic,
+                spec.params,
+                lanes,
+                threads=threads,
+                probes=probes or None,
+            )
+        logger.debug(
+            "%s batched %d lane(s) in %.2fs",
+            spec.describe(), len(chunk), time.perf_counter() - t0,
+        )
+        for ri, res in zip(chunk, results):
+            merged[ri] = res
+            new[ri] = res
+    if native and donor is not None:
+        _route_planes[routing_key] = donor
+        _route_planes.move_to_end(routing_key)
+        while len(_route_planes) > _SYSTEM_LRU_SIZE:
+            _route_planes.popitem(last=False)
+    return new
+
+
+def _sweep_batch_task(task):
+    si, spec, have_ri, stop_after_saturation, threads = task
+    return si, _sweep_batch(spec, have_ri, stop_after_saturation, threads)
+
+
+def _run_batched(
+    specs: Sequence[ExperimentSpec],
+    have: List[Dict[int, SimResult]],
+    cache: Optional[ResultCache],
+    stop_after_saturation: int,
+    workers: int,
+    threads: int,
+) -> None:
+    """Batched scheduler: one packed kernel call per chunk of rates.
+
+    The unit of pool work is a whole sweep (its chunks must run in
+    cutoff order), so processes parallelise across specs while kernel
+    threads parallelise lanes within each chunk.  Cache writes stay in
+    the parent, as in the per-point schedulers.
+    """
+    incomplete = [
+        si
+        for si, spec in enumerate(specs)
+        if not cutoff_walk(
+            len(spec.rates), have[si], stop_after_saturation
+        )[0]
+    ]
+    if workers > 1 and len(incomplete) > 1:
+        tasks = [
+            (si, specs[si], have[si], stop_after_saturation, threads)
+            for si in incomplete
+        ]
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
+            for si, new in pool.imap_unordered(_sweep_batch_task, tasks):
+                for ri, res in new.items():
+                    have[si][ri] = res
+                    _store(cache, specs[si], specs[si].rates[ri], res)
+    else:
+        for si in incomplete:
+            new = _sweep_batch(
+                specs[si], have[si], stop_after_saturation, threads
+            )
+            for ri, res in new.items():
+                have[si][ri] = res
+                _store(cache, specs[si], specs[si].rates[ri], res)
 
 
 def spec_saturation(

@@ -55,6 +55,12 @@ class FaultMaskedTraffic:
     def num_active_chips(self) -> int:
         return self._active_chips
 
+    #: masking happens per destination in :meth:`dest`, so the base
+    #: pattern's vectorized ``dest_batch`` hook must not leak through
+    #: ``__getattr__`` — a dead destination would bypass the mask.  The
+    #: class attribute shadows the delegation and declines the hook.
+    dest_batch = None
+
     def dest(self, src: int, rng: random.Random) -> Optional[int]:
         dst = self.base.dest(src, rng)
         if dst is None:

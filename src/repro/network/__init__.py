@@ -1,12 +1,18 @@
 """Cycle-accurate virtual-channel network simulator (CNSim substitute)."""
 
-from .native import NativeCore, native_available
+from .native import (
+    THREADS_ENV,
+    NativeBatch,
+    NativeCore,
+    native_available,
+    resolve_threads,
+)
 from .packet import Hop, Packet
 from .params import SimParams
 from .refcore import ReferenceCore
 from .schedule import InjectionSchedule, build_injection_schedule
 from .simcore import ArrayCore
-from .simulator import CORE_ENV, Simulator, run_simulation
+from .simulator import CORE_ENV, Simulator, run_batch, run_simulation
 from .stats import SIMRESULT_SCHEMA, SimResult
 from .sweep import (
     LOADSWEEP_SCHEMA,
@@ -22,11 +28,15 @@ __all__ = [
     "Packet",
     "SimParams",
     "Simulator",
+    "run_batch",
     "run_simulation",
     "CORE_ENV",
+    "THREADS_ENV",
     "ArrayCore",
+    "NativeBatch",
     "NativeCore",
     "native_available",
+    "resolve_threads",
     "ReferenceCore",
     "InjectionSchedule",
     "build_injection_schedule",

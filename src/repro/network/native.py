@@ -41,10 +41,35 @@ import numpy as np
 from .simcore import ArrayCore
 from .schedule import InjectionSchedule, build_injection_schedule
 from .stats import SimResult
+from .vecrandom import VecRandom
 
-__all__ = ["NativeCore", "load_native", "native_available"]
+__all__ = [
+    "NativeBatch",
+    "NativeCore",
+    "THREADS_ENV",
+    "load_native",
+    "native_available",
+    "resolve_threads",
+]
 
 _C_SOURCE = Path(__file__).with_name("_simcore.c")
+
+#: environment override for batch-lane kernel threads (default: auto =
+#: the CPU count; ``1`` forces serial lanes).
+THREADS_ENV = "REPRO_SIM_THREADS"
+
+
+def resolve_threads(lanes: int, threads: Optional[int] = None) -> int:
+    """Kernel threads for a batch of ``lanes``: explicit argument, else
+    ``REPRO_SIM_THREADS``, else the CPU count — clamped to the lane
+    count (extra threads would only spin on the empty work queue)."""
+    if threads is None:
+        env = os.environ.get(THREADS_ENV)
+        if env:
+            threads = int(env)
+        else:
+            threads = os.cpu_count() or 1
+    return max(1, min(int(threads), max(1, lanes)))
 
 _i64p = ctypes.POINTER(ctypes.c_int64)
 _u8p = ctypes.POINTER(ctypes.c_uint8)
@@ -139,44 +164,57 @@ def _cache_dir() -> Path:
     return Path(base) / "repro-dragonfly"
 
 
+#: preferred flag set first; the plain serial build is the fallback for
+#: toolchains without pthread support (sim_run_batch then loops lanes
+#: serially, which is bit-identical anyway).
+_FLAG_SETS = (
+    ["-O3", "-shared", "-fPIC", "-pthread", "-DREPRO_HAVE_PTHREADS"],
+    ["-O3", "-shared", "-fPIC"],
+)
+
+
 def _compile_library() -> Optional[Path]:
     """Compile ``_simcore.c`` into the cache, reusing prior builds."""
     cc = _find_cc()
     if cc is None or not _C_SOURCE.is_file():
         return None
     source = _C_SOURCE.read_bytes()
-    tag = hashlib.sha256(
-        source + sysconfig.get_platform().encode()
-    ).hexdigest()[:16]
-    cache = _cache_dir()
-    out = cache / f"_simcore-{tag}.so"
-    if out.is_file():
-        return out
-    tmp = None
-    try:
-        cache.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
-        os.close(fd)
-        cmd = [cc, "-O2", "-shared", "-fPIC", str(_C_SOURCE), "-o", tmp]
-        res = subprocess.run(
-            cmd,
-            stdout=subprocess.DEVNULL,
-            stderr=subprocess.DEVNULL,
-            timeout=120,
-        )
-        if res.returncode != 0:
-            return None
-        os.replace(tmp, out)  # atomic: concurrent builders race safely
+    for flags in _FLAG_SETS:
+        tag = hashlib.sha256(
+            source
+            + " ".join(flags).encode()
+            + sysconfig.get_platform().encode()
+        ).hexdigest()[:16]
+        cache = _cache_dir()
+        out = cache / f"_simcore-{tag}.so"
+        if out.is_file():
+            return out
         tmp = None
-        return out
-    except (OSError, subprocess.SubprocessError):
-        return None
-    finally:
-        if tmp is not None:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        try:
+            cache.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".so", dir=cache)
+            os.close(fd)
+            cmd = [cc, *flags, str(_C_SOURCE), "-o", tmp]
+            res = subprocess.run(
+                cmd,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+                timeout=120,
+            )
+            if res.returncode != 0:
+                continue
+            os.replace(tmp, out)  # atomic: concurrent builders race safely
+            tmp = None
+            return out
+        except (OSError, subprocess.SubprocessError):
+            continue
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+    return None
 
 
 _LIB = None
@@ -196,7 +234,17 @@ def load_native():
         lib = ctypes.CDLL(str(path))
         lib.sim_run.argtypes = [ctypes.POINTER(_SimState)]
         lib.sim_run.restype = ctypes.c_int64
+        lib.sim_run_batch.argtypes = [
+            ctypes.POINTER(_SimState),
+            ctypes.c_int64,
+            ctypes.c_int64,
+        ]
+        lib.sim_run_batch.restype = ctypes.c_int64
     except OSError:
+        return None
+    except AttributeError:
+        # a pre-batch cached build is stale; one-shot rebuilds are not
+        # worth the complexity — clearing the cache dir fixes it
         return None
     _LIB = lib
     return _LIB
@@ -205,6 +253,12 @@ def load_native():
 def native_available() -> bool:
     """True when the compiled kernel can be (or has been) loaded."""
     return load_native() is not None
+
+
+#: largest num_nodes**2 for which the route-pair mirror also keeps a
+#: dense direct-index table (2 x int64 -> 16 MiB at the cap); bigger
+#: graphs fall back to binary search on the sorted key mirror.
+_DENSE_PAIRS_MAX = 1 << 20
 
 
 def _zeros(n: int) -> np.ndarray:
@@ -218,6 +272,34 @@ def _as_i64(values) -> np.ndarray:
 
 def _ptr(arr: np.ndarray):
     return arr.ctypes.data_as(_i64p)
+
+
+class _LaneCtx:
+    """Per-run staging between prepare, kernel call and finish.
+
+    Holds the run's window bookkeeping plus references to every numpy
+    buffer the packed ``struct S`` points into — the batch path keeps
+    one of these per lane alive for the duration of the (possibly
+    threaded) kernel call.
+    """
+
+    __slots__ = (
+        "rate",
+        "meas",
+        "t0",
+        "warm",
+        "meas_end",
+        "effective_offered",
+        "np_ev_cycle",
+        "np_ev_src",
+        "np_ev_pid",
+        "n_new",
+        "lat_out",
+        "hops_out",
+        "pid_out",
+        "keepalive",
+        "st",
+    )
 
 
 class NativeCore(ArrayCore):
@@ -249,6 +331,13 @@ class NativeCore(ArrayCore):
                 "use core='array' instead"
             )
         self._lib = lib
+
+        #: packet-table segments kept as numpy arrays by the vectorized
+        #: pre-pass (non-probed cores only — ``run_record`` reads the
+        #: scalar lists).  List entries always precede part entries in
+        #: pid order: the scalar pre-pass flushes parts before
+        #: appending.
+        self._p_parts: list = []
 
         num_nodes = graph.num_nodes
         num_lv = self._num_lv
@@ -301,6 +390,185 @@ class NativeCore(ArrayCore):
         scratch = self._max_in + 1
         self._n_sc = [_zeros(scratch) for _ in range(4)]
 
+        # Numpy mirror of the (src, dst) -> (offset, hops) route memo
+        # for bulk lookup: [sorted pair keys, offsets, hops, memo size
+        # at build time].  A shared mutable holder so batch lanes that
+        # adopt this core's route plane see one mirror (see
+        # :meth:`_adopt_route_plane`).  Slots 4/5 hold an optional
+        # dense (src*nn+dst)-indexed offset/hops table (-1 offset =
+        # unresolved) — valid because the slice memo is insert-only.
+        self._pair_mirror: list = [None, None, None, -1, None, None]
+        # Converted int64 route arena [(lv, link, delay) arrays, arena
+        # length at conversion] — shared like the mirror, so a batch
+        # only re-converts when new routes were appended.
+        self._np_routes: list = [None, -1]
+
+    # ------------------------------------------------------------------
+    def _adopt_route_plane(self, donor: "NativeCore") -> None:
+        """Share ``donor``'s route arena, memo and pair mirror.
+
+        Only valid for deterministic routings (a route is a pure
+        function of the pair, so lanes can pool resolutions) and only
+        before any route was resolved on this core.  Lists are shared
+        *by reference*: any lane resolving a new pair extends the one
+        arena every lane's packet table points into.
+        """
+        if not (self._deterministic and donor._deterministic):
+            return
+        if self._route_lv or self._num_packets:
+            raise RuntimeError(
+                "route plane adoption must happen before any route is "
+                "resolved on this core"
+            )
+        self._slice_memo = donor._slice_memo
+        self._route_lv = donor._route_lv
+        self._route_link = donor._route_link
+        self._route_delay = donor._route_delay
+        self._pair_mirror = donor._pair_mirror
+        self._np_routes = donor._np_routes
+
+    def _pair_table(self):
+        """Current numpy view of the route memo (rebuilt when stale)."""
+        memo = self._slice_memo
+        mirror = self._pair_mirror
+        if mirror[3] != len(memo):
+            nn = self.graph.num_nodes
+            n = len(memo)
+            keys = np.fromiter(
+                (s * nn + d for s, d in memo.keys()),
+                dtype=np.int64,
+                count=n,
+            )
+            offs = np.fromiter(
+                (v[0] for v in memo.values()), dtype=np.int64, count=n
+            )
+            hops = np.fromiter(
+                (v[1] for v in memo.values()), dtype=np.int64, count=n
+            )
+            order = np.argsort(keys)
+            mirror[0] = keys[order]
+            mirror[1] = offs[order]
+            mirror[2] = hops[order]
+            mirror[3] = n
+            if nn * nn <= _DENSE_PAIRS_MAX:
+                if mirror[4] is None:
+                    mirror[4] = np.full(nn * nn, -1, dtype=np.int64)
+                    mirror[5] = np.empty(nn * nn, dtype=np.int64)
+                mirror[4][keys] = offs
+                mirror[5][keys] = hops
+        return mirror
+
+    def _route_slices_bulk(self, srcs: np.ndarray, dsts: np.ndarray):
+        """Vectorized ``_route_slice`` over aligned pair arrays.
+
+        Missing pairs are resolved through the scalar single point of
+        truth (appending to the shared arena and memo), then looked up
+        via the sorted mirror.  Returns ``None`` when the memo cap
+        keeps pairs out of the mirror — callers fall back to the
+        scalar pre-pass.
+        """
+        nn = self.graph.num_nodes
+        keys = srcs * nn + dsts
+        tab = self._pair_table()
+        # probe the mirror first: on a warmed route plane every pair
+        # hits, and the np.unique pass only runs for actual misses.
+        # Small graphs probe a dense table (one gather); larger ones
+        # binary-search the sorted key mirror.
+        if tab[4] is not None:
+            off = tab[4][keys]
+            miss = off < 0
+            if not miss.any():
+                return off, tab[5][keys]
+            missing = np.unique(keys[miss])
+        elif tab[0] is not None and tab[0].size:
+            tk = tab[0]
+            pos = np.searchsorted(tk, keys)
+            clip = np.minimum(pos, tk.size - 1)
+            miss = (pos >= tk.size) | (tk[clip] != keys)
+            if not miss.any():
+                return tab[1][clip], tab[2][clip]
+            missing = np.unique(keys[miss])
+        else:
+            missing = np.unique(keys)
+        route_slice = self._route_slice
+        for k in missing.tolist():
+            route_slice(int(k // nn), int(k % nn))
+        tab = self._pair_table()
+        if tab[4] is not None:
+            off = tab[4][keys]
+            if (off < 0).any():
+                return None  # memo cap hit: resolved but unmirrored
+            return off, tab[5][keys]
+        tk = tab[0]
+        pos = np.searchsorted(tk, keys)
+        clip = np.minimum(pos, tk.size - 1)
+        if ((pos >= tk.size) | (tk[clip] != keys)).any():
+            return None  # memo cap hit: pairs resolved but unmirrored
+        return tab[1][clip], tab[2][clip]
+
+    # ------------------------------------------------------------------
+    def _resolve_packets_vec(
+        self, schedule: InjectionSchedule, t0, horizon
+    ):
+        """Vectorized twin of :meth:`_resolve_packets`.
+
+        Destinations come from the traffic pattern's ``dest_batch``
+        hook over a :class:`VecRandom` replica of the stdlib stream,
+        routes from the bulk memo mirror — both bit-exact with the
+        scalar pre-pass.  Returns ``None`` to decline (non-deterministic
+        routing, no/declining hook, un-mirrorable memo); nothing is
+        consumed from the RNG in that case, so the scalar path can take
+        over from the exact same state.
+        """
+        if not self._deterministic:
+            return None
+        dest_batch = getattr(self.traffic, "dest_batch", None)
+        if dest_batch is None:
+            return None
+        vr = VecRandom.for_rng(self._py_rng)
+        if vr is None:
+            return None
+        cycles = schedule.np_cycles
+        nodes = schedule.np_nodes
+        n_ev = int(np.searchsorted(cycles, horizon, side="left"))
+        cycles = cycles[:n_ev]
+        nodes = nodes[:n_ev]
+        if n_ev == 0:
+            return [], [], []
+        dsts = dest_batch(nodes, vr)
+        if dsts is None:
+            return None
+        keep = (dsts >= 0) & (dsts != nodes)
+        k_src = nodes[keep]
+        k_dst = dsts[keep]
+        k_t = cycles[keep] + t0
+        if k_src.size:
+            bulk = self._route_slices_bulk(k_src, k_dst)
+            if bulk is None:
+                return None  # pre-commit: the RNG was never advanced
+            off, nhops = bulk
+        else:
+            off = nhops = np.empty(0, dtype=np.int64)
+        vr.commit()
+        warm = t0 + self.params.warmup_cycles
+        meas_end = warm + self.params.measure_cycles
+        meas = ((k_t >= warm) & (k_t < meas_end)).astype(np.int64)
+        pid0 = self._num_packets
+        if self._probe_mode:
+            # run_record reads the scalar tables; keep them canonical
+            self._p_off.extend(off.tolist())
+            self._p_hops.extend(nhops.tolist())
+            self._p_t0.extend(k_t.tolist())
+            self._p_meas.extend(meas.tolist())
+            self._p_src.extend(k_src.tolist())
+            self._p_dst.extend(k_dst.tolist())
+        elif k_src.size:
+            self._p_parts.append((off, nhops, k_t, meas))
+        n_new = int(k_src.size)
+        self._num_packets = pid0 + n_new
+        ev_pid = np.arange(pid0, pid0 + n_new, dtype=np.int64)
+        return k_t, k_src, ev_pid
+
     # ------------------------------------------------------------------
     def _resolve_packets(self, schedule: InjectionSchedule, t0, horizon):
         """Resolve every scheduled event into the packet table.
@@ -312,6 +580,7 @@ class NativeCore(ArrayCore):
         are dropped *before* any RNG draw, matching the reference
         core's injection gate; stamps are absolute (``t0``-shifted).
         """
+        self._flush_packet_parts()
         dest = self.traffic.dest
         py_rng = self._py_rng
         route_slice = self._route_slice
@@ -352,7 +621,17 @@ class NativeCore(ArrayCore):
         self._num_packets = npk
         return ev_cycle, ev_src, ev_pid
 
-    def _rebuild_srcq_arena(self, ev_src: List[int]) -> None:
+    def _flush_packet_parts(self) -> None:
+        """Fold vectorized packet-table parts back into the scalar
+        lists (before a scalar pre-pass appends behind them)."""
+        for off, nhops, t, meas in self._p_parts:
+            self._p_off.extend(off.tolist())
+            self._p_hops.extend(nhops.tolist())
+            self._p_t0.extend(t.tolist())
+            self._p_meas.extend(meas.tolist())
+        self._p_parts.clear()
+
+    def _rebuild_srcq_arena(self, ev_src) -> None:
         """Re-lay the per-node source-queue slices for this run.
 
         Heads are rewound to slice starts; leftovers from a previous
@@ -360,11 +639,13 @@ class NativeCore(ArrayCore):
         each slice gets room for this run's new events.
         """
         num_nodes = self.graph.num_nodes
-        need = np.zeros(num_nodes, dtype=np.int64)
+        ev_src = np.asarray(ev_src, dtype=np.int64)
         sq_len = self._n_sq_len
-        need += sq_len
-        for nid in ev_src:
-            need[nid] += 1
+        need = sq_len + (
+            np.bincount(ev_src, minlength=num_nodes)
+            if ev_src.size
+            else 0
+        )
         off = np.zeros(num_nodes, dtype=np.int64)
         if num_nodes > 1:
             off[1:] = np.cumsum(need[:-1])
@@ -372,20 +653,26 @@ class NativeCore(ArrayCore):
         old = self._n_sq_arena
         old_off = self._n_sq_off
         old_head = self._n_sq_head
-        for r in range(num_nodes):
+        for r in np.flatnonzero(sq_len).tolist():
             n = int(sq_len[r])
-            if n:
-                start = int(old_off[r] + old_head[r])
-                arena[int(off[r]): int(off[r]) + n] = old[start: start + n]
+            start = int(old_off[r] + old_head[r])
+            arena[int(off[r]): int(off[r]) + n] = old[start: start + n]
         self._n_sq_arena = arena
         self._n_sq_off = off
         self._n_sq_head = np.zeros(num_nodes, dtype=np.int64)
 
     # ------------------------------------------------------------------
-    def run(
-        self, rate: float, schedule: Optional[InjectionSchedule] = None
-    ) -> SimResult:
-        """Run the full warmup+measure+drain schedule at ``rate``."""
+    def _prepare(
+        self,
+        rate: float,
+        schedule: Optional[InjectionSchedule] = None,
+        *,
+        vec: bool = False,
+    ) -> "_LaneCtx":
+        """Everything before the kernel call, minus the state struct:
+        schedule sampling, packet pre-resolution (vectorized when
+        ``vec`` and the config supports it) and the source-queue arena.
+        """
         p = self.params
         probs = self._checked_probs(rate)
         meas = p.measure_cycles
@@ -408,29 +695,78 @@ class NativeCore(ArrayCore):
                 self._active_nodes, probs, horizon, self._np_rng
             )
 
-        ev_cycle, ev_src, ev_pid = self._resolve_packets(
-            schedule, t0, horizon
-        )
+        ev = self._resolve_packets_vec(schedule, t0, horizon) if vec else None
+        if ev is None:
+            ev = self._resolve_packets(schedule, t0, horizon)
+        ev_cycle, ev_src, ev_pid = ev
         self._rebuild_srcq_arena(ev_src)
 
-        n_new = len(ev_pid)
+        ctx = _LaneCtx()
+        ctx.rate = rate
+        ctx.meas = meas
+        ctx.t0 = t0
+        ctx.warm = warm
+        ctx.meas_end = meas_end
+        ctx.effective_offered = effective_offered
+        ctx.np_ev_cycle = _as_i64(ev_cycle)
+        ctx.np_ev_src = _as_i64(ev_src)
+        ctx.np_ev_pid = _as_i64(ev_pid)
+        ctx.n_new = len(ev_pid)
+        return ctx
+
+    def _build_state(self, ctx: "_LaneCtx", routes=None) -> _SimState:
+        """Pack the kernel's ``struct S`` for a prepared run.
+
+        ``routes`` passes pre-converted shared route arrays (batch
+        lanes convert the common arena once); every numpy buffer the
+        struct points into is pinned on ``ctx`` until :meth:`_finish`.
+        """
+        p = self.params
+        t0 = ctx.t0
+        warm = ctx.warm
+        meas_end = ctx.meas_end
         # sized for every latency the kernel may report this run: new
         # packets plus measured leftovers still in flight from earlier
         # runs (each delivered packet reports exactly once)
         out_cap = self._num_packets - len(self._latencies)
-        lat_out = _zeros(out_cap)
-        hops_out = _zeros(out_cap)
-        pid_out = _zeros(out_cap)
-        np_p_off = _as_i64(self._p_off)
-        np_p_hops = _as_i64(self._p_hops)
-        np_p_t0 = _as_i64(self._p_t0)
-        np_p_meas = _as_i64(self._p_meas)
-        np_route_lv = _as_i64(self._route_lv)
-        np_route_link = _as_i64(self._route_link)
-        np_route_delay = _as_i64(self._route_delay)
-        np_ev_cycle = _as_i64(ev_cycle)
-        np_ev_src = _as_i64(ev_src)
-        np_ev_pid = _as_i64(ev_pid)
+        lat_out = ctx.lat_out = _zeros(out_cap)
+        hops_out = ctx.hops_out = _zeros(out_cap)
+        pid_out = ctx.pid_out = _zeros(out_cap)
+        parts = self._p_parts
+        if parts and not self._p_off:
+            # pure-vectorized history: the parts are already
+            # contiguous int64 arrays — no list round-trip
+            if len(parts) == 1:
+                cols = parts[0]
+            else:
+                cols = tuple(
+                    np.concatenate([pt[i] for pt in parts])
+                    for i in range(4)
+                )
+            np_p_off, np_p_hops, np_p_t0, np_p_meas = (
+                _as_i64(c) for c in cols
+            )
+        else:
+            self._flush_packet_parts()
+            np_p_off = _as_i64(self._p_off)
+            np_p_hops = _as_i64(self._p_hops)
+            np_p_t0 = _as_i64(self._p_t0)
+            np_p_meas = _as_i64(self._p_meas)
+        if routes is None:
+            routes = (
+                _as_i64(self._route_lv),
+                _as_i64(self._route_link),
+                _as_i64(self._route_delay),
+            )
+        np_route_lv, np_route_link, np_route_delay = routes
+        np_ev_cycle = ctx.np_ev_cycle
+        np_ev_src = ctx.np_ev_src
+        np_ev_pid = ctx.np_ev_pid
+        n_new = ctx.n_new
+        ctx.keepalive = (
+            np_p_off, np_p_hops, np_p_t0, np_p_meas,
+            np_route_lv, np_route_link, np_route_delay,
+        )
 
         st = _SimState(
             num_nodes=self.graph.num_nodes,
@@ -499,36 +835,230 @@ class NativeCore(ArrayCore):
             sc_cand=_ptr(self._n_sc[2]),
             sc_used=_ptr(self._n_sc[3]),
         )
-        err = self._lib.sim_run(ctypes.byref(st))
-        if err:
-            raise RuntimeError(
-                f"native simulation kernel failed (error code {err})"
-            )
+        ctx.st = st
+        return st
 
+    def _finish(self, ctx: "_LaneCtx", st: _SimState) -> SimResult:
+        """Read the kernel's outputs back and build the result.
+
+        ``st`` is the struct the kernel actually ran (for batches, the
+        lane's slot in the packed array — not the ``ctx.st`` template
+        it was copied from).
+        """
+        p = self.params
         self._n_hot_n = int(st.hot_n)
-        self._clock = meas_end + p.drain_cycles
+        self._clock = ctx.meas_end + p.drain_cycles
         self.total_flits_injected = int(st.tfi)
         self.total_flits_ejected = int(st.tfe)
         self._packets_measured = int(st.pm)
         self._flits_ejected_window = int(st.few)
         n_lat = int(st.n_lat)
-        self._latencies.extend(lat_out[:n_lat].tolist())
-        self._hops.extend(hops_out[:n_lat].tolist())
+        self._latencies.extend(ctx.lat_out[:n_lat].tolist())
+        self._hops.extend(ctx.hops_out[:n_lat].tolist())
         if self._probe_mode:
-            self._eject_pid.extend(pid_out[:n_lat].tolist())
+            self._eject_pid.extend(ctx.pid_out[:n_lat].tolist())
 
         return SimResult.from_samples(
-            offered_rate=rate,
-            effective_offered=effective_offered,
+            offered_rate=ctx.rate,
+            effective_offered=ctx.effective_offered,
             latencies=self._latencies,
             hops=self._hops,
             packets_measured=self._packets_measured,
             flits_ejected=self._flits_ejected_window,
             active_chips=self._active_chips,
-            measure_cycles=meas,
+            measure_cycles=ctx.meas,
         )
+
+    def run(
+        self, rate: float, schedule: Optional[InjectionSchedule] = None
+    ) -> SimResult:
+        """Run the full warmup+measure+drain schedule at ``rate``."""
+        ctx = self._prepare(rate, schedule)
+        st = self._build_state(ctx)
+        err = self._lib.sim_run(ctypes.byref(st))
+        if err:
+            raise RuntimeError(
+                f"native simulation kernel failed (error code {err})"
+            )
+        return self._finish(ctx, st)
+
+    @classmethod
+    def run_batch(
+        cls,
+        graph,
+        routing,
+        traffic,
+        params,
+        lanes,
+        *,
+        threads: Optional[int] = None,
+        probes: bool = False,
+        schedules=None,
+    ):
+        """Run N replica lanes through one packed kernel call.
+
+        ``lanes`` is a sequence of ``(seed, rate)`` pairs; each lane is
+        a fresh core over the shared graph/routing/traffic with
+        ``params`` reseeded per lane.  Returns ``(cores, results)`` —
+        the cores so probed callers can pull :meth:`run_record`.
+        """
+        batch = NativeBatch(
+            graph,
+            routing,
+            traffic,
+            params,
+            [seed for seed, _ in lanes],
+            probes=probes,
+        )
+        results = batch.run(
+            [rate for _, rate in lanes],
+            schedules=schedules,
+            threads=threads,
+        )
+        return batch.lanes, results
 
     # ------------------------------------------------------------------
     def flits_in_flight(self) -> int:
         """Flits currently buffered or on wires (conservation checks)."""
         return int(self._n_b_len.sum()) + int(self._n_aw_n.sum())
+
+
+class NativeBatch:
+    """N replica lanes of one configuration, run as one kernel call.
+
+    Each lane is an isolated :class:`NativeCore` (own seed-derived RNG
+    streams, flit/VC/credit/latency state); what the lanes *share* is
+    the read-only route plane: for deterministic routings every lane
+    adopts the first lane's route arena, (src, dst) memo and numpy pair
+    mirror, so each route slice is resolved once per batch instead of
+    once per lane.  Packet pre-resolution uses the vectorized pre-pass
+    when the traffic pattern offers ``dest_batch`` (falling back to the
+    scalar resolve per lane otherwise), the per-lane ``struct S``
+    states are packed into one contiguous ctypes array, and a single
+    ``sim_run_batch`` call walks the lanes — threaded over
+    :func:`resolve_threads` workers pulling lanes from an atomic
+    cursor, which is bit-identical to the serial loop because lanes
+    share no mutable state.
+
+    A batch is **one-shot**: lanes accumulate measurement state, so
+    ``run()`` raises on reuse.  Build a fresh batch per lane set (as
+    :func:`repro.network.simulator.run_batch` and the engine do).  To
+    amortise route resolution *across* batches of the same
+    configuration, pass a previous batch's :attr:`route_donor` as
+    ``route_donor`` — the new lanes adopt its already-resolved route
+    plane instead of starting from an empty memo (the arena is
+    append-only, so a stale donor is never wrong, just partial).
+    """
+
+    def __init__(
+        self,
+        graph,
+        routing,
+        traffic,
+        params,
+        seeds,
+        *,
+        probes: bool = False,
+        route_donor: Optional[NativeCore] = None,
+    ) -> None:
+        self.lanes: List[NativeCore] = []
+        donor: Optional[NativeCore] = None
+        if (
+            route_donor is not None
+            and route_donor.graph is graph
+            and route_donor.routing is routing
+            and route_donor._deterministic
+        ):
+            donor = route_donor
+        for seed in seeds:
+            core = NativeCore(
+                graph, routing, traffic, params.scaled(seed=int(seed))
+            )
+            if probes:
+                core.enable_probes()
+            if donor is None:
+                donor = core
+            else:
+                core._adopt_route_plane(donor)
+            self.lanes.append(core)
+        self._shared_routes = (
+            donor is not None
+            and donor._deterministic
+            and all(
+                core._route_lv is donor._route_lv for core in self.lanes
+            )
+        )
+        #: lane whose route plane a follow-up batch of the same
+        #: (graph, routing) can adopt via the ``route_donor`` argument.
+        self.route_donor: Optional[NativeCore] = (
+            self.lanes[0] if self._shared_routes else None
+        )
+        self._ran = False
+
+    def __len__(self) -> int:
+        return len(self.lanes)
+
+    def run(
+        self,
+        rates,
+        schedules=None,
+        *,
+        threads: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Run lane ``i`` at ``rates[i]`` (optionally pinning
+        ``schedules[i]``); returns per-lane results in lane order."""
+        if self._ran:
+            raise RuntimeError(
+                "NativeBatch is one-shot: lanes accumulate measurement "
+                "state — build a fresh batch per lane set"
+            )
+        self._ran = True
+        n = len(self.lanes)
+        if len(rates) != n:
+            raise ValueError(
+                f"{len(rates)} rates for {n} lanes"
+            )
+        if schedules is not None and len(schedules) != n:
+            raise ValueError(
+                f"{len(schedules)} schedules for {n} lanes"
+            )
+        if n == 0:
+            return []
+        ctxs = [
+            core._prepare(
+                rates[i],
+                schedules[i] if schedules is not None else None,
+                vec=True,
+            )
+            for i, core in enumerate(self.lanes)
+        ]
+        # all lanes resolved: the shared arena is final, convert once
+        # (and keep the conversion on the shared plane so a follow-up
+        # batch adopting it re-converts only if routes were appended)
+        routes = None
+        if self._shared_routes:
+            donor = self.lanes[0]
+            cached = donor._np_routes
+            if cached[1] != len(donor._route_lv):
+                cached[0] = (
+                    _as_i64(donor._route_lv),
+                    _as_i64(donor._route_link),
+                    _as_i64(donor._route_delay),
+                )
+                cached[1] = len(donor._route_lv)
+            routes = cached[0]
+        states = (_SimState * n)()
+        for i, (core, ctx) in enumerate(zip(self.lanes, ctxs)):
+            states[i] = core._build_state(ctx, routes)
+        lib = self.lanes[0]._lib
+        err = lib.sim_run_batch(states, n, resolve_threads(n, threads))
+        if err:
+            codes = [int(states[i].error) for i in range(n)]
+            raise RuntimeError(
+                "native batch kernel failed "
+                f"(first error {err}; per-lane codes {codes})"
+            )
+        return [
+            core._finish(ctx, states[i])
+            for i, (core, ctx) in enumerate(zip(self.lanes, ctxs))
+        ]

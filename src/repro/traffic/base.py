@@ -108,3 +108,24 @@ class TrafficPattern(ABC):
     @abstractmethod
     def dest(self, src: int, rng: random.Random) -> Optional[int]:
         """Destination node for a packet from ``src`` (None = drop)."""
+
+    def dest_batch(self, srcs, vr):
+        """Vectorized counterpart of :meth:`dest` (optional hook).
+
+        ``srcs`` is an int64 array of source node ids (one per
+        scheduled event, in event order); ``vr`` is a
+        :class:`~repro.network.vecrandom.VecRandom` over the same
+        stdlib RNG :meth:`dest` would have been handed.  A pattern that
+        implements this must return an int64 array of destinations
+        aligned with ``srcs`` (``-1`` encodes the scalar ``None``
+        drop), and must consume ``vr`` *exactly* as the equivalent
+        sequence of scalar :meth:`dest` calls would consume the RNG —
+        that equivalence is what keeps the native core's batched
+        pre-pass bit-identical to the scalar one (the caller commits
+        ``vr`` back onto the RNG afterwards).
+
+        Returning ``None`` declines (nothing consumed); the caller
+        then falls back to per-event scalar :meth:`dest` calls.  The
+        default declines, so patterns opt in explicitly.
+        """
+        return None

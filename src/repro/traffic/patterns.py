@@ -19,6 +19,8 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from ..topology.graph import NetworkGraph
 from .base import TrafficPattern
 
@@ -29,6 +31,19 @@ __all__ = [
     "BitShuffleTraffic",
     "BitTransposeTraffic",
 ]
+
+
+def _scope_arrays(pattern: TrafficPattern):
+    """Cached ``(node id -> scope index, scope index -> node id)``
+    arrays for vectorized destination lookup."""
+    arrs = getattr(pattern, "_scope_arrs", None)
+    if arrs is None:
+        idx = pattern.index
+        nodes = np.asarray(idx.nodes, dtype=np.int64)
+        pos = np.full(pattern.graph.num_nodes, -1, dtype=np.int64)
+        pos[nodes] = np.arange(nodes.size, dtype=np.int64)
+        arrs = pattern._scope_arrs = (pos, nodes)
+    return arrs
 
 
 class UniformTraffic(TrafficPattern):
@@ -69,6 +84,29 @@ class UniformTraffic(TrafficPattern):
             d += 1
         nodes = idx.chip_nodes[idx.chips[d]]
         return nodes[rng.randrange(len(nodes))]
+
+    def dest_batch(self, srcs, vr):
+        """Vectorized ``exclude="node"`` draws (see the base hook).
+
+        The scalar path consumes exactly one ``randrange(n - 1)`` per
+        event, so the whole batch maps onto one
+        :meth:`~repro.network.vecrandom.VecRandom.randbelow` call plus
+        the self-skip shift.  ``exclude="chip"`` makes two *dependent*
+        draws per event (chip, then node on that chip's variable-size
+        list) and declines to the scalar path.
+        """
+        if self.exclude != "node":
+            return None
+        n = self.index.num_nodes
+        srcs = np.asarray(srcs, dtype=np.int64)
+        if n < 2:  # scalar dest() drops without consuming the RNG
+            return np.full(srcs.size, -1, dtype=np.int64)
+        draws = vr.randbelow(n - 1, srcs.size)
+        if draws is None:
+            return None
+        pos, nodes = _scope_arrays(self)
+        i = pos[srcs]
+        return nodes[draws + (draws >= i)]
 
 
 def _bits_for(n: int) -> int:
@@ -121,6 +159,35 @@ class PermutationTraffic(TrafficPattern):
                 j += 1
             return self.index.nodes[j]
         return d
+
+    def dest_batch(self, srcs, vr):
+        """Vectorized permutation lookup (see the base hook).
+
+        Sources inside the power-of-two prefix are a pure table lookup
+        (no RNG); only the uniform-fallback tail consumes draws, and it
+        does so in event order — so drawing the fallback subset en bloc
+        replicates the scalar stream exactly.  Scopes that *are* a
+        power of two (every paper configuration) consume nothing.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        pos, nodes = _scope_arrays(self)
+        i = pos[srcs]
+        dest_of = getattr(self, "_dest_arr", None)
+        if dest_of is None:
+            dest_of = self._dest_arr = np.array(
+                [-1 if d is None else d for d in self._dest_of],
+                dtype=np.int64,
+            )
+        out = dest_of[i]
+        fb = np.flatnonzero(i >= self._pow2)
+        if fb.size:
+            n = self.index.num_nodes
+            draws = vr.randbelow(n - 1, fb.size)
+            if draws is None:
+                return None
+            j = draws + (draws >= i[fb])
+            out[fb] = nodes[j]
+        return out
 
 
 class BitReverseTraffic(PermutationTraffic):
