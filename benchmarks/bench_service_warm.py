@@ -1,0 +1,131 @@
+"""Service benchmark: warm resubmission vs a cold CLI run.
+
+The service's pitch is amortisation: a long-running server keeps the
+compiled native core, the engine's topology/routing LRUs and the
+content-addressed result store resident, so resubmitting a study costs
+an HTTP round-trip plus a cache replay — while every cold
+``repro-dragonfly run`` pays interpreter start-up, native-core loading
+and the full simulation again.
+
+This script measures exactly that, client-observed:
+
+* ``cold_run_seconds`` — subprocess ``repro-dragonfly run`` of a study
+  JSON with an empty cache dir (median of N);
+* ``service_first_seconds`` — the same study's first submission to a
+  fresh service (one full computation, warm process);
+* ``warm_resubmit_seconds`` — resubmitting the identical study (median
+  of N replays from the store).
+
+Writes ``BENCH_service.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service_warm.py
+"""
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.api import build_study
+from repro.service import ServiceClient, create_server
+
+
+def cold_run(study_file: str, env: dict) -> float:
+    """One cold CLI run: new interpreter, empty cache, full compute."""
+    with tempfile.TemporaryDirectory(prefix="bench-cold-") as cache:
+        t0 = time.perf_counter()
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "run", study_file,
+                "--workers", "1", "--cache-dir", cache,
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        return time.perf_counter() - t0
+
+
+def timed_submit(client: ServiceClient, study) -> float:
+    t0 = time.perf_counter()
+    job = client.submit_study(study, client="bench")
+    client.watch(job["id"])
+    return time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--study", default="smoke",
+                    help="bundled study name to benchmark")
+    ap.add_argument("--scale", default="default")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--out", default="BENCH_service.json")
+    args = ap.parse_args(argv)
+
+    study = build_study(args.study, scale=args.scale)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    with tempfile.TemporaryDirectory(prefix="bench-svc-") as tmp:
+        study_file = str(Path(tmp) / "study.json")
+        Path(study_file).write_text(json.dumps(study.to_data()))
+
+        print(f"cold CLI runs ({args.repeats}x) ...")
+        cold = [cold_run(study_file, env) for _ in range(args.repeats)]
+
+        server = create_server(
+            host="127.0.0.1", port=0, cache_dir=Path(tmp) / "store"
+        )
+        threading.Thread(
+            target=server.serve_forever, daemon=True
+        ).start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        try:
+            print("first service submission (cold store) ...")
+            first = timed_submit(client, study)
+            print(f"warm resubmissions ({args.repeats}x) ...")
+            warm = [
+                timed_submit(client, study)
+                for _ in range(args.repeats)
+            ]
+        finally:
+            server.initiate_shutdown()
+            server.server_close()
+
+    cold_s = statistics.median(cold)
+    warm_s = statistics.median(warm)
+    payload = {
+        "benchmark": "service_warm_resubmission",
+        "study": args.study,
+        "scale": args.scale,
+        "points": study.num_points(),
+        "repeats": args.repeats,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cold_run_seconds": round(cold_s, 3),
+        "cold_run_samples": [round(v, 3) for v in cold],
+        "service_first_seconds": round(first, 3),
+        "warm_resubmit_seconds": round(warm_s, 4),
+        "warm_resubmit_samples": [round(v, 4) for v in warm],
+        "speedup_vs_cold_run": round(cold_s / warm_s, 1),
+        "warm_faster_than_cold": warm_s < cold_s,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"# written to {args.out}")
+    return 0 if payload["warm_faster_than_cold"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Simulation-as-a-service tour: submit, stream, dedupe.
+
+Walks the `repro.service` stack end to end without needing a separate
+terminal: it starts an in-process server on an ephemeral port, then
+acts as a client against it —
+
+1. submit the bundled CI smoke study and stream its per-point
+   telemetry as it computes;
+2. resubmit the identical study and watch it replay instantly from the
+   content-addressed result store (zero recomputation);
+3. submit the same study from two "clients" at once and see the second
+   attach to the first's in-flight execution (single-flight dedupe).
+
+Against a long-running daemon the client half is the same, minus the
+server setup:
+
+    repro-dragonfly serve --port 8642 --cache-dir ~/.cache/repro &
+    python examples/service_client.py http://127.0.0.1:8642
+
+Run:  python examples/service_client.py
+"""
+
+import sys
+import tempfile
+import threading
+
+from repro.api import build_study
+from repro.service import ServiceClient, create_server
+
+
+def start_local_server():
+    """An in-process service on an ephemeral port, store in a temp dir."""
+    cache_dir = tempfile.mkdtemp(prefix="repro-service-demo-")
+    server = create_server(host="127.0.0.1", port=0, cache_dir=cache_dir)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    host, port = server.server_address[:2]
+    print(f"service on http://{host}:{port} (store: {cache_dir})\n")
+    return server, f"http://{host}:{port}"
+
+
+def show_point(event):
+    if event["event"] != "point":
+        return
+    res = event["result"]
+    print(
+        f"  [{event['points_done']}/{event['points_total']}] "
+        f"{event['scenario']}/{event['curve']} rate={event['rate']:g} "
+        f"lat={res['avg_latency']:.1f}cyc acc={res['accepted_rate']:.3f} "
+        f"({event['source']})"
+    )
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        server, address = None, sys.argv[1]
+        print(f"using external service at {address}\n")
+    else:
+        server, address = start_local_server()
+    client = ServiceClient(address)
+    study = build_study("smoke", scale="quick")
+
+    # -- 1. submit and stream ------------------------------------------
+    print("== cold submit: every point is simulated ==")
+    job = client.submit_study(study, client="demo")
+    print(f"job {job['id']} ({job['points_total']} points)")
+    result = client.watch(job["id"], on_event=show_point)
+    print(f"-> {result.name!r} done\n")
+
+    # -- 2. resubmit: served from the result store ---------------------
+    print("== warm resubmit: replayed from the shared store ==")
+    again = client.submit_study(study, client="demo")
+    client.watch(again["id"], on_event=show_point)
+    status = client.status(again["id"])
+    print(
+        f"-> {status['cache_hits']}/{status['points_total']} points "
+        "from cache, nothing recomputed\n"
+    )
+
+    # -- 3. concurrent dedupe ------------------------------------------
+    print("== two clients, one computation (single-flight) ==")
+    fresh = study.with_metrics(["link_util"])  # a key nobody ran yet
+    first = client.submit_study(fresh, client="alice")
+    second = client.submit_study(fresh, client="bob")
+    print(f"alice: job {first['id']} attached={first['attached']}")
+    print(
+        f"bob:   job {second['id']} attached={second['attached']} "
+        f"(to {second.get('attached_to')})"
+    )
+    res_a = client.watch(first["id"])
+    res_b = client.watch(second["id"])
+    same = res_a.to_dict()["scenarios"] == res_b.to_dict()["scenarios"]
+    print(f"-> both streams ended; identical results: {same}\n")
+
+    stats = client.stats()
+    store = stats["store"]
+    print(
+        f"store after the demo: {store['entries']} entries, "
+        f"{store['bytes']} bytes, {store['hits']} hits"
+    )
+
+    if server is not None:
+        client.shutdown()
+    return 0 if same else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

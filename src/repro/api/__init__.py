@@ -74,6 +74,7 @@ from .scenario import (
     STUDY_SCHEMA,
     Scenario,
     Study,
+    StudyPointCallback,
     load_study,
 )
 
@@ -90,6 +91,7 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "Study",
+    "StudyPointCallback",
     "StudyResult",
     "build_probe",
     "build_study",

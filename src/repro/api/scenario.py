@@ -31,10 +31,27 @@ from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from typing import Callable
+
 from ..engine import ExperimentSpec, ResultCache, run_experiments
+from ..network.stats import SimResult
 from .results import CurveResult, ScenarioResult, StudyResult
 
-__all__ = ["SCENARIO_SCHEMA", "STUDY_SCHEMA", "Scenario", "Study", "load_study"]
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "STUDY_SCHEMA",
+    "Scenario",
+    "Study",
+    "StudyPointCallback",
+    "load_study",
+]
+
+#: signature of the optional per-point progress hook of
+#: :meth:`Study.run`: ``on_point(scenario, curve_label, rate, result,
+#: source)`` with ``source`` one of ``"cache"`` / ``"fresh"``.  Fires
+#: in the calling process as points complete (cache replays first);
+#: raising from the hook aborts the run — completed points stay cached.
+StudyPointCallback = Callable[[str, str, float, SimResult, str], None]
 
 SCENARIO_SCHEMA = "repro.scenario/v1"
 STUDY_SCHEMA = "repro.study/v1"
@@ -105,10 +122,12 @@ class Scenario:
         *,
         workers: Optional[int] = None,
         cache: Optional[Union[ResultCache, str, Path]] = None,
+        on_point: Optional[StudyPointCallback] = None,
     ) -> ScenarioResult:
         """Run just this scenario (see :meth:`Study.run`)."""
         study = Study(name=self.name, scenarios=(self,))
-        return study.run(workers=workers, cache=cache).scenarios[0]
+        result = study.run(workers=workers, cache=cache, on_point=on_point)
+        return result.scenarios[0]
 
     # -- declarative form ----------------------------------------------
     def to_data(self) -> Dict:
@@ -187,6 +206,15 @@ class Study:
     def num_specs(self) -> int:
         return sum(len(s.specs) for s in self.scenarios)
 
+    def num_points(self) -> int:
+        """Upper bound on simulated points (saturation cutoffs may stop
+        sweeps early) — the denominator progress displays use."""
+        return sum(
+            len(spec.rates)
+            for scn in self.scenarios
+            for spec in scn.specs
+        )
+
     def scenario(self, name: str) -> Scenario:
         for s in self.scenarios:
             if s.name == name:
@@ -219,13 +247,17 @@ class Study:
         *,
         workers: Optional[int] = None,
         cache: Optional[Union[ResultCache, str, Path]] = None,
+        on_point: Optional[StudyPointCallback] = None,
     ) -> StudyResult:
         """Run every scenario through the parallel experiment engine.
 
         Scenarios sharing a ``stop_after_saturation`` value are batched
         into one ``run_experiments`` call so their points fill the same
         worker pool.  ``cache`` may be a :class:`~repro.engine.
-        ResultCache` or a directory path.  The returned hierarchy is
+        ResultCache` or a directory path.  ``on_point`` is an optional
+        :data:`StudyPointCallback` fired as points complete — live
+        progress for the CLI's ``run --progress`` and the streaming
+        backbone of the simulation service.  The returned hierarchy is
         deterministic apart from its ``meta`` block (per-point seeds are
         derived from the spec hashes).
         """
@@ -241,12 +273,25 @@ class Study:
         results: Dict[int, ScenarioResult] = {}
         for stop, members in sorted(batches.items()):
             specs = [spec for _, scn in members for spec in scn.specs]
+            engine_cb = None
+            if on_point is not None:
+                origin = [
+                    (scn.name, _curve_label(spec))
+                    for _, scn in members
+                    for spec in scn.specs
+                ]
+
+                def engine_cb(si, ri, rate, res, source, _origin=origin):
+                    scn_name, label = _origin[si]
+                    on_point(scn_name, label, rate, res, source)
+
             sweeps = iter(
                 run_experiments(
                     specs,
                     workers=workers,
                     cache=cache,
                     stop_after_saturation=stop,
+                    on_point=engine_cb,
                 )
             )
             for si, scn in members:

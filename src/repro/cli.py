@@ -17,6 +17,17 @@ Examples::
     repro-dragonfly layout                    # Fig. 9 floorplan summary
     repro-dragonfly verify --policy reduced   # deadlock-freedom check
 
+Service mode (see the "Simulation service" README section)::
+
+    repro-dragonfly serve --port 8642 --cache-dir ~/.cache/repro
+    repro-dragonfly submit smoke --scale quick --watch
+    repro-dragonfly submit fig10_local --client alice   # prints job id
+    repro-dragonfly status j000001
+    repro-dragonfly watch j000001 --out result.json
+    repro-dragonfly cancel j000001
+    repro-dragonfly cache stats --cache-dir ~/.cache/repro
+    repro-dragonfly shutdown
+
 ``sweep`` remains as a deprecated alias of ``compare`` with a single
 architecture (it now honours ``--preset``).
 """
@@ -24,7 +35,9 @@ architecture (it now honours ``--preset``).
 from __future__ import annotations
 
 import argparse
+import json
 import logging
+import os
 import sys
 from pathlib import Path
 
@@ -92,6 +105,22 @@ def _setup_logging(verbose: bool) -> None:
         logging.getLogger("repro.engine").setLevel(logging.DEBUG)
 
 
+def _progress_printer(total: int):
+    """Per-point progress lines on stderr (``--progress``)."""
+    count = [0]
+
+    def on_point(scenario, label, rate, res, source) -> None:
+        count[0] += 1
+        print(
+            f"# [{count[0]}/{total}] {scenario}/{label} rate={rate:g} "
+            f"lat={res.avg_latency:.1f}cyc acc={res.accepted_rate:.3f} "
+            f"({source})",
+            file=sys.stderr,
+        )
+
+    return on_point
+
+
 def _run_study(study, args) -> int:
     """Shared run/report/export path of ``run``, ``compare``, ``sweep``."""
     metrics = getattr(args, "metrics", None)
@@ -103,7 +132,10 @@ def _run_study(study, args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = study.run(workers=args.workers, cache=cache)
+    on_point = None
+    if getattr(args, "progress", False):
+        on_point = _progress_printer(study.num_points())
+    result = study.run(workers=args.workers, cache=cache, on_point=on_point)
     print(result.render())
     if cache is not None:
         print(
@@ -121,16 +153,21 @@ def _run_study(study, args) -> int:
     return 0
 
 
+def _load_run_target(target: str, scale: str):
+    """Bundled study name or scenario/study JSON path -> Study."""
+    if Path(target).is_file() or target.endswith(".json"):
+        return load_study(target)
+    return build_study(target, scale=scale)
+
+
 def _cmd_run(args) -> int:
     _setup_logging(args.verbose)
-    target = args.scenario
     try:
-        if Path(target).is_file() or target.endswith(".json"):
-            study = load_study(target)
-        else:
-            study = build_study(target, scale=args.scale)
+        study = _load_run_target(args.scenario, args.scale)
     except (OSError, ValueError, KeyError) as exc:
-        print(f"error: cannot load {target!r}: {exc}", file=sys.stderr)
+        print(
+            f"error: cannot load {args.scenario!r}: {exc}", file=sys.stderr
+        )
         return 2
     return _run_study(study, args)
 
@@ -308,7 +345,10 @@ def _cmd_resilience(args) -> int:
             deadlock_ok = deadlock_ok and rec["acyclic"]
 
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    result = study.run(workers=args.workers, cache=cache)
+    on_point = None
+    if args.progress:
+        on_point = _progress_printer(study.num_points())
+    result = study.run(workers=args.workers, cache=cache, on_point=on_point)
     print(result.render())
     print()
     print(resilience_report(result).render())
@@ -340,6 +380,274 @@ def _cmd_verify(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# service commands
+# ----------------------------------------------------------------------
+def _default_cache_dir() -> str:
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        str(Path.home() / ".cache" / "repro-dragonfly"),
+    )
+
+
+def _cmd_serve(args) -> int:
+    from .service import create_server, serve
+
+    try:
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            cache_dir=args.cache_dir,
+            default_workers=args.workers,
+            max_inflight_per_client=args.max_inflight,
+            max_entries=args.max_entries,
+            max_bytes=args.max_bytes,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot start service: {exc}", file=sys.stderr)
+        return 2
+    host, port = server.server_address[:2]
+    print(f"# simulation service on http://{host}:{port}", file=sys.stderr)
+    print(f"# result store: {args.cache_dir}", file=sys.stderr)
+    print(
+        "# submit with: repro-dragonfly submit <study> "
+        f"--server http://{host}:{port}",
+        file=sys.stderr,
+    )
+    serve(server)
+    return 0
+
+
+def _service_client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(args.server)
+
+
+def _watch_event_printer(event) -> None:
+    """Progress lines for the ``watch`` / ``submit --watch`` stream."""
+    kind = event.get("event")
+    if kind == "start":
+        print(
+            f"# start {event['study']} "
+            f"({event['points_total']} point(s))",
+            file=sys.stderr,
+        )
+    elif kind == "point":
+        res = event.get("result", {})
+        print(
+            f"# [{event['points_done']}/{event['points_total']}] "
+            f"{event['scenario']}/{event['curve']} "
+            f"rate={event['rate']:g} "
+            f"lat={res.get('avg_latency') or float('nan'):.1f}cyc "
+            f"acc={res.get('accepted_rate') or float('nan'):.3f} "
+            f"({event['source']})",
+            file=sys.stderr,
+        )
+    elif kind == "done":
+        cache = event.get("cache", {}).get("summary", {})
+        print(
+            f"# done: {event['points_done']} point(s), "
+            f"{event['cache_hits']} from cache",
+            file=sys.stderr,
+        )
+        if cache:
+            print(
+                f"# store: {cache.get('entries', 0):.0f} entries, "
+                f"{cache.get('bytes', 0):.0f} bytes",
+                file=sys.stderr,
+            )
+
+
+def _watch_job(client, job_id: str, args) -> int:
+    """Shared streaming tail of ``watch`` and ``submit --watch``."""
+    from .service import ServiceError
+
+    try:
+        result = client.watch(job_id, on_event=_watch_event_printer)
+    except ServiceError as exc:
+        try:
+            state = client.status(job_id).get("state")
+        except ServiceError:
+            state = None
+        if state == "cancelled":
+            print(f"# job {job_id} cancelled", file=sys.stderr)
+            return 3
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.render())
+    out = getattr(args, "out", None)
+    if out:
+        result.save(out)
+        print(f"# results written to {out}")
+    csv = getattr(args, "csv", None)
+    if csv:
+        Path(csv).write_text(result.to_csv())
+        print(f"# csv written to {csv}")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from .service import JobRequest, ServiceError
+
+    try:
+        study = _load_run_target(args.scenario, args.scale)
+    except (OSError, ValueError, KeyError) as exc:
+        print(
+            f"error: cannot load {args.scenario!r}: {exc}", file=sys.stderr
+        )
+        return 2
+    metrics = tuple(
+        m.strip() for m in (args.metrics or "").split(",") if m.strip()
+    )
+    request = JobRequest(
+        study=study.to_data(),
+        client=args.client,
+        priority=args.priority,
+        workers=args.workers,
+        metrics=metrics,
+    )
+    client = _service_client(args)
+    try:
+        status = client.submit(request)
+    except (ServiceError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    note = " (attached to in-flight run)" if status.get("attached") else ""
+    print(
+        f"# job {status['id']}: {status['state']}{note}, "
+        f"{status['points_total']} point(s), "
+        f"{status.get('queued_ahead', 0)} execution(s) queued ahead",
+        file=sys.stderr,
+    )
+    # the id alone on stdout, so scripts can do JOB=$(... submit ...)
+    print(status["id"])
+    if args.watch:
+        return _watch_job(client, status["id"], args)
+    print(
+        f"# follow with: repro-dragonfly watch {status['id']} "
+        f"--server {client.address}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _format_job_line(job) -> str:
+    attached = f" -> {job['attached_to']}" if job.get("attached_to") else ""
+    return (
+        f"  {job['id']}  {job['state']:9s} "
+        f"{job['points_done']:3d}/{job['points_total']:<3d} "
+        f"{job['study']}{attached}"
+        f"{'  client=' + job['client'] if job['client'] else ''}"
+    )
+
+
+def _cmd_status(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job:
+            print(json.dumps(client.status(args.job), indent=2))
+            return 0
+        jobs = client.jobs()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"jobs on {client.address}:")
+    for job in jobs:
+        print(_format_job_line(job))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        client.status(args.job)  # fail fast on unknown ids
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return _watch_job(client, args.job, args)
+
+
+def _cmd_cancel(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        status = client.cancel(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"# job {status['id']}: {status['state']} "
+        f"after {status['points_done']}/{status['points_total']} point(s)"
+    )
+    return 0
+
+
+def _cmd_shutdown(args) -> int:
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        client.shutdown()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"# service at {client.address} shutting down")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from .service import ResultStore
+
+    store = ResultStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"# removed {removed} entr(ies) from {store.root}")
+        return 0
+    if args.action == "prune":
+        if args.max_entries is None and args.max_bytes is None:
+            print(
+                "error: prune needs --max-entries and/or --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        removed = store.prune(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        stats = store.stats(scan_meta=False)
+        print(
+            f"# evicted {removed} entr(ies); now {stats['entries']} "
+            f"entr(ies), {stats['bytes']} bytes ({store.root})"
+        )
+        return 0
+    stats = store.stats(scan_meta=True)
+    print(f"result store {stats['root']}")
+    print(f"  entries            {stats['entries']}")
+    print(f"  bytes              {stats['bytes']}")
+    print(f"  engine version     {stats['engine_version']}")
+    mix = ", ".join(
+        f"{tag}: {n}" for tag, n in stats.get("version_mix", {}).items()
+    )
+    print(f"  version mix        {mix or '(empty)'}")
+    print(f"  in-flight locks    {stats['locks']}")
+    stale = stats.get("stale_entries", 0)
+    if stale:
+        print(
+            f"  WARNING: {stale} entr(ies) were written by a different "
+            "engine version; they can never be hit again — reclaim the "
+            "space with 'repro-dragonfly cache clear'"
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
 # argument wiring
 # ----------------------------------------------------------------------
 def _add_exec_args(parser) -> None:
@@ -365,6 +673,10 @@ def _add_exec_args(parser) -> None:
         help="attach metric probes to every curve (comma-separated "
         "kinds, see 'repro-dragonfly metrics'); channels land in the "
         "results JSON",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print one line per completed simulation point on stderr",
     )
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="engine progress logging")
@@ -518,6 +830,137 @@ def main(argv=None) -> int:
                         default="baseline")
     verify.add_argument("--max-pairs", type=int, default=2000)
 
+    # -- service mode --------------------------------------------------
+    def _add_server_arg(p) -> None:
+        p.add_argument(
+            "--server", default=None, metavar="URL",
+            help="service address (default: $REPRO_SERVICE_URL or "
+            "http://127.0.0.1:8642)",
+        )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation service: async job queue, streaming "
+        "telemetry, shared result store, warm engine state",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=8642,
+        help="TCP port (0 picks an ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--cache-dir", default=_default_cache_dir(),
+        help="result store directory, shared with offline runs "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro-dragonfly)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="default engine worker processes per job (a request's "
+        "'workers' field overrides)",
+    )
+    serve_p.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="per-client cap on jobs in flight (submissions beyond it "
+        "are rejected with HTTP 429)",
+    )
+    serve_p.add_argument(
+        "--max-entries", type=int, default=None,
+        help="bound the store to this many entries (LRU eviction)",
+    )
+    serve_p.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="bound the store to this many bytes (LRU eviction)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a study to a running service"
+    )
+    submit.add_argument(
+        "scenario",
+        help="bundled study name (see 'list') or path to a "
+        "scenarios/*.json file",
+    )
+    submit.add_argument(
+        "--scale", choices=SCALES, default="default",
+        help="system size for bundled names (ignored for files)",
+    )
+    submit.add_argument(
+        "--metrics", default=None, metavar="KINDS",
+        help="metric probe kinds applied to every curve (comma-separated)",
+    )
+    submit.add_argument(
+        "--workers", type=int, default=None,
+        help="engine worker processes for this job (default: the "
+        "server's --workers)",
+    )
+    submit.add_argument(
+        "--client", default=os.environ.get("USER", ""),
+        help="client id for fairness accounting (default: $USER)",
+    )
+    submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first; FIFO within a priority level",
+    )
+    submit.add_argument(
+        "--watch", action="store_true",
+        help="follow the event stream to completion (like 'watch')",
+    )
+    submit.add_argument("--out", default=None, metavar="FILE",
+                        help="with --watch: write the StudyResult here")
+    submit.add_argument("--csv", default=None, metavar="FILE",
+                        help="with --watch: write the per-point CSV here")
+    _add_server_arg(submit)
+
+    status_p = sub.add_parser(
+        "status", help="job status (or all jobs) on a running service"
+    )
+    status_p.add_argument(
+        "job", nargs="?", default=None,
+        help="job id (omit to list every job)",
+    )
+    _add_server_arg(status_p)
+
+    watch = sub.add_parser(
+        "watch",
+        help="stream a job's per-point telemetry to completion "
+        "(exit 0 done, 3 cancelled, 1 error)",
+    )
+    watch.add_argument("job", help="job id from 'submit'")
+    watch.add_argument("--out", default=None, metavar="FILE",
+                       help="write the final StudyResult JSON here")
+    watch.add_argument("--csv", default=None, metavar="FILE",
+                       help="write the flat per-point CSV here")
+    _add_server_arg(watch)
+
+    cancel = sub.add_parser("cancel", help="cancel a job")
+    cancel.add_argument("job", help="job id from 'submit'")
+    _add_server_arg(cancel)
+
+    shutdown_p = sub.add_parser(
+        "shutdown", help="stop a running service cleanly"
+    )
+    _add_server_arg(shutdown_p)
+
+    cache_p = sub.add_parser(
+        "cache",
+        help="inspect or maintain a result store directory",
+    )
+    cache_p.add_argument(
+        "action", nargs="?", default="stats",
+        choices=("stats", "clear", "prune"),
+        help="stats (default): entry count, bytes, engine-version mix; "
+        "clear: delete every entry; prune: LRU-evict to the bounds",
+    )
+    cache_p.add_argument(
+        "--cache-dir", default=_default_cache_dir(),
+        help="store directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-dragonfly)",
+    )
+    cache_p.add_argument("--max-entries", type=int, default=None,
+                         help="prune: keep at most this many entries")
+    cache_p.add_argument("--max-bytes", type=int, default=None,
+                         help="prune: keep at most this many bytes")
+
     args = parser.parse_args(argv)
     handler = {
         "tables": _cmd_tables,
@@ -531,6 +974,13 @@ def main(argv=None) -> int:
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "watch": _cmd_watch,
+        "cancel": _cmd_cancel,
+        "shutdown": _cmd_shutdown,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

@@ -14,7 +14,12 @@ The engine decouples *describing* an experiment from *running* it:
 """
 
 from .cache import ResultCache
-from .executor import run_experiments, simulate_point, spec_saturation
+from .executor import (
+    PointCallback,
+    run_experiments,
+    simulate_point,
+    spec_saturation,
+)
 from .spec import (
     ExperimentSpec,
     build_experiment,
@@ -37,6 +42,7 @@ from .spec import (
 
 __all__ = [
     "ExperimentSpec",
+    "PointCallback",
     "ResultCache",
     "build_experiment",
     "build_faults",

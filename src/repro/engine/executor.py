@@ -23,7 +23,7 @@ import sys
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..network.native import THREADS_ENV, NativeBatch, native_available
 from ..network.simulator import (
@@ -36,6 +36,7 @@ from ..network.stats import SimResult
 from ..network.sweep import LoadSweep, assemble_sweep, cutoff_walk
 from .cache import ResultCache
 from .spec import (
+    ENGINE_VERSION,
     ExperimentSpec,
     build_experiment,
     build_metrics,
@@ -45,7 +46,15 @@ from .spec import (
     point_seed,
 )
 
-__all__ = ["run_experiments", "simulate_point", "spec_saturation"]
+__all__ = ["PointCallback", "run_experiments", "simulate_point", "spec_saturation"]
+
+#: signature of the optional per-point completion hook of
+#: :func:`run_experiments`: ``on_point(spec_index, rate_index, rate,
+#: result, source)`` where ``source`` is ``"cache"`` for replayed
+#: points and ``"fresh"`` for newly simulated ones.  Exceptions raised
+#: by the hook abort the run (in-flight points of the parallel /
+#: batched schedulers still land in the cache first).
+PointCallback = Callable[[int, int, float, SimResult, str], None]
 
 logger = logging.getLogger("repro.engine")
 
@@ -196,6 +205,7 @@ def run_experiments(
     cache: Optional[ResultCache] = None,
     stop_after_saturation: int = 1,
     batch: Optional[bool] = None,
+    on_point: Optional[PointCallback] = None,
 ) -> List[LoadSweep]:
     """Run every spec's sweep, fanning points out over a process pool.
 
@@ -226,6 +236,15 @@ def run_experiments(
         entries are interchangeable between both paths, and saturation
         cutoffs still stop a sweep (a final chunk may speculate a few
         points past the cutoff, exactly like the parallel scheduler).
+    on_point:
+        Optional :data:`PointCallback` invoked in *this* process as each
+        point completes — cache replays first (``source="cache"``), then
+        fresh points in completion order (``source="fresh"``).  Its
+        events may be a superset of the returned sweeps: speculative
+        points past a saturation cutoff are reported (and cached) but
+        excluded from the assembled results.  Raising from the hook
+        aborts the run; already-completed points stay cached, which is
+        how the service layer implements job cancellation.
     """
     if stop_after_saturation < 1:
         raise ValueError("stop_after_saturation must be >= 1")
@@ -239,6 +258,8 @@ def run_experiments(
                 res = cache.get(point_key(spec, rate))
                 if res is not None:
                     have[si][ri] = res
+                    if on_point is not None:
+                        on_point(si, ri, rate, res, "cache")
 
     total_missing = sum(
         1
@@ -260,12 +281,15 @@ def run_experiments(
         pass  # everything replayed from cache
     elif use_batch:
         _run_batched(
-            specs, have, cache, stop_after_saturation, workers, threads
+            specs, have, cache, stop_after_saturation, workers, threads,
+            on_point,
         )
     elif workers <= 1:
-        _run_serial(specs, have, cache, stop_after_saturation)
+        _run_serial(specs, have, cache, stop_after_saturation, on_point)
     else:
-        _run_parallel(specs, have, cache, stop_after_saturation, workers)
+        _run_parallel(
+            specs, have, cache, stop_after_saturation, workers, on_point
+        )
 
     sweeps = [
         assemble_sweep(
@@ -298,7 +322,15 @@ def _store(
         cache.put(
             point_key(spec, rate),
             res,
-            meta={"label": spec.label, "rate": rate},
+            # the engine version is hashed into the key, so stamping it
+            # here is redundant for lookups — but it lets the store's
+            # stats scan report the version mix of a long-lived
+            # directory (see ``repro-dragonfly cache stats``)
+            meta={
+                "label": spec.label,
+                "rate": rate,
+                "engine": ENGINE_VERSION,
+            },
         )
 
 
@@ -307,6 +339,7 @@ def _run_serial(
     have: List[Dict[int, SimResult]],
     cache: Optional[ResultCache],
     stop_after_saturation: int,
+    on_point: Optional[PointCallback] = None,
 ) -> None:
     for si, spec in enumerate(specs):
         while True:
@@ -324,6 +357,8 @@ def _run_serial(
             )
             have[si][ri] = res
             _store(cache, spec, rate, res)
+            if on_point is not None:
+                on_point(si, ri, rate, res, "fresh")
 
 
 def _run_parallel(
@@ -332,6 +367,7 @@ def _run_parallel(
     cache: Optional[ResultCache],
     stop_after_saturation: int,
     workers: int,
+    on_point: Optional[PointCallback] = None,
 ) -> None:
     """Completion-driven scheduler: workers never idle on a barrier.
 
@@ -407,6 +443,8 @@ def _run_parallel(
                 inflight.discard((si, ri))
                 have[si][ri] = res
                 _store(cache, specs[si], specs[si].rates[ri], res)
+                if on_point is not None:
+                    on_point(si, ri, specs[si].rates[ri], res, "fresh")
                 logger.debug(
                     "%s rate=%.3f done (%d in flight)",
                     specs[si].describe(), specs[si].rates[ri], len(inflight),
@@ -419,6 +457,7 @@ def _sweep_batch(
     have_ri: Dict[int, SimResult],
     stop_after_saturation: int,
     threads: int,
+    on_point=None,
 ) -> Dict[int, SimResult]:
     """Walk one spec's sweep in packed lane batches.
 
@@ -509,6 +548,8 @@ def _sweep_batch(
         for ri, res in zip(chunk, results):
             merged[ri] = res
             new[ri] = res
+            if on_point is not None:
+                on_point(ri, spec.rates[ri], res)
     if native and donor is not None:
         _route_planes[routing_key] = donor
         _route_planes.move_to_end(routing_key)
@@ -529,13 +570,17 @@ def _run_batched(
     stop_after_saturation: int,
     workers: int,
     threads: int,
+    on_point: Optional[PointCallback] = None,
 ) -> None:
     """Batched scheduler: one packed kernel call per chunk of rates.
 
     The unit of pool work is a whole sweep (its chunks must run in
     cutoff order), so processes parallelise across specs while kernel
     threads parallelise lanes within each chunk.  Cache writes stay in
-    the parent, as in the per-point schedulers.
+    the parent, as in the per-point schedulers.  ``on_point`` fires in
+    the parent: per chunk on the inline path, per completed sweep on
+    the pooled path (the callback is not picklable in general, so it
+    never crosses into a worker).
     """
     incomplete = [
         si
@@ -552,17 +597,30 @@ def _run_batched(
         ctx = _pool_context()
         with ctx.Pool(processes=min(workers, len(tasks))) as pool:
             for si, new in pool.imap_unordered(_sweep_batch_task, tasks):
-                for ri, res in new.items():
+                for ri in sorted(new):
+                    res = new[ri]
                     have[si][ri] = res
                     _store(cache, specs[si], specs[si].rates[ri], res)
+                    if on_point is not None:
+                        on_point(
+                            si, ri, specs[si].rates[ri], res, "fresh"
+                        )
     else:
         for si in incomplete:
-            new = _sweep_batch(
-                specs[si], have[si], stop_after_saturation, threads
-            )
-            for ri, res in new.items():
+
+            def _chunk_point(ri, rate, res, si=si):
                 have[si][ri] = res
-                _store(cache, specs[si], specs[si].rates[ri], res)
+                _store(cache, specs[si], rate, res)
+                if on_point is not None:
+                    on_point(si, ri, rate, res, "fresh")
+
+            _sweep_batch(
+                specs[si],
+                have[si],
+                stop_after_saturation,
+                threads,
+                on_point=_chunk_point,
+            )
 
 
 def spec_saturation(

@@ -34,7 +34,11 @@ or declaratively, through the engine/scenario layer::
     study.with_metrics(["timeseries"]).run(workers=4)
 """
 
-from .channel import METRIC_CHANNEL_SCHEMA, MetricChannel
+from .channel import (
+    METRIC_CHANNEL_FRAME_SCHEMA,
+    METRIC_CHANNEL_SCHEMA,
+    MetricChannel,
+)
 from .probe import (
     Probe,
     build_probe,
@@ -56,6 +60,7 @@ from .probes import (
 from .record import HopEvent, PacketView, RunRecord
 
 __all__ = [
+    "METRIC_CHANNEL_FRAME_SCHEMA",
     "METRIC_CHANNEL_SCHEMA",
     "MetricChannel",
     "Probe",

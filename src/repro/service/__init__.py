@@ -1,0 +1,72 @@
+"""Simulation-as-a-service: job queue, streaming telemetry, shared store.
+
+This package turns the in-process experiment pipeline into a small
+long-running daemon:
+
+* :mod:`repro.service.server` — HTTP endpoint with an async job queue
+  and one *warm* executor thread, so the compiled native core and the
+  engine's routing/topology LRUs stay resident between jobs (warm
+  resubmission skips the ~seconds of per-process setup a cold CLI run
+  pays);
+* :mod:`repro.service.jobs` — executions, subscriber fan-out
+  (identical submissions dedupe onto one run), fair scheduling with
+  per-client in-flight caps, per-job cancellation;
+* :mod:`repro.service.store` — a content-addressed result store
+  (``ResultCache`` layout, same keys) with LRU-bounded capacity and
+  cross-process single-flight locks;
+* :mod:`repro.service.protocol` — the schema-tagged wire types;
+* :mod:`repro.service.client` — a stdlib client used by the CLI verbs
+  ``submit`` / ``status`` / ``watch`` / ``cancel``.
+
+Start a server with ``repro-dragonfly serve`` (or
+:func:`create_server` + :func:`serve` in-process), then::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient()          # honours $REPRO_SERVICE_URL
+    job = client.submit_study(study)
+    result = client.watch(job["id"])
+"""
+
+from .client import DEFAULT_SERVER_ENV, ServiceClient, ServiceError
+from .jobs import (
+    BusyError,
+    Execution,
+    Job,
+    JobCancelled,
+    Scheduler,
+    TERMINAL_STATES,
+)
+from .protocol import (
+    JOB_EVENT_SCHEMA,
+    JOB_REQUEST_SCHEMA,
+    JOB_STATES,
+    JOB_STATUS_SCHEMA,
+    JobRequest,
+)
+from .server import DEFAULT_PORT, SimulationService, create_server, serve
+from .store import ResultStore, SingleFlight, SingleFlightCache
+
+__all__ = [
+    "BusyError",
+    "DEFAULT_PORT",
+    "DEFAULT_SERVER_ENV",
+    "Execution",
+    "JOB_EVENT_SCHEMA",
+    "JOB_REQUEST_SCHEMA",
+    "JOB_STATES",
+    "JOB_STATUS_SCHEMA",
+    "Job",
+    "JobCancelled",
+    "JobRequest",
+    "ResultStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "SingleFlight",
+    "SingleFlightCache",
+    "TERMINAL_STATES",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,286 @@
+"""Stdlib HTTP client for the simulation service.
+
+:class:`ServiceClient` wraps the JSON endpoints of
+:mod:`repro.service.server`; the only non-trivial part is
+:meth:`~ServiceClient.stream`, which reads the chunked NDJSON event
+feed line by line, and :meth:`~ServiceClient.watch`, which folds the
+stream back into a complete :class:`~repro.api.StudyResult`
+(reassembling framed metric channels transparently).
+
+Example::
+
+    from repro.api import build_study
+    from repro.service import JobRequest, ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    study = build_study("smoke", scale="quick")
+    job = client.submit_study(study)
+    result = client.watch(job["id"], on_event=print)
+    print(result.render())
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+from ..api import Study, StudyResult
+from ..metrics import MetricChannel
+from .protocol import JobRequest
+
+__all__ = ["DEFAULT_SERVER_ENV", "ServiceClient", "ServiceError"]
+
+#: environment variable naming the default server address.
+DEFAULT_SERVER_ENV = "REPRO_SERVICE_URL"
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (or a transport failure)."""
+
+    def __init__(self, message: str, code: int = 0) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def resolve_server(address: Optional[str] = None) -> str:
+    """Explicit address, else ``$REPRO_SERVICE_URL``, else the default
+    loopback port."""
+    from .server import DEFAULT_PORT
+
+    address = address or os.environ.get(DEFAULT_SERVER_ENV)
+    return address or f"http://127.0.0.1:{DEFAULT_PORT}"
+
+
+class ServiceClient:
+    """Thin JSON client over one service address."""
+
+    def __init__(
+        self, address: Optional[str] = None, timeout: float = 60.0
+    ) -> None:
+        address = resolve_server(address)
+        if "//" not in address:
+            address = "http://" + address
+        parsed = urlparse(address)
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(
+                f"service address must be http://host:port, got {address!r}"
+            )
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- plumbing ------------------------------------------------------
+    def _connect(
+        self, timeout: Optional[float] = None
+    ) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Dict:
+        conn = self._connect()
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                resp = conn.getresponse()
+                data = resp.read().decode() or "{}"
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.address}: {exc}"
+                ) from None
+            try:
+                decoded = json.loads(data)
+            except ValueError:
+                raise ServiceError(
+                    f"non-JSON response from {path}: {data[:200]!r}",
+                    resp.status,
+                ) from None
+            if resp.status >= 400:
+                raise ServiceError(
+                    decoded.get("error", f"HTTP {resp.status}"), resp.status
+                )
+            return decoded
+        finally:
+            conn.close()
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/api/health")
+
+    def stats(self) -> Dict:
+        return self._request("GET", "/api/stats")
+
+    def submit(self, request: JobRequest) -> Dict:
+        """Submit a prepared request; returns the job status (with an
+        ``attached`` flag when it deduped onto an in-flight run)."""
+        return self._request("POST", "/api/jobs", request.to_data())
+
+    def submit_study(
+        self,
+        study: Union[Study, Dict],
+        *,
+        client: str = "",
+        priority: int = 0,
+        workers: Optional[int] = None,
+        metrics: Tuple[str, ...] = (),
+    ) -> Dict:
+        """Convenience wrapper building the :class:`JobRequest`."""
+        payload = study.to_data() if isinstance(study, Study) else study
+        return self.submit(
+            JobRequest(
+                study=payload,
+                client=client,
+                priority=priority,
+                workers=workers,
+                metrics=tuple(metrics),
+            )
+        )
+
+    def status(self, job_id: str) -> Dict:
+        return self._request("GET", f"/api/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict]:
+        return self._request("GET", "/api/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request("POST", f"/api/jobs/{job_id}/cancel")
+
+    def result(self, job_id: str) -> StudyResult:
+        return StudyResult.from_dict(
+            self._request("GET", f"/api/jobs/{job_id}/result")
+        )
+
+    def shutdown(self) -> Dict:
+        return self._request("POST", "/api/shutdown")
+
+    # -- streaming -----------------------------------------------------
+    def stream(
+        self, job_id: str, start: int = 0, timeout: Optional[float] = None
+    ) -> Iterator[Dict]:
+        """Yield raw event dicts from ``start`` until the stream ends.
+
+        The connection stays open for the job's lifetime; ``timeout``
+        bounds *silence* between events, not the total duration.
+        """
+        conn = self._connect(timeout=timeout or 3600.0)
+        try:
+            try:
+                conn.request(
+                    "GET", f"/api/jobs/{job_id}/events?from={start}"
+                )
+                resp = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.address}: {exc}"
+                ) from None
+            if resp.status >= 400:
+                detail = resp.read().decode()[:200]
+                try:
+                    detail = json.loads(detail).get("error", detail)
+                except ValueError:
+                    pass
+                raise ServiceError(detail, resp.status)
+            while True:
+                line = resp.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def watch(
+        self,
+        job_id: str,
+        on_event: Optional[Callable[[Dict], None]] = None,
+        start: int = 0,
+    ) -> StudyResult:
+        """Follow the stream to completion and return the result.
+
+        ``on_event`` sees every event *after* framed metric channels
+        have been reassembled into their ``point`` event (so consumers
+        handle one uniform shape).  Raises :class:`ServiceError` when
+        the job ends in ``error`` / ``cancelled`` / detaches.
+        """
+        pending: Dict[Tuple, Dict[str, List[Dict]]] = {}
+        for event in self.stream(job_id, start=start):
+            name = event.get("event")
+            if name == "channel_frame":
+                slot = (
+                    event.get("scenario"),
+                    event.get("curve"),
+                    event.get("rate"),
+                )
+                frames = pending.setdefault(slot, {}).setdefault(
+                    event["channel"], []
+                )
+                frames.append(event["payload"])
+                point = pending[slot].get("__point__")
+                if point is not None and _frames_complete(
+                    pending[slot], point[0].get("framed_channels", ())
+                ):
+                    merged = _merge_frames(pending.pop(slot))
+                    if on_event is not None:
+                        on_event(merged)
+                continue
+            if name == "point" and event.get("framed_channels"):
+                slot = (
+                    event.get("scenario"),
+                    event.get("curve"),
+                    event.get("rate"),
+                )
+                pending.setdefault(slot, {})["__point__"] = [event]
+                continue
+            if on_event is not None:
+                on_event(event)
+            if name == "done":
+                return StudyResult.from_dict(event["result"])
+            if name == "error":
+                raise ServiceError(f"job {job_id} failed: {event['error']}")
+            if name == "cancelled":
+                raise ServiceError(f"job {job_id} was cancelled")
+            if name == "detached":
+                raise ServiceError(
+                    f"job {job_id} was cancelled (execution continues "
+                    "for other subscribers)"
+                )
+        raise ServiceError(
+            f"event stream for job {job_id} ended without a terminal event"
+        )
+
+
+def _frames_complete(slot: Dict, names) -> bool:
+    for name in names:
+        frames = slot.get(name)
+        if not frames:
+            return False
+        if len(frames) < int(frames[0].get("frames", 1)):
+            return False
+    return True
+
+
+def _merge_frames(slot: Dict) -> Dict:
+    """Fold buffered channel frames back into their point event."""
+    [point] = slot.pop("__point__")
+    result = point.get("result", {})
+    channels = result.setdefault("channels", {})
+    for name, frames in slot.items():
+        channels[name] = MetricChannel.from_frames(frames).to_dict()
+    point = dict(point)
+    point["framed_channels"] = []
+    return point

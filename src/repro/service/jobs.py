@@ -1,0 +1,411 @@
+"""Job bookkeeping: executions, subscriber fan-out, fair scheduling.
+
+The unit of *work* is an :class:`Execution` — one deduped computation,
+identified by the request's execution key.  The unit of *tenancy* is a
+:class:`Job` — one client submission.  Concurrent or repeat submissions
+of the same study attach extra jobs to the already-queued/running
+execution (single-flight at the job level): every subscriber streams
+the same event list, the physics runs once.
+
+The :class:`Scheduler` keeps a priority queue of executions (higher
+``priority`` first, FIFO within a level via a submission sequence
+number) and enforces a per-client in-flight cap.  Cancellation is
+per job: an execution is only aborted when *every* job riding it has
+been cancelled, so one tenant cannot kill another tenant's stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..api import Study, StudyResult
+from ..network.stats import SimResult
+from .protocol import JOB_EVENT_SCHEMA, JOB_STATUS_SCHEMA, JobRequest
+
+__all__ = [
+    "BusyError",
+    "Execution",
+    "Job",
+    "JobCancelled",
+    "Scheduler",
+    "TERMINAL_STATES",
+]
+
+#: states in which an execution emits no further events.
+TERMINAL_STATES = ("done", "error", "cancelled")
+
+#: channels larger than this many rows are streamed as frame events
+#: instead of riding inline in the ``point`` event (see
+#: :meth:`~repro.metrics.MetricChannel.to_frames`).
+FRAME_ROWS = 256
+
+
+class JobCancelled(Exception):
+    """Raised inside the executor to abort a cancelled job's engine run."""
+
+
+class BusyError(Exception):
+    """Submission rejected: the client is at its in-flight cap."""
+
+
+class Execution:
+    """One deduped computation and its append-only event log.
+
+    Subscribers (any number, attaching at any time) read events by
+    index under :meth:`wait_events`; the log is complete from event 0,
+    so a late subscriber replays the full history before blocking on
+    the live tail.  All mutation happens under one condition variable.
+    """
+
+    def __init__(
+        self, key: str, request: JobRequest, study: Study
+    ) -> None:
+        self.key = key
+        self.study = study
+        self.workers = request.workers
+        self.priority = request.priority
+        self.state = "queued"
+        self.jobs: List["Job"] = []
+        self.cancel_event = threading.Event()
+        self.points_done = 0
+        self.points_total = study.num_points()
+        self.cache_hits = 0
+        self.result: Optional[StudyResult] = None
+        self.error: Optional[str] = None
+        self._events: List[Dict] = []
+        self._cond = threading.Condition()
+
+    # -- event emission (executor side) --------------------------------
+    def _emit(self, event: Dict) -> None:
+        with self._cond:
+            event = {
+                "schema": JOB_EVENT_SCHEMA,
+                "seq": len(self._events),
+                **event,
+            }
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def mark_running(self) -> None:
+        with self._cond:
+            self.state = "running"
+        self._emit(
+            {
+                "event": "start",
+                "study": self.study.name,
+                "key": self.key,
+                "points_total": self.points_total,
+            }
+        )
+
+    def record_point(
+        self,
+        scenario: str,
+        label: str,
+        rate: float,
+        result: SimResult,
+        source: str,
+    ) -> None:
+        """One completed point: a ``point`` event plus channel frames.
+
+        Channels with more than :data:`FRAME_ROWS` rows are stripped
+        from the point payload and streamed as ``channel_frame`` events
+        right behind it — subscribers reassemble them with
+        :meth:`MetricChannel.from_frames` (the client does this
+        transparently).
+        """
+        self.points_done += 1
+        if source == "cache":
+            self.cache_hits += 1
+        payload = result.to_dict()
+        framed = {}
+        for name, channel in result.channels.items():
+            if channel.num_rows > FRAME_ROWS:
+                framed[name] = channel.to_frames(FRAME_ROWS)
+        if framed:
+            payload["channels"] = {
+                name: ch
+                for name, ch in payload["channels"].items()
+                if name not in framed
+            }
+            if not payload["channels"]:
+                del payload["channels"]
+        self._emit(
+            {
+                "event": "point",
+                "scenario": scenario,
+                "curve": label,
+                "rate": rate,
+                "source": source,
+                "points_done": self.points_done,
+                "points_total": self.points_total,
+                "result": payload,
+                "framed_channels": sorted(framed),
+            }
+        )
+        for name in sorted(framed):
+            for frame in framed[name]:
+                self._emit(
+                    {
+                        "event": "channel_frame",
+                        "scenario": scenario,
+                        "curve": label,
+                        "rate": rate,
+                        "channel": name,
+                        "payload": frame,
+                    }
+                )
+
+    def finish(self, result: StudyResult, cache_stats: Dict) -> None:
+        with self._cond:
+            self.state = "done"
+            self.result = result
+        self._emit(
+            {
+                "event": "done",
+                "points_done": self.points_done,
+                "cache_hits": self.cache_hits,
+                "cache": cache_stats,
+                "result": result.to_dict(),
+            }
+        )
+
+    def fail(self, error: str) -> None:
+        with self._cond:
+            self.state = "error"
+            self.error = error
+        self._emit({"event": "error", "error": error})
+
+    def mark_cancelled(self) -> None:
+        with self._cond:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = "cancelled"
+        self._emit({"event": "cancelled", "points_done": self.points_done})
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    # -- subscriber side -----------------------------------------------
+    def wait_events(
+        self, start: int, timeout: Optional[float] = None
+    ) -> List[Dict]:
+        """Events from index ``start``; blocks until at least one new
+        event exists or the execution is terminal (then returns
+        whatever is left, possibly nothing)."""
+        with self._cond:
+            if not self._cond.wait_for(
+                lambda: len(self._events) > start or self.terminal,
+                timeout=timeout,
+            ):
+                return []
+            return self._events[start:]
+
+    def events_snapshot(self) -> List[Dict]:
+        with self._cond:
+            return list(self._events)
+
+
+class Job:
+    """One client submission riding an execution."""
+
+    def __init__(
+        self, job_id: str, request: JobRequest, execution: Execution
+    ) -> None:
+        self.id = job_id
+        self.client = request.client
+        self.priority = request.priority
+        self.execution = execution
+        self.cancelled = False
+
+    @property
+    def state(self) -> str:
+        if self.cancelled:
+            return "cancelled"
+        return self.execution.state
+
+    @property
+    def terminal(self) -> bool:
+        return self.cancelled or self.execution.terminal
+
+    def status(self, queued_ahead: Optional[int] = None) -> Dict:
+        exe = self.execution
+        primary = exe.jobs[0] if exe.jobs else self
+        out = {
+            "schema": JOB_STATUS_SCHEMA,
+            "id": self.id,
+            "state": self.state,
+            "study": exe.study.name,
+            "key": exe.key,
+            "client": self.client,
+            "priority": self.priority,
+            "points_done": exe.points_done,
+            "points_total": exe.points_total,
+            "cache_hits": exe.cache_hits,
+            "subscribers": sum(1 for j in exe.jobs if not j.cancelled),
+            "attached_to": primary.id if primary is not self else None,
+        }
+        if queued_ahead is not None:
+            out["queued_ahead"] = queued_ahead
+        if exe.error:
+            out["error"] = exe.error
+        return out
+
+
+class Scheduler:
+    """Priority + FIFO queue of executions with per-client caps."""
+
+    def __init__(self, max_inflight_per_client: int = 8) -> None:
+        if max_inflight_per_client < 1:
+            raise ValueError("max_inflight_per_client must be >= 1")
+        self.max_inflight_per_client = max_inflight_per_client
+        self._lock = threading.Condition()
+        self._seq = itertools.count()
+        self._job_seq = itertools.count(1)
+        self._jobs: Dict[str, Job] = {}
+        self._executions: Dict[str, Execution] = {}  # active by key
+        self._heap: List[Tuple[int, int, str]] = []
+        self._closed = False
+
+    # -- submission ----------------------------------------------------
+    def _client_inflight(self, client: str) -> int:
+        return sum(
+            1
+            for job in self._jobs.values()
+            if job.client == client and not job.terminal
+        )
+
+    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+        """Queue (or attach to) the request's execution.
+
+        Returns ``(job, attached)`` — ``attached`` is true when an
+        identical execution was already queued or running and this job
+        subscribed to it instead of enqueueing new work.  Raises
+        :class:`BusyError` at the client's in-flight cap and
+        ``ValueError`` on an invalid study payload.
+        """
+        study = request.build_study()  # validates the payload
+        key = request.execution_key()
+        with self._lock:
+            if self._closed:
+                raise BusyError("service is shutting down")
+            if (
+                self._client_inflight(request.client)
+                >= self.max_inflight_per_client
+            ):
+                raise BusyError(
+                    f"client {request.client or '<anonymous>'!r} already "
+                    f"has {self.max_inflight_per_client} job(s) in "
+                    "flight; wait for one to finish or cancel it"
+                )
+            execution = self._executions.get(key)
+            attached = execution is not None
+            if execution is None:
+                execution = Execution(key, request, study)
+                self._executions[key] = execution
+                heapq.heappush(
+                    self._heap,
+                    (-request.priority, next(self._seq), key),
+                )
+            job = Job(f"j{next(self._job_seq):06d}", request, execution)
+            execution.jobs.append(job)
+            self._jobs[job.id] = job
+            self._lock.notify_all()
+            return job, attached
+
+    # -- executor side -------------------------------------------------
+    def next_execution(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Execution]:
+        """Pop the highest-priority queued execution; ``None`` on
+        timeout or shutdown.  Cancelled-while-queued executions are
+        skipped (their terminal event was already emitted)."""
+        with self._lock:
+            while True:
+                while self._heap:
+                    _, _, key = heapq.heappop(self._heap)
+                    execution = self._executions.get(key)
+                    if execution is None or execution.terminal:
+                        continue
+                    return execution
+                if self._closed:
+                    return None
+                if not self._lock.wait(timeout=timeout):
+                    return None
+
+    def finish_execution(self, execution: Execution) -> None:
+        """Retire a terminal execution so a resubmission starts fresh
+        (and replays instantly from the shared store)."""
+        with self._lock:
+            if self._executions.get(execution.key) is execution:
+                del self._executions[execution.key]
+
+    # -- control -------------------------------------------------------
+    def cancel(self, job_id: str) -> Job:
+        """Cancel one job; abort its execution only if no live
+        subscriber remains.  Idempotent; terminal jobs are returned
+        unchanged."""
+        with self._lock:
+            job = self.get(job_id)
+            if job.terminal:
+                return job
+            job.cancelled = True
+            execution = job.execution
+            if all(j.cancelled for j in execution.jobs):
+                execution.cancel_event.set()
+                if execution.state == "queued":
+                    execution.mark_cancelled()
+                    self.finish_execution(execution)
+        return job
+
+    def get(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown job {job_id!r}; known: "
+                f"{sorted(self._jobs)[-8:] or '(none)'}"
+            ) from None
+
+    def jobs(self) -> List[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def queued_ahead(self, job: Job) -> int:
+        """Executions queued before this job's (0 when running/done)."""
+        with self._lock:
+            if job.execution.state != "queued":
+                return 0
+            mine = None
+            order = sorted(self._heap)
+            for pos, (_, _, key) in enumerate(order):
+                if key == job.execution.key:
+                    mine = pos
+                    break
+            return mine if mine is not None else 0
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            states: Dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "jobs": len(self._jobs),
+                "by_state": dict(sorted(states.items())),
+                "queued_executions": sum(
+                    1
+                    for e in self._executions.values()
+                    if e.state == "queued"
+                ),
+                "active_executions": len(self._executions),
+                "max_inflight_per_client": self.max_inflight_per_client,
+            }

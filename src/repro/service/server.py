@@ -1,0 +1,435 @@
+"""The long-running simulation service: warm executor + HTTP front end.
+
+:class:`SimulationService` is the embeddable core — submit
+:class:`~repro.service.protocol.JobRequest`\\ s, poll status, subscribe
+to event streams, cancel — with one **warm executor thread** draining
+the scheduler.  Executions run in-process through ``Study.run``, so the
+engine's worker-local LRUs (built topologies, routings with their route
+memos, the batched path's resolved ``route_donor`` planes) and the
+compiled native kernel stay resident across jobs: a resubmission pays
+zero process startup, zero kernel compile and zero route resolution.
+Engine worker processes (``workers > 1``) still fork per job for
+intra-job parallelism — on Linux they inherit the warm state.
+
+:func:`create_server` wraps the service in a threaded stdlib HTTP
+server bound to a local address, speaking schema-tagged JSON:
+
+====== ============================== ===============================
+POST   ``/api/jobs``                  submit a JobRequest -> status
+GET    ``/api/jobs``                  all job statuses
+GET    ``/api/jobs/<id>``             one job status
+POST   ``/api/jobs/<id>/cancel``      cancel -> status
+GET    ``/api/jobs/<id>/events``      NDJSON event stream (chunked);
+                                      ``?from=N`` resumes mid-stream
+GET    ``/api/jobs/<id>/result``      terminal job's StudyResult
+GET    ``/api/stats``                 queue + store counters
+GET    ``/api/health``                liveness + versions
+POST   ``/api/shutdown``              graceful stop
+====== ============================== ===============================
+
+There is deliberately no TLS/auth layer: the service binds loopback by
+default and trusts its tenants, like a local build daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import traceback
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .. import __version__
+from ..engine.spec import ENGINE_VERSION
+from .jobs import BusyError, Execution, Job, JobCancelled, Scheduler
+from .protocol import JobRequest
+from .store import ResultStore
+
+__all__ = ["SimulationService", "create_server", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+#: default TCP port of ``repro-dragonfly serve`` (0 picks a free one).
+DEFAULT_PORT = 8642
+
+
+class SimulationService:
+    """Embeddable service core: scheduler + store + warm executor."""
+
+    def __init__(
+        self,
+        store: Union[ResultStore, str, Path],
+        *,
+        default_workers: Optional[int] = 1,
+        max_inflight_per_client: int = 8,
+    ) -> None:
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store = store
+        self.default_workers = default_workers
+        self.scheduler = Scheduler(
+            max_inflight_per_client=max_inflight_per_client
+        )
+        self._stopped = threading.Event()
+        self._executor = threading.Thread(
+            target=self._run_loop, name="repro-service-executor", daemon=True
+        )
+        self._executor.start()
+
+    # -- client surface ------------------------------------------------
+    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+        """Queue or attach (see :meth:`Scheduler.submit`)."""
+        job, attached = self.scheduler.submit(request)
+        logger.info(
+            "job %s %s execution %s (client=%r priority=%d)",
+            job.id,
+            "attached to" if attached else "queued as",
+            job.execution.key[:12],
+            job.client,
+            job.priority,
+        )
+        return job, attached
+
+    def job(self, job_id: str) -> Job:
+        return self.scheduler.get(job_id)
+
+    def status(self, job_id: str) -> Dict:
+        job = self.scheduler.get(job_id)
+        return job.status(queued_ahead=self.scheduler.queued_ahead(job))
+
+    def cancel(self, job_id: str) -> Dict:
+        job = self.scheduler.cancel(job_id)
+        logger.info("job %s cancelled (state=%s)", job.id, job.state)
+        return job.status()
+
+    def events(
+        self, job_id: str, start: int = 0, timeout: Optional[float] = 30.0
+    ):
+        """Yield the job's events from ``start`` until terminal.
+
+        A cancelled *job* on a still-live execution terminates the
+        stream with a synthetic ``detached`` event — the execution (and
+        other subscribers) keep going.
+        """
+        job = self.scheduler.get(job_id)
+        execution = job.execution
+        seq = start
+        while True:
+            if job.cancelled and not execution.terminal:
+                yield {
+                    "event": "detached",
+                    "seq": seq,
+                    "reason": "job cancelled; execution continues for "
+                    "other subscribers",
+                }
+                return
+            batch = execution.wait_events(seq, timeout=timeout)
+            for event in batch:
+                yield event
+                seq = event["seq"] + 1
+            if execution.terminal and seq >= len(
+                execution.events_snapshot()
+            ):
+                return
+
+    def stats(self) -> Dict:
+        return {
+            "service": {
+                "version": __version__,
+                "engine_version": ENGINE_VERSION,
+                "default_workers": self.default_workers,
+            },
+            "scheduler": self.scheduler.stats(),
+            "store": self.store.stats(scan_meta=False),
+        }
+
+    def shutdown(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting work and wind the executor down.
+
+        Queued executions are cancelled; the running one (if any) is
+        cancel-flagged and aborts at its next point boundary.
+        """
+        self.scheduler.close()
+        for job in self.scheduler.jobs():
+            if not job.terminal:
+                self.scheduler.cancel(job.id)
+        self._stopped.set()
+        if wait:
+            self._executor.join(timeout=timeout)
+
+    # -- executor ------------------------------------------------------
+    def _run_loop(self) -> None:
+        while not self._stopped.is_set():
+            execution = self.scheduler.next_execution(timeout=0.2)
+            if execution is None:
+                continue
+            self._run_execution(execution)
+        logger.info("executor stopped")
+
+    def _run_execution(self, execution: Execution) -> None:
+        if execution.cancel_event.is_set():
+            execution.mark_cancelled()
+            self.scheduler.finish_execution(execution)
+            return
+        execution.mark_running()
+        logger.info(
+            "execution %s started: study %r, %d point(s) max",
+            execution.key[:12],
+            execution.study.name,
+            execution.points_total,
+        )
+        cache = self.store.single_flight_cache()
+
+        def on_point(scenario, label, rate, result, source):
+            if execution.cancel_event.is_set():
+                raise JobCancelled()
+            execution.record_point(scenario, label, rate, result, source)
+
+        try:
+            workers = (
+                execution.workers
+                if execution.workers is not None
+                else self.default_workers
+            )
+            result = execution.study.run(
+                workers=workers, cache=cache, on_point=on_point
+            )
+            execution.finish(
+                result, self.store.stats_channel().to_dict()
+            )
+            logger.info(
+                "execution %s done: %d point(s), %d from cache",
+                execution.key[:12],
+                execution.points_done,
+                execution.cache_hits,
+            )
+        except JobCancelled:
+            execution.mark_cancelled()
+            logger.info(
+                "execution %s cancelled after %d point(s)",
+                execution.key[:12],
+                execution.points_done,
+            )
+        except Exception as exc:  # engine errors -> error event
+            execution.fail(f"{type(exc).__name__}: {exc}")
+            logger.error(
+                "execution %s failed: %s\n%s",
+                execution.key[:12],
+                exc,
+                traceback.format_exc(),
+            )
+        finally:
+            cache.close()
+            self.scheduler.finish_execution(execution)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service"
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt, *args):  # route through logging, not stderr
+        logger.debug("%s %s", self.address_string(), fmt % args)
+
+    # -- plumbing ------------------------------------------------------
+    def _send_json(self, payload: Dict, code: int = 200) -> None:
+        body = (json.dumps(payload) + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, message: str, code: int) -> None:
+        self._send_json({"error": message}, code=code)
+
+    def _read_body(self) -> Dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            return {}
+        return json.loads(self.rfile.read(length).decode())
+
+    def _path_parts(self) -> List[str]:
+        path, _, self._query = self.path.partition("?")
+        return [p for p in path.split("/") if p]
+
+    def _query_int(self, name: str, default: int) -> int:
+        for pair in (self._query or "").split("&"):
+            k, _, v = pair.partition("=")
+            if k == name and v:
+                return int(v)
+        return default
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        parts = self._path_parts()
+        try:
+            if parts == ["api", "health"]:
+                self._send_json(
+                    {
+                        "ok": True,
+                        "version": __version__,
+                        "engine_version": ENGINE_VERSION,
+                    }
+                )
+            elif parts == ["api", "stats"]:
+                self._send_json(self.service.stats())
+            elif parts == ["api", "jobs"]:
+                self._send_json(
+                    {
+                        "jobs": [
+                            j.status() for j in self.service.scheduler.jobs()
+                        ]
+                    }
+                )
+            elif len(parts) == 3 and parts[:2] == ["api", "jobs"]:
+                self._send_json(self.service.status(parts[2]))
+            elif len(parts) == 4 and parts[:2] == ["api", "jobs"]:
+                if parts[3] == "events":
+                    self._stream_events(parts[2])
+                elif parts[3] == "result":
+                    self._job_result(parts[2])
+                else:
+                    self._error(f"unknown endpoint {self.path!r}", 404)
+            else:
+                self._error(f"unknown endpoint {self.path!r}", 404)
+        except KeyError as exc:
+            self._error(str(exc.args[0]), 404)
+        except BrokenPipeError:
+            pass  # client hung up mid-stream
+
+    def do_POST(self) -> None:  # noqa: N802
+        parts = self._path_parts()
+        try:
+            if parts == ["api", "jobs"]:
+                request = JobRequest.from_data(self._read_body())
+                job, attached = self.service.submit(request)
+                status = job.status(
+                    queued_ahead=self.service.scheduler.queued_ahead(job)
+                )
+                status["attached"] = attached
+                self._send_json(status, code=202)
+            elif len(parts) == 4 and parts[:2] == ["api", "jobs"] and (
+                parts[3] == "cancel"
+            ):
+                self._send_json(self.service.cancel(parts[2]))
+            elif parts == ["api", "shutdown"]:
+                self._send_json({"ok": True, "stopping": True})
+                # stop the listener from a side thread so this response
+                # can finish flushing first
+                threading.Thread(
+                    target=self.server.initiate_shutdown,  # type: ignore
+                    daemon=True,
+                ).start()
+            else:
+                self._error(f"unknown endpoint {self.path!r}", 404)
+        except BusyError as exc:
+            self._error(str(exc), 429)
+        except (ValueError, TypeError) as exc:
+            self._error(f"bad request: {exc}", 400)
+        except KeyError as exc:
+            self._error(str(exc.args[0]), 404)
+        except BrokenPipeError:
+            pass
+
+    # -- streaming -----------------------------------------------------
+    def _write_chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+
+    def _stream_events(self, job_id: str) -> None:
+        service = self.service
+        service.job(job_id)  # 404 before committing to a stream
+        start = self._query_int("from", 0)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for event in service.events(job_id, start=start):
+                self._write_chunk(json.dumps(event).encode() + b"\n")
+                self.wfile.flush()
+        finally:
+            self._write_chunk(b"")  # terminal chunk
+            self.wfile.write(b"\r\n")
+
+    def _job_result(self, job_id: str) -> None:
+        job = self.service.job(job_id)
+        execution = job.execution
+        if not execution.terminal:
+            self._error(
+                f"job {job_id} is {job.state}; stream "
+                f"/api/jobs/{job_id}/events or poll until terminal",
+                409,
+            )
+            return
+        if execution.result is None:
+            self._error(
+                f"job {job_id} finished without a result "
+                f"(state={job.state})",
+                404,
+            )
+            return
+        self._send_json(execution.result.to_dict())
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: SimulationService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def initiate_shutdown(self) -> None:
+        self.service.shutdown(wait=True)
+        self.shutdown()
+
+
+def create_server(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    *,
+    cache_dir: Union[str, Path, None] = None,
+    store: Optional[ResultStore] = None,
+    default_workers: Optional[int] = 1,
+    max_inflight_per_client: int = 8,
+    max_entries: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+) -> _ServiceHTTPServer:
+    """Build a ready-to-serve HTTP simulation service.
+
+    Returns the server; call ``serve_forever()`` (blocking) or drive it
+    from a thread.  ``server.server_address`` carries the bound
+    ``(host, port)`` — pass ``port=0`` for an ephemeral port.
+    """
+    if store is None:
+        if cache_dir is None:
+            raise ValueError("need a cache_dir (or a prebuilt store)")
+        store = ResultStore(
+            cache_dir, max_entries=max_entries, max_bytes=max_bytes
+        )
+    service = SimulationService(
+        store,
+        default_workers=default_workers,
+        max_inflight_per_client=max_inflight_per_client,
+    )
+    return _ServiceHTTPServer((host, port), service)
+
+
+def serve(server: _ServiceHTTPServer) -> None:
+    """Blocking serve loop with clean Ctrl-C shutdown."""
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.service.shutdown(wait=True)
+        server.server_close()

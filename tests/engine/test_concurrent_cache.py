@@ -1,0 +1,119 @@
+"""Two processes, one cache dir, one computation (satellite: shared
+store with cross-process single-flight).
+
+Process A starts first and — because the engine's replay scan misses
+every point — acquires the single-flight lock for all of them.  Process
+B starts only once A holds the locks (the parent polls for the lock
+files), so B never becomes an owner: it blocks on A's locks and replays
+each point from the store the moment A publishes it.  The physics runs
+exactly once, and both processes end with bit-identical sweeps.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.engine import ExperimentSpec, run_experiments
+from repro.network import SimParams
+from repro.service import ResultStore, SingleFlight
+
+PARAMS = SimParams(
+    warmup_cycles=100, measure_cycles=300, drain_cycles=150, seed=3
+)
+RATES = [0.4, 0.8, 1.2]
+
+
+def _spec():
+    return ExperimentSpec.create(
+        topology="mesh", topology_opts={"dim": 4, "chiplet_dim": 2},
+        routing="xy_mesh", traffic="uniform",
+        params=PARAMS, rates=RATES, label="shared",
+    )
+
+
+def _run_with_shared_store(root, started, conn):
+    """Child: run the sweep through a SingleFlightCache over ``root``."""
+    store = ResultStore(root)
+    with store.single_flight_cache() as cache:
+        started.set()
+        [sweep] = run_experiments([_spec()], workers=1, cache=cache)
+        conn.send(
+            {
+                "computed": cache.computed,
+                "fallbacks": cache.fallbacks,
+                "results": [r.to_dict() for r in sweep.results],
+            }
+        )
+    conn.close()
+
+
+def test_two_processes_compute_each_point_exactly_once(tmp_path):
+    ctx = multiprocessing.get_context("fork")
+    procs, pipes, events = [], [], []
+    for _ in range(2):
+        parent_conn, child_conn = ctx.Pipe()
+        started = ctx.Event()
+        proc = ctx.Process(
+            target=_run_with_shared_store,
+            args=(str(tmp_path), started, child_conn),
+        )
+        procs.append(proc)
+        pipes.append(parent_conn)
+        events.append(started)
+
+    procs[0].start()
+    assert events[0].wait(timeout=30)
+    # B enters only once A owns every point's lock (or has already
+    # published some results) — so B can never become a second owner
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        locks = len(list(tmp_path.glob("*.lock")))
+        entries = len(list(tmp_path.glob("*.json")))
+        if locks + entries >= len(RATES):
+            break
+        time.sleep(0.005)
+    else:
+        pytest.fail("process A never acquired the point locks")
+    procs[1].start()
+
+    reports = [conn.recv() for conn in pipes]
+    for proc in procs:
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+
+    total_computed = sum(rep["computed"] for rep in reports)
+    assert total_computed == len(RATES), (
+        f"expected exactly-once compute of {len(RATES)} points, got "
+        f"{[rep['computed'] for rep in reports]}"
+    )
+    assert all(rep["fallbacks"] == 0 for rep in reports)
+    assert reports[0]["results"] == reports[1]["results"]
+    # no lock file survives a clean finish
+    assert list(tmp_path.glob("*.lock")) == []
+    # and the store holds exactly the unique points
+    assert len(list(tmp_path.glob("*.json"))) == len(RATES)
+
+
+def test_third_run_replays_without_locks(tmp_path):
+    """After the store is warm, a fresh run computes nothing."""
+    store = ResultStore(tmp_path)
+    with store.single_flight_cache() as cache:
+        [first] = run_experiments([_spec()], workers=1, cache=cache)
+        assert cache.computed == len(RATES)
+    again = ResultStore(tmp_path)
+    with again.single_flight_cache() as cache2:
+        [replay] = run_experiments([_spec()], workers=1, cache=cache2)
+        assert cache2.computed == 0
+    assert [r.to_dict() for r in replay.results] == [
+        r.to_dict() for r in first.results
+    ]
+
+
+def test_stale_lock_of_dead_process_is_stolen(tmp_path):
+    sf = SingleFlight(tmp_path)
+    # fabricate a lock held by a pid that cannot exist
+    (tmp_path / "somekey.lock").write_text("99999999 0.0")
+    assert sf.try_acquire("somekey")
+    assert sf.steals == 1
+    sf.release("somekey")

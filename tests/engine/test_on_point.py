@@ -1,0 +1,122 @@
+"""Per-point completion callbacks across every scheduling path.
+
+``run_experiments(on_point=...)`` must fire exactly once per simulated
+point — whatever path computed it (serial, process pool, batched native
+kernel, cache replay) — with the right indices and source tag, and the
+callback must observe the same result object that lands in the sweep.
+"""
+
+import pytest
+
+from repro.engine import ExperimentSpec, ResultCache, run_experiments
+from repro.network import SimParams
+
+PARAMS = SimParams(
+    warmup_cycles=100, measure_cycles=300, drain_cycles=150, seed=3
+)
+RATES = [0.4, 0.8]
+
+
+def _mesh(label="m0", seed=3):
+    return ExperimentSpec.create(
+        topology="mesh", topology_opts={"dim": 4, "chiplet_dim": 2},
+        routing="xy_mesh", traffic="uniform",
+        params=PARAMS.scaled(seed=seed), rates=RATES, label=label,
+    )
+
+
+def _switch():
+    return ExperimentSpec.create(
+        topology="switch",
+        topology_opts={"num_terminals": 4, "terminal_latency": 1},
+        routing="switch_star", traffic="uniform",
+        params=PARAMS, rates=RATES, label="sw",
+    )
+
+
+def _collect(**kwargs):
+    calls = []
+
+    def on_point(si, ri, rate, res, source):
+        calls.append((si, ri, rate, res, source))
+
+    sweeps = run_experiments(on_point=on_point, **kwargs)
+    return sweeps, calls
+
+
+class TestEnginePaths:
+    def test_serial_fires_once_per_point(self):
+        specs = [_mesh(), _switch()]
+        sweeps, calls = _collect(specs=specs, workers=1)
+        assert len(calls) == 4
+        assert sorted((si, ri) for si, ri, *_ in calls) == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+        assert {c[4] for c in calls} == {"fresh"}
+        for si, ri, rate, res, _ in calls:
+            assert rate == RATES[ri]
+            assert sweeps[si].results[ri] == res
+
+    def test_parallel_pool_fires_in_parent(self):
+        specs = [_mesh(), _mesh(label="m1", seed=5)]
+        sweeps, calls = _collect(specs=specs, workers=2)
+        assert len(calls) == 4
+        for si, ri, rate, res, _ in calls:
+            assert sweeps[si].results[ri] == res
+
+    def test_batched_native_path(self):
+        # two same-shape mesh specs take the packed-arena batch path
+        specs = [_mesh(), _mesh(label="m1", seed=5)]
+        serial = run_experiments(specs, workers=1)
+        sweeps, calls = _collect(specs=specs, workers=1)
+        assert [s.results for s in sweeps] == [s.results for s in serial]
+        assert len(calls) == 4
+
+    def test_cache_replay_tags_source(self, tmp_path):
+        spec = _mesh()
+        cache = ResultCache(tmp_path)
+        _, first = _collect(specs=[spec], workers=1, cache=cache)
+        assert {c[4] for c in first} == {"fresh"}
+        _, second = _collect(
+            specs=[spec], workers=1, cache=ResultCache(tmp_path)
+        )
+        assert {c[4] for c in second} == {"cache"}
+        assert len(second) == len(RATES)
+
+    def test_callback_exception_propagates(self):
+        class Boom(Exception):
+            pass
+
+        def on_point(*_):
+            raise Boom
+
+        with pytest.raises(Boom):
+            run_experiments([_switch()], workers=1, on_point=on_point)
+
+
+class TestStudyLevel:
+    def test_study_run_maps_scenario_and_curve_names(self):
+        from repro.api import Scenario, Study
+
+        scenario = Scenario(
+            name="cb", specs=(_mesh(), _switch()), title="callbacks"
+        )
+        study = Study.wrap(scenario)
+        seen = []
+
+        def on_point(scn, label, rate, res, source):
+            seen.append((scn, label, rate, source))
+
+        result = study.run(workers=1, on_point=on_point)
+        assert len(seen) == study.num_points() == 4
+        assert {s[0] for s in seen} == {"cb"}
+        labels = {curve.label for curve in result.scenarios[0].curves}
+        assert {s[1] for s in seen} == labels
+
+    def test_num_points_counts_rates(self):
+        from repro.api import Scenario, Study
+
+        study = Study.wrap(
+            Scenario(name="n", specs=(_mesh(), _switch()), title="n")
+        )
+        assert study.num_points() == 2 * len(RATES)

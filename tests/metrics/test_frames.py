@@ -1,0 +1,89 @@
+"""MetricChannel streaming frames: split, reassemble, reject garbage."""
+
+import math
+
+import pytest
+
+from repro.metrics import METRIC_CHANNEL_FRAME_SCHEMA, MetricChannel
+
+
+def _channel(num_rows, name="link_util"):
+    rows = tuple(
+        (f"n{i}", float(i), float(i) * 0.5 if i % 3 else float("nan"))
+        for i in range(num_rows)
+    )
+    return MetricChannel(
+        name=name,
+        kind="per_link",
+        columns=("link", "flits", "util"),
+        rows=rows,
+        summary={"mean_util": 0.4},
+        meta={"source": "test"},
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("num_rows", [0, 1, 5, 256, 257, 1000])
+    def test_round_trip(self, num_rows):
+        chan = _channel(num_rows)
+        frames = chan.to_frames(max_rows=256)
+        back = MetricChannel.from_frames(frames)
+        # NaN != NaN, so compare the JSON forms (NaN encodes to None)
+        assert back.to_dict() == chan.to_dict()
+
+    def test_frame_count_and_schema(self):
+        frames = _channel(1000).to_frames(max_rows=256)
+        assert len(frames) == 4  # ceil(1000/256)
+        assert all(
+            f["schema"] == METRIC_CHANNEL_FRAME_SCHEMA for f in frames
+        )
+        assert frames[0]["frame"] == 0
+        assert frames[0]["frames"] == 4
+        assert frames[0]["num_rows"] == 1000
+        # header frame carries the identity; all frames carry the name
+        assert {f["name"] for f in frames} == {"link_util"}
+
+    def test_rowless_channel_is_one_header_frame(self):
+        frames = _channel(0).to_frames()
+        assert len(frames) == 1
+        back = MetricChannel.from_frames(frames)
+        assert back.rows == ()
+
+    def test_frames_are_json_scalars_only(self):
+        import json
+
+        frames = _channel(300).to_frames(max_rows=256)
+        encoded = json.dumps(frames)  # must not raise
+        decoded = json.loads(encoded)
+        back = MetricChannel.from_frames(decoded)
+        assert back.to_dict() == _channel(300).to_dict()
+
+
+class TestRejection:
+    def test_missing_frame_rejected(self):
+        frames = _channel(600).to_frames(max_rows=256)
+        with pytest.raises(ValueError, match="frame"):
+            MetricChannel.from_frames([frames[0], frames[2]])
+
+    def test_reordered_frames_rejected(self):
+        frames = _channel(600).to_frames(max_rows=256)
+        with pytest.raises(ValueError, match="frame"):
+            MetricChannel.from_frames(
+                [frames[0], frames[2], frames[1]]
+            )
+
+    def test_mixed_channels_rejected(self):
+        a = _channel(300, name="a").to_frames(max_rows=256)
+        b = _channel(300, name="b").to_frames(max_rows=256)
+        with pytest.raises(ValueError, match="belongs to"):
+            MetricChannel.from_frames([a[0], b[1]])
+
+    def test_wrong_schema_rejected(self):
+        frames = _channel(10).to_frames()
+        frames[0] = dict(frames[0], schema="something/else")
+        with pytest.raises(ValueError, match="cannot read"):
+            MetricChannel.from_frames(frames)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            MetricChannel.from_frames([])

@@ -1,0 +1,141 @@
+"""End-to-end acceptance: concurrent clients, exactly-once compute,
+identical streams, bit-identical offline parity, framed telemetry."""
+
+import threading
+
+from repro.service import ServiceClient
+
+from .conftest import slow_study, tiny_study
+
+
+def _physics(result_dict):
+    out = dict(result_dict)
+    out.pop("meta", None)
+    return out
+
+
+class TestConcurrentClients:
+    def test_two_clients_one_computation(self, service):
+        """The ISSUE's CI demo, as a test: two clients submit the same
+        study concurrently; the sweep is computed once; both stream
+        identical telemetry; both results match ``Study.run``."""
+        client, server = service
+        study = slow_study()
+        # a second, independent client connection (own sockets)
+        other = ServiceClient(client.address)
+
+        first = client.submit_study(study, client="alice")
+        second = other.submit_study(study, client="bob")
+        assert first["attached"] is False
+        assert second["attached"] is True
+        assert second["attached_to"] == first["id"]
+        assert first["key"] == second["key"]
+
+        streams = {}
+
+        def follow(who, cli, job_id):
+            streams[who] = list(cli.stream(job_id))
+
+        threads = [
+            threading.Thread(
+                target=follow, args=("alice", client, first["id"])
+            ),
+            threading.Thread(
+                target=follow, args=("bob", other, second["id"])
+            ),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+
+        # identical streamed telemetry, event for event
+        assert streams["alice"] == streams["bob"]
+        kinds = [e["event"] for e in streams["alice"]]
+        assert kinds[0] == "start" and kinds[-1] == "done"
+        assert kinds.count("point") == study.num_points()
+        points = [e for e in streams["alice"] if e["event"] == "point"]
+        assert all(e["source"] == "fresh" for e in points)
+
+        # exactly once: the store holds each unique point exactly once
+        stats = server.service.store.stats(scan_meta=False)
+        assert stats["entries"] == study.num_points()
+
+        # bit-identical to the offline path (modulo run bookkeeping)
+        from repro.api import StudyResult
+
+        done = streams["alice"][-1]
+        service_result = StudyResult.from_dict(done["result"])
+        offline = study.run(workers=1)
+        assert _physics(service_result.to_dict()) == _physics(
+            offline.to_dict()
+        )
+
+        # both jobs report completion against one shared execution
+        for job_id in (first["id"], second["id"]):
+            status = client.status(job_id)
+            assert status["state"] == "done"
+            assert status["points_done"] == study.num_points()
+
+
+class TestFramedTelemetry:
+    def test_large_channels_stream_as_frames(self, service, monkeypatch):
+        """Metric channels above the frame threshold travel as
+        ``channel_frame`` events and reassemble client-side into the
+        exact offline channels."""
+        monkeypatch.setattr("repro.service.jobs.FRAME_ROWS", 4)
+        client, _ = service
+        study = tiny_study()
+        job = client.submit_study(study, metrics=("link_util",))
+
+        raw = list(client.stream(job["id"]))
+        frames = [e for e in raw if e["event"] == "channel_frame"]
+        assert frames, "expected framed channel events"
+        assert {f["channel"] for f in frames} == {"link_util"}
+        points = [e for e in raw if e["event"] == "point"]
+        assert all(
+            p["framed_channels"] == ["link_util"] for p in points
+        )
+        # the framed channel is stripped from the inline point payload
+        assert all(
+            "link_util" not in p["result"].get("channels", {})
+            for p in points
+        )
+
+        # watch() reassembles: the merged point events carry the full
+        # channel again, and the final result matches the offline run
+        merged = []
+        result = client.watch(job["id"], on_event=merged.append)
+        merged_points = [e for e in merged if e["event"] == "point"]
+        assert len(merged_points) == study.num_points()
+        for p in merged_points:
+            assert p["framed_channels"] == []
+            assert "link_util" in p["result"]["channels"]
+
+        offline = study.with_metrics(["link_util"]).run(workers=1)
+        assert _physics(result.to_dict()) == _physics(offline.to_dict())
+
+    def test_small_channels_stay_inline(self, service):
+        client, _ = service
+        study = tiny_study()
+        job = client.submit_study(study, metrics=("link_util",))
+        raw = list(client.stream(job["id"]))
+        assert [e for e in raw if e["event"] == "channel_frame"] == []
+        points = [e for e in raw if e["event"] == "point"]
+        assert all(
+            "link_util" in p["result"].get("channels", {})
+            for p in points
+        )
+
+
+class TestLateSubscriber:
+    def test_attach_after_completion_replays_full_history(self, service):
+        client, _ = service
+        job = client.submit_study(tiny_study())
+        first = list(client.stream(job["id"]))
+        # a late reader of the same job sees the identical history
+        late = list(client.stream(job["id"]))
+        assert late == first
+        # and an offset read resumes mid-stream
+        tail = list(client.stream(job["id"], start=2))
+        assert tail == first[2:]
