@@ -390,7 +390,7 @@ def _default_cache_dir() -> str:
 
 
 def _cmd_serve(args) -> int:
-    from .service import create_server, serve
+    from .service import RetryPolicy, create_server, serve
 
     try:
         server = create_server(
@@ -401,6 +401,9 @@ def _cmd_serve(args) -> int:
             max_inflight_per_client=args.max_inflight,
             max_entries=args.max_entries,
             max_bytes=args.max_bytes,
+            state_dir=args.state_dir,
+            retry=RetryPolicy(max_attempts=args.max_attempts),
+            hang_timeout=args.hang_timeout,
         )
     except (OSError, ValueError) as exc:
         print(f"error: cannot start service: {exc}", file=sys.stderr)
@@ -408,6 +411,14 @@ def _cmd_serve(args) -> int:
     host, port = server.server_address[:2]
     print(f"# simulation service on http://{host}:{port}", file=sys.stderr)
     print(f"# result store: {args.cache_dir}", file=sys.stderr)
+    if args.state_dir:
+        service = server.service
+        print(
+            f"# job journal: {args.state_dir} "
+            f"({service.restored_jobs} job(s) restored, "
+            f"{service.resumed_executions} resumed)",
+            file=sys.stderr,
+        )
     print(
         "# submit with: repro-dragonfly submit <study> "
         f"--server http://{host}:{port}",
@@ -429,7 +440,8 @@ def _watch_event_printer(event) -> None:
     if kind == "start":
         print(
             f"# start {event['study']} "
-            f"({event['points_total']} point(s))",
+            f"({event['points_total']} point(s))"
+            + (" [resumed after restart]" if event.get("resumed") else ""),
             file=sys.stderr,
         )
     elif kind == "point":
@@ -443,6 +455,20 @@ def _watch_event_printer(event) -> None:
             f"({event['source']})",
             file=sys.stderr,
         )
+    elif kind == "retry":
+        print(
+            f"# retry {event['attempt']}/{event['max_attempts']} in "
+            f"{event['delay']:g}s: {event.get('error')}",
+            file=sys.stderr,
+        )
+    elif kind == "failed":
+        print(
+            f"# FAILED after {event.get('attempts')} attempt(s): "
+            f"{event.get('error')}",
+            file=sys.stderr,
+        )
+        if event.get("traceback"):
+            print(event["traceback"], file=sys.stderr)
     elif kind == "done":
         cache = event.get("cache", {}).get("summary", {})
         print(
@@ -472,6 +498,9 @@ def _watch_job(client, job_id: str, args) -> int:
         if state == "cancelled":
             print(f"# job {job_id} cancelled", file=sys.stderr)
             return 3
+        if state == "failed":
+            print(f"error: {exc}", file=sys.stderr)
+            return 4
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(result.render())
@@ -870,6 +899,23 @@ def main(argv=None) -> int:
     serve_p.add_argument(
         "--max-bytes", type=int, default=None,
         help="bound the store to this many bytes (LRU eviction)",
+    )
+    serve_p.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="journal jobs here and replay them on startup: a server "
+        "restarted against the same directory resumes interrupted "
+        "jobs (completed points come back from the result store)",
+    )
+    serve_p.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="supervised retry budget per execution; after this many "
+        "failed attempts a job is quarantined as 'failed' with its "
+        "traceback (default: 3)",
+    )
+    serve_p.add_argument(
+        "--hang-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog: reap a running job this many seconds after "
+        "its last heartbeat (default: disabled)",
     )
 
     submit = sub.add_parser(

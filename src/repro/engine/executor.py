@@ -20,10 +20,16 @@ import logging
 import multiprocessing as mp
 import os
 import sys
-import threading
 import time
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..network.native import THREADS_ENV, NativeBatch, native_available
 from ..network.simulator import (
@@ -46,7 +52,23 @@ from .spec import (
     point_seed,
 )
 
-__all__ = ["PointCallback", "run_experiments", "simulate_point", "spec_saturation"]
+__all__ = [
+    "PointCallback",
+    "PointFailure",
+    "run_experiments",
+    "simulate_point",
+    "spec_saturation",
+]
+
+
+class PointFailure(RuntimeError):
+    """A point (or sweep) that keeps killing its worker process.
+
+    Raised by the pooled schedulers after a crash-suspect re-run solo
+    and crashed again through its retry budget — a *poison* input.  A
+    dead worker only ever fails the points it was carrying: everything
+    else in the run completes (or is retried) normally.
+    """
 
 #: signature of the optional per-point completion hook of
 #: :func:`run_experiments`: ``on_point(spec_index, rate_index, rate,
@@ -60,6 +82,11 @@ logger = logging.getLogger("repro.engine")
 
 #: environment override for the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: environment override for the per-point retry budget: how many times
+#: a point that *raised* (not crashed) is re-attempted before its error
+#: propagates.  Crash retries (dead worker) use the same budget.
+POINT_RETRIES_ENV = "REPRO_POINT_RETRIES"
 
 #: environment override for the engine's batched fast path: unset/auto
 #: batches whenever the native core is in play; ``0``/``off`` forces
@@ -106,6 +133,12 @@ def _lru_get(table: "OrderedDict[Tuple, object]", key: Tuple, build):
 
 def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
     """Simulate one point with its deterministic derived seed."""
+    if os.environ.get("REPRO_CHAOS"):
+        # fault injection (tests only): lazy so the production path
+        # never imports the service layer; see repro.service.chaos
+        from ..service import chaos
+
+        chaos.engine_point(f"{spec.label or spec.describe()}@{rate:g}")
     topo_key = (spec.topology, spec.topology_opts)
     system = _lru_get(_systems, topo_key, lambda: build_system(spec))
     # the fault axis is part of the routing identity: a fault-aware
@@ -125,9 +158,43 @@ def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
     ).run(rate)
 
 
+def _point_retries() -> int:
+    env = os.environ.get(POINT_RETRIES_ENV)
+    if env:
+        return max(0, int(env))
+    return 1
+
+
+def _attempt_point(spec: ExperimentSpec, rate: float) -> SimResult:
+    """``simulate_point`` with the per-point retry budget applied.
+
+    A raising point is re-attempted up to ``REPRO_POINT_RETRIES`` extra
+    times (results are pure functions of ``(spec, rate)``, so a retry
+    is exact); the last error propagates.  Worker *crashes* cannot be
+    handled here — the pooled schedulers contain those.
+    """
+    retries = _point_retries()
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            return simulate_point(spec, rate)
+        except Exception as exc:
+            if attempt > retries:
+                raise
+            logger.warning(
+                "%s rate=%.3f attempt %d failed (%s: %s); retrying",
+                spec.describe(),
+                rate,
+                attempt,
+                type(exc).__name__,
+                exc,
+            )
+
+
 def _point_task(task: Tuple[int, int, ExperimentSpec, float]):
     si, ri, spec, rate = task
-    return si, ri, simulate_point(spec, rate)
+    return si, ri, _attempt_point(spec, rate)
 
 
 def _resolve_workers(
@@ -350,7 +417,7 @@ def _run_serial(
                 break
             rate = spec.rates[ri]
             t0 = time.perf_counter()
-            res = simulate_point(spec, rate)
+            res = _attempt_point(spec, rate)
             logger.debug(
                 "%s rate=%.3f done in %.2fs",
                 spec.describe(), rate, time.perf_counter() - t0,
@@ -378,23 +445,32 @@ def _run_parallel(
     (in-flight ones finish, are cached, and are simply excluded by the
     final assembly — results are order-independent thanks to the
     per-point derived seeds).
+
+    **Crash containment.**  A worker dying (SIGKILL, segfault, OOM)
+    breaks the whole ``ProcessPoolExecutor``; every in-flight point is
+    lost but nothing tells us *which* point killed it.  The lost points
+    go on **probation**: a fresh pool re-runs them one at a time, so a
+    poison point crashes solo and is blamed definitively — after the
+    retry budget it raises :class:`PointFailure`; innocent casualties
+    complete on their first probation pass and the scheduler resumes
+    full-width.  Completed points are already cached, so a crash never
+    loses finished work.
     """
-    done = threading.Condition()
-    finished: List[Tuple[int, int, SimResult]] = []
-    failures: List[BaseException] = []
+    ctx = _pool_context()
+    max_crashes = 1 + _point_retries()
+    crashes: Dict[Tuple[int, int], int] = {}
+    probation: List[Tuple[int, int]] = []
 
-    def _on_result(res: Tuple[int, int, SimResult]) -> None:
-        with done:
-            finished.append(res)
-            done.notify()
+    def record(si: int, ri: int, res: SimResult) -> None:
+        have[si][ri] = res
+        _store(cache, specs[si], specs[si].rates[ri], res)
+        if on_point is not None:
+            on_point(si, ri, specs[si].rates[ri], res, "fresh")
 
-    def _on_error(exc: BaseException) -> None:
-        with done:
-            failures.append(exc)
-            done.notify()
-
-    def _refill(inflight: set) -> None:
-        """Submit points round-robin across incomplete sweeps."""
+    def next_points(
+        inflight: Set[Tuple[int, int]], limit: int
+    ) -> List[Tuple[int, int]]:
+        """Points to submit, round-robin across incomplete sweeps."""
         queues = []
         for si, spec in enumerate(specs):
             complete, first = cutoff_walk(
@@ -409,47 +485,95 @@ def _run_parallel(
             ]
             if queue:
                 queues.append(queue)
+        picked: List[Tuple[int, int]] = []
         depth = 0
-        while len(inflight) < workers and queues:
+        while len(picked) < limit and queues:
             progressed = False
             for queue in queues:
-                if depth >= len(queue) or len(inflight) >= workers:
+                if depth >= len(queue) or len(picked) >= limit:
                     continue
-                si, ri = queue[depth]
-                inflight.add((si, ri))
-                pool.apply_async(
-                    _point_task,
-                    ((si, ri, specs[si], specs[si].rates[ri]),),
-                    callback=_on_result,
-                    error_callback=_on_error,
-                )
+                picked.append(queue[depth])
                 progressed = True
             if not progressed:
                 break
             depth += 1
+        return picked
 
-    ctx = _pool_context()
-    with ctx.Pool(processes=workers) as pool:
-        inflight: set = set()
-        _refill(inflight)
-        while inflight:
-            with done:
-                while not finished and not failures:
-                    done.wait()
-                if failures:
-                    raise failures[0]
-                batch, finished[:] = list(finished), []
-            for si, ri, res in batch:
-                inflight.discard((si, ri))
-                have[si][ri] = res
-                _store(cache, specs[si], specs[si].rates[ri], res)
-                if on_point is not None:
-                    on_point(si, ri, specs[si].rates[ri], res, "fresh")
-                logger.debug(
-                    "%s rate=%.3f done (%d in flight)",
-                    specs[si].describe(), specs[si].rates[ri], len(inflight),
-                )
-            _refill(inflight)
+    while True:
+        inflight_now: List[Tuple[int, int]] = []
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=ctx
+            ) as pool:
+                # probation: crash suspects re-run solo for blame
+                while probation:
+                    si, ri = probation[0]
+                    inflight_now = [(si, ri)]
+                    future = pool.submit(
+                        _point_task,
+                        (si, ri, specs[si], specs[si].rates[ri]),
+                    )
+                    _, _, res = future.result()
+                    record(si, ri, res)
+                    probation.pop(0)
+                    crashes.pop((si, ri), None)
+                inflight_now = []
+                futures: Dict = {}
+
+                def submit(si: int, ri: int) -> None:
+                    futures[
+                        pool.submit(
+                            _point_task,
+                            (si, ri, specs[si], specs[si].rates[ri]),
+                        )
+                    ] = (si, ri)
+
+                for si, ri in next_points(set(), workers):
+                    submit(si, ri)
+                while futures:
+                    inflight_now = list(futures.values())
+                    done_set, _ = wait(
+                        set(futures), return_when=FIRST_COMPLETED
+                    )
+                    for future in done_set:
+                        si, ri = futures.pop(future)
+                        _, _, res = future.result()
+                        record(si, ri, res)
+                        logger.debug(
+                            "%s rate=%.3f done (%d in flight)",
+                            specs[si].describe(),
+                            specs[si].rates[ri],
+                            len(futures),
+                        )
+                    for si, ri in next_points(
+                        set(futures.values()), workers - len(futures)
+                    ):
+                        submit(si, ri)
+                return
+        except BrokenProcessPool:
+            lost = [
+                (si, ri)
+                for si, ri in inflight_now
+                if ri not in have[si]
+            ]
+            if len(lost) == 1:
+                point = lost[0]
+                crashes[point] = crashes.get(point, 0) + 1
+                if crashes[point] >= max_crashes:
+                    si, ri = point
+                    raise PointFailure(
+                        f"{specs[si].describe()} rate="
+                        f"{specs[si].rates[ri]:.3f} crashed its worker "
+                        f"process {crashes[point]} time(s); giving up "
+                        "on this point (other points completed "
+                        "normally)"
+                    ) from None
+            probation = lost + [p for p in probation if p not in lost]
+            logger.warning(
+                "engine pool crashed (worker died); re-running %d "
+                "lost point(s) under probation",
+                len(lost),
+            )
 
 
 def _sweep_batch(
@@ -511,6 +635,13 @@ def _sweep_batch(
             (point_seed(spec, spec.rates[ri]), spec.rates[ri])
             for ri in chunk
         ]
+        if os.environ.get("REPRO_CHAOS"):
+            from ..service import chaos
+
+            for _, lane_rate in lanes:
+                chaos.engine_point(
+                    f"{spec.label or spec.describe()}@{lane_rate:g}"
+                )
         t0 = time.perf_counter()
         if native:
             batch = NativeBatch(
@@ -590,21 +721,62 @@ def _run_batched(
         )[0]
     ]
     if workers > 1 and len(incomplete) > 1:
-        tasks = [
-            (si, specs[si], have[si], stop_after_saturation, threads)
-            for si in incomplete
-        ]
         ctx = _pool_context()
-        with ctx.Pool(processes=min(workers, len(tasks))) as pool:
-            for si, new in pool.imap_unordered(_sweep_batch_task, tasks):
-                for ri in sorted(new):
-                    res = new[ri]
-                    have[si][ri] = res
-                    _store(cache, specs[si], specs[si].rates[ri], res)
-                    if on_point is not None:
-                        on_point(
-                            si, ri, specs[si].rates[ri], res, "fresh"
-                        )
+        max_crashes = 1 + _point_retries()
+        crashes: Dict[int, int] = {}
+        todo = list(incomplete)
+        solo = False  # after a crash, re-run suspects one at a time
+
+        def record_sweep(si: int, new: Dict[int, SimResult]) -> None:
+            for ri in sorted(new):
+                res = new[ri]
+                have[si][ri] = res
+                _store(cache, specs[si], specs[si].rates[ri], res)
+                if on_point is not None:
+                    on_point(si, ri, specs[si].rates[ri], res, "fresh")
+
+        while todo:
+            batch_now = todo[:1] if solo else list(todo)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(batch_now)),
+                    mp_context=ctx,
+                ) as pool:
+                    futures = {
+                        pool.submit(
+                            _sweep_batch_task,
+                            (
+                                si,
+                                specs[si],
+                                have[si],
+                                stop_after_saturation,
+                                threads,
+                            ),
+                        ): si
+                        for si in batch_now
+                    }
+                    for future in as_completed(futures):
+                        si, new = future.result()
+                        record_sweep(si, new)
+                        todo.remove(si)
+            except BrokenProcessPool:
+                lost = [si for si in batch_now if si in todo]
+                if len(lost) == 1:
+                    si = lost[0]
+                    crashes[si] = crashes.get(si, 0) + 1
+                    if crashes[si] >= max_crashes:
+                        raise PointFailure(
+                            f"sweep {specs[si].describe()} crashed "
+                            f"its worker process {crashes[si]} "
+                            "time(s); giving up on this sweep (other "
+                            "sweeps completed normally)"
+                        ) from None
+                solo = True
+                logger.warning(
+                    "engine pool crashed (worker died); re-running "
+                    "%d lost sweep(s) one at a time",
+                    len(lost),
+                )
     else:
         for si in incomplete:
 

@@ -15,8 +15,14 @@ long-running daemon:
   (``ResultCache`` layout, same keys) with LRU-bounded capacity and
   cross-process single-flight locks;
 * :mod:`repro.service.protocol` — the schema-tagged wire types;
+* :mod:`repro.service.journal` — the write-ahead job journal and
+  on-disk event logs behind ``serve --state-dir``: acknowledged jobs
+  survive a ``kill -9`` and resume on the next start;
+* :mod:`repro.service.chaos` — the ``REPRO_CHAOS`` fault-injection
+  harness the chaos test suite drives;
 * :mod:`repro.service.client` — a stdlib client used by the CLI verbs
-  ``submit`` / ``status`` / ``watch`` / ``cancel``.
+  ``submit`` / ``status`` / ``watch`` / ``cancel``; idempotent calls
+  retry with backoff and event streams reconnect transparently.
 
 Start a server with ``repro-dragonfly serve`` (or
 :func:`create_server` + :func:`serve` in-process), then::
@@ -28,14 +34,27 @@ Start a server with ``repro-dragonfly serve`` (or
     result = client.watch(job["id"])
 """
 
-from .client import DEFAULT_SERVER_ENV, ServiceClient, ServiceError
+from .chaos import CHAOS_ENV, ChaosError
+from .client import (
+    DEFAULT_SERVER_ENV,
+    TERMINAL_EVENTS,
+    ServiceClient,
+    ServiceError,
+)
 from .jobs import (
     BusyError,
     Execution,
     Job,
     JobCancelled,
+    RetryPolicy,
     Scheduler,
     TERMINAL_STATES,
+)
+from .journal import (
+    JOB_JOURNAL_SCHEMA,
+    EventLog,
+    JobJournal,
+    read_ndjson_tolerant,
 )
 from .protocol import (
     JOB_EVENT_SCHEMA,
@@ -49,24 +68,32 @@ from .store import ResultStore, SingleFlight, SingleFlightCache
 
 __all__ = [
     "BusyError",
+    "CHAOS_ENV",
+    "ChaosError",
     "DEFAULT_PORT",
     "DEFAULT_SERVER_ENV",
+    "EventLog",
     "Execution",
     "JOB_EVENT_SCHEMA",
+    "JOB_JOURNAL_SCHEMA",
     "JOB_REQUEST_SCHEMA",
     "JOB_STATES",
     "JOB_STATUS_SCHEMA",
     "Job",
     "JobCancelled",
+    "JobJournal",
     "JobRequest",
     "ResultStore",
+    "RetryPolicy",
     "Scheduler",
     "ServiceClient",
     "ServiceError",
     "SimulationService",
     "SingleFlight",
     "SingleFlightCache",
+    "TERMINAL_EVENTS",
     "TERMINAL_STATES",
     "create_server",
     "serve",
+    "read_ndjson_tolerant",
 ]

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import os
+import time
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 from urllib.parse import urlparse
 
@@ -31,10 +33,22 @@ from ..api import Study, StudyResult
 from ..metrics import MetricChannel
 from .protocol import JobRequest
 
-__all__ = ["DEFAULT_SERVER_ENV", "ServiceClient", "ServiceError"]
+__all__ = [
+    "DEFAULT_SERVER_ENV",
+    "ServiceClient",
+    "ServiceError",
+    "TERMINAL_EVENTS",
+]
 
 #: environment variable naming the default server address.
 DEFAULT_SERVER_ENV = "REPRO_SERVICE_URL"
+
+#: events after which an execution emits nothing further — a stream
+#: that delivered one of these ended for real, not by a dropped
+#: connection.
+TERMINAL_EVENTS = ("done", "error", "failed", "cancelled", "detached")
+
+logger = logging.getLogger("repro.service")
 
 
 class ServiceError(RuntimeError):
@@ -55,10 +69,24 @@ def resolve_server(address: Optional[str] = None) -> str:
 
 
 class ServiceClient:
-    """Thin JSON client over one service address."""
+    """Thin JSON client over one service address.
+
+    Transport failures on idempotent calls (every GET, plus ``cancel``,
+    which the scheduler makes idempotent) are retried ``retries`` times
+    with exponential backoff; error *responses* are never retried.
+    Event streams transparently reconnect up to ``reconnects`` times
+    using the server's ``?from=N`` replay cursor, deduplicating on the
+    event ``seq``, so a dropped connection is invisible to consumers.
+    """
 
     def __init__(
-        self, address: Optional[str] = None, timeout: float = 60.0
+        self,
+        address: Optional[str] = None,
+        timeout: float = 60.0,
+        *,
+        retries: int = 3,
+        backoff: float = 0.25,
+        reconnects: int = 5,
     ) -> None:
         address = resolve_server(address)
         if "//" not in address:
@@ -71,6 +99,9 @@ class ServiceClient:
         self.host = parsed.hostname
         self.port = parsed.port or 80
         self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.reconnects = reconnects
 
     @property
     def address(self) -> str:
@@ -85,6 +116,35 @@ class ServiceClient:
         )
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        *,
+        idempotent: Optional[bool] = None,
+    ) -> Dict:
+        """One JSON call, with transport-level retry when idempotent.
+
+        Only *transport* failures (``code == 0``) are retried — an HTTP
+        error status is the server's answer and is raised immediately.
+        """
+        if idempotent is None:
+            idempotent = method == "GET"
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except ServiceError as exc:
+                attempt += 1
+                if exc.code or not idempotent or attempt > self.retries:
+                    raise
+                delay = min(self.backoff * (2 ** (attempt - 1)), 2.0)
+                logger.debug(
+                    "retrying %s %s in %.2fs (%s)", method, path, delay, exc
+                )
+                time.sleep(delay)
+
+    def _request_once(
         self, method: str, path: str, payload: Optional[Dict] = None
     ) -> Dict:
         conn = self._connect()
@@ -157,7 +217,11 @@ class ServiceClient:
         return self._request("GET", "/api/jobs")["jobs"]
 
     def cancel(self, job_id: str) -> Dict:
-        return self._request("POST", f"/api/jobs/{job_id}/cancel")
+        # cancellation is idempotent server-side, so it is safe to
+        # retry through a flaky transport
+        return self._request(
+            "POST", f"/api/jobs/{job_id}/cancel", idempotent=True
+        )
 
     def result(self, job_id: str) -> StudyResult:
         return StudyResult.from_dict(
@@ -171,11 +235,68 @@ class ServiceClient:
     def stream(
         self, job_id: str, start: int = 0, timeout: Optional[float] = None
     ) -> Iterator[Dict]:
-        """Yield raw event dicts from ``start`` until the stream ends.
+        """Yield raw event dicts from ``start`` until a terminal event.
 
         The connection stays open for the job's lifetime; ``timeout``
-        bounds *silence* between events, not the total duration.
+        bounds *silence* between events, not the total duration.  A
+        dropped connection (or a stream that ends before a terminal
+        event) is transparently reconnected with ``?from=<cursor>`` up
+        to ``reconnects`` times; replayed events below the cursor are
+        deduplicated, so consumers see a gapless, exactly-once feed.
         """
+        next_seq = start
+        failures = 0
+        while True:
+            progressed = False
+            try:
+                for event in self._stream_once(job_id, next_seq, timeout):
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq < next_seq:
+                            continue  # replayed duplicate
+                        next_seq = seq + 1
+                    progressed = True
+                    failures = 0
+                    yield event
+                    if event.get("event") in TERMINAL_EVENTS:
+                        return
+            except ServiceError as exc:
+                if exc.code:
+                    raise  # a real HTTP answer (404 etc), not transport
+                failures += 1
+                if failures > self.reconnects:
+                    raise
+                delay = min(self.backoff * (2 ** (failures - 1)), 2.0)
+                logger.debug(
+                    "stream for %s dropped (%s); reconnecting from seq "
+                    "%d in %.2fs",
+                    job_id,
+                    exc,
+                    next_seq,
+                    delay,
+                )
+                time.sleep(delay)
+                continue
+            # stream ended cleanly but without a terminal event: the
+            # server closed it (restart / chaos drop) — resume from
+            # the cursor unless the budget is spent
+            if not progressed:
+                failures += 1
+                if failures > self.reconnects:
+                    return
+                time.sleep(min(self.backoff * (2 ** (failures - 1)), 2.0))
+            logger.debug(
+                "stream for %s ended without terminal event; "
+                "reconnecting from seq %d",
+                job_id,
+                next_seq,
+            )
+
+    def _stream_once(
+        self, job_id: str, start: int, timeout: Optional[float]
+    ) -> Iterator[Dict]:
+        """One streaming connection; transport faults surface as
+        ``ServiceError(code=0)`` so :meth:`stream` can reconnect."""
         conn = self._connect(timeout=timeout or 3600.0)
         try:
             try:
@@ -195,12 +316,24 @@ class ServiceClient:
                     pass
                 raise ServiceError(detail, resp.status)
             while True:
-                line = resp.readline()
+                try:
+                    line = resp.readline()
+                except (OSError, http.client.HTTPException) as exc:
+                    raise ServiceError(
+                        f"event stream dropped: {exc}"
+                    ) from None
                 if not line:
                     return
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     yield json.loads(line)
+                except ValueError as exc:
+                    # torn line from an abruptly closed connection
+                    raise ServiceError(
+                        f"event stream dropped mid-line: {exc}"
+                    ) from None
         finally:
             conn.close()
 
@@ -215,7 +348,9 @@ class ServiceClient:
         ``on_event`` sees every event *after* framed metric channels
         have been reassembled into their ``point`` event (so consumers
         handle one uniform shape).  Raises :class:`ServiceError` when
-        the job ends in ``error`` / ``cancelled`` / detaches.
+        the job ends in ``error`` / ``failed`` / ``cancelled`` /
+        detaches.  Dropped connections are survived transparently by
+        :meth:`stream`'s reconnect logic.
         """
         pending: Dict[Tuple, Dict[str, List[Dict]]] = {}
         for event in self.stream(job_id, start=start):
@@ -252,6 +387,13 @@ class ServiceClient:
                 return StudyResult.from_dict(event["result"])
             if name == "error":
                 raise ServiceError(f"job {job_id} failed: {event['error']}")
+            if name == "failed":
+                attempts = event.get("attempts")
+                raise ServiceError(
+                    f"job {job_id} quarantined after "
+                    f"{attempts or 'several'} attempt(s): "
+                    f"{event.get('error')}"
+                )
             if name == "cancelled":
                 raise ServiceError(f"job {job_id} was cancelled")
             if name == "detached":

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 import threading
-from typing import Dict, List, Optional, Tuple
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..api import Study, StudyResult
 from ..network.stats import SimResult
@@ -30,12 +33,15 @@ __all__ = [
     "Execution",
     "Job",
     "JobCancelled",
+    "RetryPolicy",
     "Scheduler",
     "TERMINAL_STATES",
 ]
 
-#: states in which an execution emits no further events.
-TERMINAL_STATES = ("done", "error", "cancelled")
+#: states in which an execution emits no further events.  ``failed``
+#: is the quarantine state: the execution kept erroring through its
+#: retry budget and was parked with its last traceback.
+TERMINAL_STATES = ("done", "error", "failed", "cancelled")
 
 #: channels larger than this many rows are streamed as frame events
 #: instead of riding inline in the ``point`` event (see
@@ -49,6 +55,33 @@ class JobCancelled(Exception):
 
 class BusyError(Exception):
     """Submission rejected: the client is at its in-flight cap."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with jitter for supervised retries.
+
+    Attempt ``n`` (1-based) failing sleeps ``base_delay * 2**(n-1)``
+    seconds, capped at ``max_delay``, stretched by up to ``jitter``
+    fractional randomness so a fleet of retrying executions does not
+    thundering-herd a shared store.  After ``max_attempts`` failed
+    attempts the execution is quarantined as ``failed``.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.25
+    max_delay: float = 5.0
+    jitter: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def delay(self, attempt: int) -> float:
+        base = min(
+            self.base_delay * (2 ** max(0, attempt - 1)), self.max_delay
+        )
+        return base * (1.0 + self.jitter * random.random())
 
 
 class Execution:
@@ -75,6 +108,21 @@ class Execution:
         self.cache_hits = 0
         self.result: Optional[StudyResult] = None
         self.error: Optional[str] = None
+        self.traceback: Optional[str] = None
+        #: supervised-retry attempt counter (1-based while running).
+        self.attempts = 0
+        #: last sign of life (updated per point / attempt) — the
+        #: service watchdog reaps runs whose heartbeat goes stale.
+        self.heartbeat = time.time()
+        #: true when this execution was re-enqueued from the journal
+        #: after a restart (completed points replay from the store).
+        self.resumed = False
+        #: optional on-disk mirror of the event list (an
+        #: :class:`~repro.service.journal.EventLog`).
+        self.sink = None
+        #: optional ``fn(execution, state)`` called on each state
+        #: transition — the journal's write-ahead hook.
+        self.on_transition: Optional[Callable] = None
         self._events: List[Dict] = []
         self._cond = threading.Condition()
 
@@ -87,17 +135,31 @@ class Execution:
                 **event,
             }
             self._events.append(event)
+            if self.sink is not None:
+                self.sink.append(event)
             self._cond.notify_all()
+
+    def _notify(self, state: str) -> None:
+        if self.on_transition is not None:
+            self.on_transition(self, state)
+
+    def beat(self) -> None:
+        self.heartbeat = time.time()
 
     def mark_running(self) -> None:
         with self._cond:
+            if self.state in TERMINAL_STATES:
+                return
             self.state = "running"
+        self.beat()
+        self._notify("running")
         self._emit(
             {
                 "event": "start",
                 "study": self.study.name,
                 "key": self.key,
                 "points_total": self.points_total,
+                "resumed": self.resumed,
             }
         )
 
@@ -118,6 +180,7 @@ class Execution:
         transparently).
         """
         self.points_done += 1
+        self.beat()
         if source == "cache":
             self.cache_hits += 1
         payload = result.to_dict()
@@ -161,8 +224,11 @@ class Execution:
 
     def finish(self, result: StudyResult, cache_stats: Dict) -> None:
         with self._cond:
+            if self.state in TERMINAL_STATES:
+                return
             self.state = "done"
             self.result = result
+        self._notify("done")
         self._emit(
             {
                 "event": "done",
@@ -175,15 +241,62 @@ class Execution:
 
     def fail(self, error: str) -> None:
         with self._cond:
+            if self.state in TERMINAL_STATES:
+                return
             self.state = "error"
             self.error = error
+        self._notify("error")
         self._emit({"event": "error", "error": error})
+
+    def record_retry(
+        self, attempt: int, max_attempts: int, delay: float, error: str
+    ) -> None:
+        """One failed attempt that will be retried after ``delay``."""
+        self.attempts = attempt
+        self.beat()
+        self._emit(
+            {
+                "event": "retry",
+                "attempt": attempt,
+                "max_attempts": max_attempts,
+                "delay": round(delay, 3),
+                "error": error,
+            }
+        )
+
+    def quarantine(
+        self, error: str, traceback_text: Optional[str], attempts: int
+    ) -> None:
+        """Park a poison execution as ``failed`` with its traceback.
+
+        Terminal like ``error``/``cancelled``: the queue moves on, the
+        job stops consuming retries, and ``status`` surfaces the last
+        traceback for post-mortems.
+        """
+        with self._cond:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = "failed"
+            self.error = error
+            self.traceback = traceback_text
+            self.attempts = attempts
+        self._notify("failed")
+        self._emit(
+            {
+                "event": "failed",
+                "error": error,
+                "traceback": traceback_text,
+                "attempts": attempts,
+                "points_done": self.points_done,
+            }
+        )
 
     def mark_cancelled(self) -> None:
         with self._cond:
             if self.state in TERMINAL_STATES:
                 return
             self.state = "cancelled"
+        self._notify("cancelled")
         self._emit({"event": "cancelled", "points_done": self.points_done})
 
     @property
@@ -208,6 +321,47 @@ class Execution:
     def events_snapshot(self) -> List[Dict]:
         with self._cond:
             return list(self._events)
+
+    # -- durability ----------------------------------------------------
+    @classmethod
+    def restore_terminal(
+        cls,
+        key: str,
+        request: JobRequest,
+        study: Study,
+        state: str,
+        events: List[Dict],
+        error: Optional[str] = None,
+    ) -> "Execution":
+        """Rebuild a finished execution from its journaled state and
+        on-disk event log, so status / events / result endpoints keep
+        answering across restarts.  A ``done`` execution whose log
+        lost its ``done`` event (torn tail) keeps its state but has no
+        result — the result endpoint reports that honestly."""
+        execution = cls(key, request, study)
+        execution.state = state
+        execution._events = list(events)
+        execution.error = error
+        for event in events:
+            kind = event.get("event")
+            if kind == "point":
+                execution.points_done += 1
+                if event.get("source") == "cache":
+                    execution.cache_hits += 1
+            elif kind == "done" and state == "done":
+                try:
+                    execution.result = StudyResult.from_dict(
+                        event["result"]
+                    )
+                except (KeyError, TypeError, ValueError):
+                    execution.result = None
+            elif kind == "failed":
+                execution.error = event.get("error", error)
+                execution.traceback = event.get("traceback")
+                execution.attempts = event.get("attempts", 0)
+            elif kind == "error":
+                execution.error = event.get("error", error)
+        return execution
 
 
 class Job:
@@ -253,16 +407,29 @@ class Job:
             out["queued_ahead"] = queued_ahead
         if exe.error:
             out["error"] = exe.error
+        if exe.traceback:
+            out["traceback"] = exe.traceback
+        if exe.attempts:
+            out["attempts"] = exe.attempts
+        if exe.resumed:
+            out["resumed"] = True
         return out
 
 
 class Scheduler:
     """Priority + FIFO queue of executions with per-client caps."""
 
-    def __init__(self, max_inflight_per_client: int = 8) -> None:
+    def __init__(
+        self,
+        max_inflight_per_client: int = 8,
+        execution_hook: Optional[Callable] = None,
+    ) -> None:
         if max_inflight_per_client < 1:
             raise ValueError("max_inflight_per_client must be >= 1")
         self.max_inflight_per_client = max_inflight_per_client
+        #: called with each newly created (or re-enqueued) execution —
+        #: the service attaches journal/event-log plumbing here.
+        self.execution_hook = execution_hook
         self._lock = threading.Condition()
         self._seq = itertools.count()
         self._job_seq = itertools.count(1)
@@ -306,6 +473,8 @@ class Scheduler:
             attached = execution is not None
             if execution is None:
                 execution = Execution(key, request, study)
+                if self.execution_hook is not None:
+                    self.execution_hook(execution)
                 self._executions[key] = execution
                 heapq.heappush(
                     self._heap,
@@ -316,6 +485,49 @@ class Scheduler:
             self._jobs[job.id] = job
             self._lock.notify_all()
             return job, attached
+
+    def restore(
+        self,
+        job_id: str,
+        request: JobRequest,
+        execution: Execution,
+        enqueue: bool,
+        cancelled: bool = False,
+    ) -> Job:
+        """Re-register a journaled job after a restart.
+
+        ``enqueue`` puts the execution back on the run queue (once per
+        key, however many jobs ride it); terminal executions are
+        registered for status/result lookups only.  Restored job ids
+        are preserved; the id sequence is bumped past them so new
+        submissions never collide.
+        """
+        with self._lock:
+            job = Job(job_id, request, execution)
+            job.cancelled = cancelled
+            execution.jobs.append(job)
+            self._jobs[job_id] = job
+            try:
+                numeric = int(job_id.lstrip("j"))
+            except ValueError:
+                numeric = 0
+            top = max(
+                numeric + 1,
+                next(self._job_seq),  # consumes one; harmless
+            )
+            self._job_seq = itertools.count(top)
+            if enqueue and self._executions.get(execution.key) is not (
+                execution
+            ):
+                if self.execution_hook is not None:
+                    self.execution_hook(execution)
+                self._executions[execution.key] = execution
+                heapq.heappush(
+                    self._heap,
+                    (-execution.priority, next(self._seq), execution.key),
+                )
+            self._lock.notify_all()
+            return job
 
     # -- executor side -------------------------------------------------
     def next_execution(

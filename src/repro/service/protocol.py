@@ -44,8 +44,10 @@ JOB_STATUS_SCHEMA = "repro.job-status/v1"
 JOB_EVENT_SCHEMA = "repro.job-event/v1"
 
 #: lifecycle of a job: ``queued -> running -> done``, with ``error``
-#: and ``cancelled`` as the other terminal states.
-JOB_STATES = ("queued", "running", "done", "error", "cancelled")
+#: (single hard failure), ``failed`` (quarantined after exhausting
+#: supervised retries, traceback attached) and ``cancelled`` as the
+#: other terminal states.
+JOB_STATES = ("queued", "running", "done", "error", "failed", "cancelled")
 
 
 @dataclass(frozen=True)

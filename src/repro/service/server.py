@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import logging
 import threading
+import time
 import traceback
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -43,7 +44,17 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from .. import __version__
 from ..engine.spec import ENGINE_VERSION
-from .jobs import BusyError, Execution, Job, JobCancelled, Scheduler
+from . import chaos
+from .jobs import (
+    TERMINAL_STATES,
+    BusyError,
+    Execution,
+    Job,
+    JobCancelled,
+    RetryPolicy,
+    Scheduler,
+)
+from .journal import EventLog, JobJournal, JournalView
 from .protocol import JobRequest
 from .store import ResultStore
 
@@ -64,24 +75,143 @@ class SimulationService:
         *,
         default_workers: Optional[int] = 1,
         max_inflight_per_client: int = 8,
+        state_dir: Union[str, Path, None] = None,
+        retry: Optional[RetryPolicy] = None,
+        hang_timeout: Optional[float] = None,
+        start_executor: bool = True,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
         self.default_workers = default_workers
+        self.retry = retry or RetryPolicy()
+        #: seconds without a heartbeat before the watchdog reaps a
+        #: running execution (``None`` disables the watchdog).
+        self.hang_timeout = hang_timeout
+        self.state_dir = Path(state_dir) if state_dir else None
+        self.journal: Optional[JobJournal] = None
+        # startup hygiene: adopt locks orphaned by dead processes, but
+        # never steal a live sibling server's in-flight computation
+        reaped = self.store.single_flight.clear()
+        if reaped:
+            logger.info("reaped %d dead single-flight lock(s)", reaped)
         self.scheduler = Scheduler(
-            max_inflight_per_client=max_inflight_per_client
+            max_inflight_per_client=max_inflight_per_client,
+            execution_hook=(
+                self._attach_durability if self.state_dir else None
+            ),
         )
+        self.restored_jobs = 0
+        self.resumed_executions = 0
+        if self.state_dir is not None:
+            self.state_dir.mkdir(parents=True, exist_ok=True)
+            self.journal = JobJournal(self.state_dir / "journal.ndjson")
+            self._restore()
         self._stopped = threading.Event()
         self._executor = threading.Thread(
             target=self._run_loop, name="repro-service-executor", daemon=True
         )
-        self._executor.start()
+        if start_executor:
+            self._executor.start()
+
+    # -- durability ----------------------------------------------------
+    def _event_path(self, key: str) -> Path:
+        assert self.state_dir is not None
+        return self.state_dir / "events" / f"{key}.ndjson"
+
+    def _attach_durability(self, execution: Execution) -> None:
+        """Scheduler hook: give a fresh execution its on-disk event
+        log and journal transition plumbing (called once per enqueued
+        execution, under the scheduler lock)."""
+        execution.sink = EventLog(
+            self._event_path(execution.key), fresh=True
+        )
+        journal = self.journal
+
+        def on_transition(exe: Execution, state: str) -> None:
+            if journal is not None:
+                journal.record_state(exe.key, state, error=exe.error)
+
+        execution.on_transition = on_transition
+
+    def _restore(self) -> None:
+        """Replay the journal: re-enqueue interrupted work, restore
+        terminal jobs read-only, then compact the journal."""
+        assert self.journal is not None
+        view = self.journal.replay()
+        if not view.jobs:
+            return
+        by_key: Dict[str, List] = {}
+        for job in view.jobs.values():
+            by_key.setdefault(job.key, []).append(job)
+        executions: Dict[str, Execution] = {}
+        for key, jobs in by_key.items():
+            state = view.states.get(key, "queued")
+            try:
+                study = jobs[0].request.build_study()
+            except ValueError as exc:
+                logger.warning(
+                    "journal: dropping unreplayable execution %s: %s",
+                    key[:12],
+                    exc,
+                )
+                view.jobs = {
+                    jid: j
+                    for jid, j in view.jobs.items()
+                    if j.key != key
+                }
+                continue
+            live = state not in TERMINAL_STATES and any(
+                not j.cancelled for j in jobs
+            )
+            if live:
+                execution = Execution(key, jobs[0].request, study)
+                execution.resumed = True
+                self.resumed_executions += 1
+            else:
+                if state not in TERMINAL_STATES:
+                    # every rider was cancelled while queued but the
+                    # terminal record never landed: settle it now
+                    state = "cancelled"
+                    view.states[key] = state
+                events, _ = EventLog.load(self._event_path(key))
+                execution = Execution.restore_terminal(
+                    key,
+                    jobs[0].request,
+                    study,
+                    state,
+                    events,
+                    error=view.errors.get(key),
+                )
+            executions[key] = execution
+            for job in jobs:
+                self.scheduler.restore(
+                    job.id,
+                    job.request,
+                    execution,
+                    enqueue=live,
+                    cancelled=job.cancelled,
+                )
+                self.restored_jobs += 1
+        self.journal.compact(view)
+        logger.info(
+            "journal replay: %d job(s) restored, %d execution(s) "
+            "re-enqueued",
+            self.restored_jobs,
+            self.resumed_executions,
+        )
 
     # -- client surface ------------------------------------------------
     def submit(self, request: JobRequest) -> Tuple[Job, bool]:
-        """Queue or attach (see :meth:`Scheduler.submit`)."""
+        """Queue or attach (see :meth:`Scheduler.submit`).
+
+        With a ``state_dir``, the accepted job is journaled (fsynced)
+        before this returns — an acknowledged submission survives any
+        crash from here on.
+        """
         job, attached = self.scheduler.submit(request)
+        if self.journal is not None:
+            self.journal.record_job(job.id, job.execution.key, request)
         logger.info(
             "job %s %s execution %s (client=%r priority=%d)",
             job.id,
@@ -101,6 +231,8 @@ class SimulationService:
 
     def cancel(self, job_id: str) -> Dict:
         job = self.scheduler.cancel(job_id)
+        if self.journal is not None:
+            self.journal.record_cancel(job.id)
         logger.info("job %s cancelled (state=%s)", job.id, job.state)
         return job.status()
 
@@ -158,6 +290,8 @@ class SimulationService:
         self._stopped.set()
         if wait:
             self._executor.join(timeout=timeout)
+        if self.journal is not None:
+            self.journal.close()
 
     # -- executor ------------------------------------------------------
     def _run_loop(self) -> None:
@@ -165,8 +299,53 @@ class SimulationService:
             execution = self.scheduler.next_execution(timeout=0.2)
             if execution is None:
                 continue
-            self._run_execution(execution)
+            self._supervise(execution)
         logger.info("executor stopped")
+
+    def _supervise(self, execution: Execution) -> None:
+        """Run one execution on a worker thread under the watchdog.
+
+        The worker thread does the actual work (including retries);
+        this thread watches its heartbeat.  A run that goes
+        ``hang_timeout`` seconds without a heartbeat is cancel-flagged,
+        given a short grace period, then quarantined — the wedged
+        thread is abandoned (daemon) and the queue moves on.  Terminal
+        guards on :class:`Execution` make any late emission from the
+        abandoned thread a no-op.
+        """
+        worker = threading.Thread(
+            target=self._run_execution,
+            args=(execution,),
+            name=f"repro-exec-{execution.key[:12]}",
+            daemon=True,
+        )
+        worker.start()
+        while worker.is_alive():
+            worker.join(timeout=0.5)
+            if not worker.is_alive():
+                break
+            if (
+                self.hang_timeout is not None
+                and not execution.terminal
+                and time.time() - execution.heartbeat > self.hang_timeout
+            ):
+                logger.error(
+                    "execution %s hung (>%.1fs without heartbeat); "
+                    "reaping",
+                    execution.key[:12],
+                    self.hang_timeout,
+                )
+                execution.cancel_event.set()
+                worker.join(timeout=2.0)
+                if worker.is_alive():
+                    execution.quarantine(
+                        f"watchdog: no heartbeat for "
+                        f"{self.hang_timeout:.1f}s; worker abandoned",
+                        traceback_text="",
+                        attempts=execution.attempts or 1,
+                    )
+                    self.scheduler.finish_execution(execution)
+                    return
 
     def _run_execution(self, execution: Execution) -> None:
         if execution.cancel_event.is_set():
@@ -175,53 +354,99 @@ class SimulationService:
             return
         execution.mark_running()
         logger.info(
-            "execution %s started: study %r, %d point(s) max",
+            "execution %s started: study %r, %d point(s) max%s",
             execution.key[:12],
             execution.study.name,
             execution.points_total,
+            " (resumed)" if execution.resumed else "",
         )
-        cache = self.store.single_flight_cache()
 
         def on_point(scenario, label, rate, result, source):
             if execution.cancel_event.is_set():
                 raise JobCancelled()
             execution.record_point(scenario, label, rate, result, source)
+            chaos.maybe_kill_server("point")
 
+        workers = (
+            execution.workers
+            if execution.workers is not None
+            else self.default_workers
+        )
+        attempt = 0
         try:
-            workers = (
-                execution.workers
-                if execution.workers is not None
-                else self.default_workers
-            )
-            result = execution.study.run(
-                workers=workers, cache=cache, on_point=on_point
-            )
-            execution.finish(
-                result, self.store.stats_channel().to_dict()
-            )
-            logger.info(
-                "execution %s done: %d point(s), %d from cache",
-                execution.key[:12],
-                execution.points_done,
-                execution.cache_hits,
-            )
-        except JobCancelled:
-            execution.mark_cancelled()
-            logger.info(
-                "execution %s cancelled after %d point(s)",
-                execution.key[:12],
-                execution.points_done,
-            )
-        except Exception as exc:  # engine errors -> error event
-            execution.fail(f"{type(exc).__name__}: {exc}")
-            logger.error(
-                "execution %s failed: %s\n%s",
-                execution.key[:12],
-                exc,
-                traceback.format_exc(),
-            )
+            while True:
+                attempt += 1
+                execution.attempts = attempt
+                execution.beat()
+                cache = self.store.single_flight_cache()
+                try:
+                    result = execution.study.run(
+                        workers=workers, cache=cache, on_point=on_point
+                    )
+                    execution.finish(
+                        result, self.store.stats_channel().to_dict()
+                    )
+                    logger.info(
+                        "execution %s done: %d point(s), %d from cache"
+                        "%s",
+                        execution.key[:12],
+                        execution.points_done,
+                        execution.cache_hits,
+                        f" (attempt {attempt})" if attempt > 1 else "",
+                    )
+                    return
+                except JobCancelled:
+                    execution.mark_cancelled()
+                    logger.info(
+                        "execution %s cancelled after %d point(s)",
+                        execution.key[:12],
+                        execution.points_done,
+                    )
+                    return
+                except Exception as exc:
+                    error = f"{type(exc).__name__}: {exc}"
+                    tb = traceback.format_exc()
+                    if attempt >= self.retry.max_attempts:
+                        execution.quarantine(error, tb, attempt)
+                        logger.error(
+                            "execution %s quarantined after %d "
+                            "attempt(s): %s\n%s",
+                            execution.key[:12],
+                            attempt,
+                            error,
+                            tb,
+                        )
+                        return
+                    delay = self.retry.delay(attempt)
+                    execution.record_retry(
+                        attempt, self.retry.max_attempts, delay, error
+                    )
+                    logger.warning(
+                        "execution %s attempt %d/%d failed (%s); "
+                        "retrying in %.2fs",
+                        execution.key[:12],
+                        attempt,
+                        self.retry.max_attempts,
+                        error,
+                        delay,
+                    )
+                    # interruptible backoff: completed points replay
+                    # from the store, so the retry only recomputes
+                    # the failing point
+                    deadline = time.time() + delay
+                    while time.time() < deadline:
+                        if (
+                            self._stopped.is_set()
+                            or execution.cancel_event.is_set()
+                        ):
+                            execution.mark_cancelled()
+                            return
+                        time.sleep(
+                            min(0.05, max(0.0, deadline - time.time()))
+                        )
+                finally:
+                    cache.close()
         finally:
-            cache.close()
             self.scheduler.finish_execution(execution)
 
 
@@ -352,13 +577,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Transfer-Encoding", "chunked")
         self.end_headers()
+        dropped = False
         try:
             for event in service.events(job_id, start=start):
+                if chaos.should_fire("drop-stream"):
+                    # yank the connection mid-stream: no terminal
+                    # chunk, socket torn down — clients must
+                    # reconnect with ?from=<next seq>
+                    dropped = True
+                    self.close_connection = True
+                    self.connection.close()
+                    return
                 self._write_chunk(json.dumps(event).encode() + b"\n")
                 self.wfile.flush()
         finally:
-            self._write_chunk(b"")  # terminal chunk
-            self.wfile.write(b"\r\n")
+            if not dropped:
+                self._write_chunk(b"")  # terminal chunk
+                self.wfile.write(b"\r\n")
 
     def _job_result(self, job_id: str) -> None:
         job = self.service.job(job_id)
@@ -403,12 +638,19 @@ def create_server(
     max_inflight_per_client: int = 8,
     max_entries: Optional[int] = None,
     max_bytes: Optional[int] = None,
+    state_dir: Union[str, Path, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    hang_timeout: Optional[float] = None,
 ) -> _ServiceHTTPServer:
     """Build a ready-to-serve HTTP simulation service.
 
     Returns the server; call ``serve_forever()`` (blocking) or drive it
     from a thread.  ``server.server_address`` carries the bound
     ``(host, port)`` — pass ``port=0`` for an ephemeral port.
+
+    With ``state_dir`` the service journals jobs and replays them on
+    the next start, so restarting against the same directory resumes
+    interrupted work (see :mod:`repro.service.journal`).
     """
     if store is None:
         if cache_dir is None:
@@ -420,6 +662,9 @@ def create_server(
         store,
         default_workers=default_workers,
         max_inflight_per_client=max_inflight_per_client,
+        state_dir=state_dir,
+        retry=retry,
+        hang_timeout=hang_timeout,
     )
     return _ServiceHTTPServer((host, port), service)
 

@@ -39,6 +39,7 @@ from ..engine.cache import ResultCache
 from ..engine.spec import ENGINE_VERSION
 from ..metrics import MetricChannel
 from ..network.stats import SimResult
+from . import chaos
 
 __all__ = ["ResultStore", "SingleFlight", "SingleFlightCache"]
 
@@ -77,6 +78,8 @@ class SingleFlight:
         A stale lock found in the way is stolen and acquisition retried
         once, so a dead holder's key is immediately adoptable.
         """
+        if chaos.should_fire("sf-delay", key):
+            time.sleep(chaos.param("sf-delay", "seconds", 0.2, float))
         for _ in range(2):
             try:
                 fd = os.open(
@@ -117,8 +120,15 @@ class SingleFlight:
         except OSError:
             return True  # already gone
         pid = self.holder(key)
-        dead = pid is not None and not _pid_alive(pid)
-        if dead or age > self.stale_after:
+        if pid is None:
+            # unreadable/empty lock: orphaned by a crash mid-create —
+            # but give a live writer a beat between O_CREAT and the
+            # pid landing before calling it dead
+            dead = age > 5.0
+        else:
+            dead = not _pid_alive(pid)
+        forced = chaos.should_fire("sf-steal", key)
+        if dead or forced or age > self.stale_after:
             try:
                 os.unlink(path)
             except OSError:
@@ -148,15 +158,31 @@ class SingleFlight:
             time.sleep(self.poll_interval)
         return True
 
-    def clear(self) -> int:
-        """Remove every lock file (service restart hygiene)."""
+    def clear(self, *, all_locks: bool = False) -> int:
+        """Restart hygiene: remove *dead* holders' locks.
+
+        By default only locks whose holder pid is gone (or whose lock
+        file is old *and* unreadable) are removed — N servers sharing
+        one store directory can each run startup hygiene without
+        stealing a live sibling's in-flight computation.
+        ``all_locks=True`` force-removes everything (the store-wipe
+        path, where the entries are going away anyway).
+        """
         n = 0
         for path in self.root.glob("*.lock"):
-            try:
-                path.unlink()
+            if all_locks:
+                try:
+                    path.unlink()
+                    n += 1
+                except OSError:
+                    pass
+                continue
+            key = path.name[: -len(".lock")]
+            pid = self.holder(key)
+            if pid is not None and _pid_alive(pid):
+                continue
+            if self._steal_if_stale(key):
                 n += 1
-            except OSError:
-                pass
         return n
 
 
@@ -245,7 +271,7 @@ class ResultStore:
         return len(self.cache)
 
     def clear(self) -> int:
-        self.single_flight.clear()
+        self.single_flight.clear(all_locks=True)
         return self.cache.clear()
 
     # -- bounds --------------------------------------------------------

@@ -1,0 +1,201 @@
+"""The REPRO_CHAOS fault harness itself, plus the headline acceptance
+test: kill -9 the server mid-sweep, restart it on the same state dir,
+and get the bit-identical result."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceClient, chaos
+
+from .conftest import tiny_study
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _physics(result_dict):
+    out = dict(result_dict)
+    out.pop("meta", None)
+    return out
+
+
+@pytest.fixture()
+def arm(monkeypatch):
+    def _arm(directives):
+        monkeypatch.setenv("REPRO_CHAOS", directives)
+        chaos.reset()
+
+    yield _arm
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
+    chaos.reset()
+
+
+class TestDirectiveParsing:
+    def test_inactive_without_env(self, arm):
+        arm("")
+        assert chaos.active("kill-server") is None
+        assert chaos.should_fire("kill-server") is False
+
+    def test_multiple_directives_with_params(self, arm):
+        arm("kill-server:after=2,crash-worker:once=/tmp/m:code=9")
+        assert chaos.active("kill-server") == {"after": "2"}
+        assert chaos.active("crash-worker") == {
+            "once": "/tmp/m",
+            "code": "9",
+        }
+        assert chaos.param("crash-worker", "code", 137, int) == 9
+        assert chaos.param("kill-server", "seconds", 30.0, float) == 30.0
+
+    def test_env_change_reparses_and_resets_counters(self, arm):
+        arm("fail-point:after=1")
+        assert chaos.should_fire("fail-point") is True
+        assert chaos.should_fire("fail-point") is False
+        arm("fail-point:after=1")  # same text, explicit reset()
+        assert chaos.should_fire("fail-point") is True
+
+
+class TestFiringPolicies:
+    def test_bare_site_fires_every_check(self, arm):
+        arm("drop-stream")
+        assert all(chaos.should_fire("drop-stream") for _ in range(5))
+
+    def test_after_fires_exactly_once(self, arm):
+        arm("fail-point:after=3")
+        fired = [chaos.should_fire("fail-point") for _ in range(6)]
+        assert fired == [False, False, True, False, False, False]
+
+    def test_times_fires_first_n(self, arm):
+        arm("fail-point:times=2")
+        fired = [chaos.should_fire("fail-point") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+
+    def test_every_fires_each_nth(self, arm):
+        arm("drop-stream:every=3")
+        fired = [chaos.should_fire("drop-stream") for _ in range(9)]
+        assert fired == [False, False, True] * 3
+
+    def test_rate_extremes(self, arm):
+        arm("fail-point:rate=1.0")
+        assert all(chaos.should_fire("fail-point") for _ in range(10))
+        arm("fail-point:rate=0.0")
+        assert not any(chaos.should_fire("fail-point") for _ in range(10))
+
+    def test_match_scopes_and_does_not_consume_counter(self, arm):
+        arm("fail-point:after=2:match=poison")
+        # non-matching labels are invisible to the counter
+        assert chaos.should_fire("fail-point", "clean@0.1") is False
+        assert chaos.should_fire("fail-point", "poison@0.1") is False
+        assert chaos.should_fire("fail-point", "clean@0.2") is False
+        assert chaos.should_fire("fail-point", "poison@0.2") is True
+
+    def test_once_marker_is_cross_process(self, tmp_path, arm):
+        marker = tmp_path / "fired.marker"
+        arm(f"fail-point:once={marker}")
+        assert chaos.should_fire("fail-point") is True
+        assert marker.exists()
+        assert chaos.should_fire("fail-point") is False
+        # a different process would see the marker too: a fresh parse
+        # of the same directive still refuses to fire again
+        chaos.reset()
+        assert chaos.should_fire("fail-point") is False
+
+    def test_engine_point_fail_site(self, arm):
+        arm("fail-point:match=bad")
+        chaos.engine_point("good@0.1")  # no-op
+        with pytest.raises(chaos.ChaosError, match="injected point"):
+            chaos.engine_point("bad@0.1")
+
+    def test_crash_worker_never_fires_in_parent(self, arm):
+        # this test *is* the parent process: os._exit must not happen
+        arm("crash-worker")
+        chaos.engine_point("anything")
+
+
+def _spawn_server(cache_dir, state_dir, extra_env=None):
+    """Start ``repro-dragonfly serve`` on an ephemeral port; return
+    (proc, base_url) once the startup banner announces the port."""
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_CHAOS", None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.cli import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "serve",
+            "--port", "0",
+            "--cache-dir", str(cache_dir),
+            "--state-dir", str(state_dir),
+            "--workers", "1",
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    banner = []
+    url = None
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        banner.append(line)
+        if line.startswith("# simulation service on "):
+            url = line.split()[-1]
+        if url and line.startswith("# submit with"):
+            return proc, url, banner
+    proc.kill()
+    raise AssertionError(f"server never came up; stderr: {banner!r}")
+
+
+class TestKillNineResume:
+    def test_sigkilled_server_resumes_bit_identical(self, tmp_path):
+        """ISSUE acceptance: SIGKILL the server right after its first
+        point lands; a restart on the same state dir resumes the job
+        under its original id and completes it bit-identical to an
+        uninterrupted offline run."""
+        study = tiny_study()
+        baseline = study.run(workers=1)
+
+        cache_dir = tmp_path / "cache"
+        state_dir = tmp_path / "state"
+        proc = proc2 = None
+        try:
+            proc, url, _ = _spawn_server(
+                cache_dir,
+                state_dir,
+                extra_env={"REPRO_CHAOS": "kill-server:after=1"},
+            )
+            client = ServiceClient(url)
+            job = client.submit_study(study)
+            assert job["id"] == "j000001"
+
+            # the chaos site SIGKILLs the server when point 1 lands
+            assert proc.wait(timeout=120) == -signal.SIGKILL
+
+            proc2, url2, banner = _spawn_server(cache_dir, state_dir)
+            journal_lines = [
+                l for l in banner if l.startswith("# job journal")
+            ]
+            assert journal_lines
+            assert "1 job(s) restored, 1 resumed" in journal_lines[0]
+
+            client2 = ServiceClient(url2)
+            status = client2.status("j000001")
+            assert status["state"] in ("queued", "running", "done")
+            result = client2.watch("j000001")
+            assert _physics(result.to_dict()) == _physics(
+                baseline.to_dict()
+            )
+        finally:
+            for p in (proc, proc2):
+                if p is not None and p.poll() is None:
+                    p.kill()
+                    p.wait(timeout=10)

@@ -236,3 +236,56 @@ class TestSingleFlightCache:
         thread.join()
         assert got == _result()
         assert waiter.computed == 0
+
+
+class TestRestartHygiene:
+    """SingleFlight.clear(): a restarting server removes only *dead*
+    holders' locks, so siblings sharing the store keep their in-flight
+    computations."""
+
+    def _dead_pid(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_dead_holder_lock_cleared(self, tmp_path):
+        sf = SingleFlight(tmp_path)
+        (tmp_path / "orphan.lock").write_text(
+            f"{self._dead_pid()} {time.time():.3f}"
+        )
+        assert sf.clear() == 1
+        assert not sf.locked("orphan")
+
+    def test_live_holder_lock_survives_default_clear(self, tmp_path):
+        sf = SingleFlight(tmp_path)
+        assert sf.try_acquire("mine")  # held by this (live) process
+        assert sf.clear() == 0
+        assert sf.locked("mine")
+        # the store-wipe path takes everything regardless
+        assert sf.clear(all_locks=True) == 1
+        assert not sf.locked("mine")
+
+    def test_fresh_unreadable_lock_gets_grace(self, tmp_path):
+        # a sibling between O_CREAT and writing its pid: empty file,
+        # seconds old -- not provably dead yet
+        sf = SingleFlight(tmp_path)
+        path = tmp_path / "halfborn.lock"
+        path.write_text("")
+        assert sf.clear() == 0
+        assert sf.locked("halfborn")
+        # ...but an *old* empty lock is an orphaned crash artifact
+        past = time.time() - 60
+        os.utime(path, (past, past))
+        assert sf.clear() == 1
+        assert not sf.locked("halfborn")
+
+    def test_store_clear_wipes_all_locks(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", _result())
+        assert store.single_flight.try_acquire("k")  # live, ours
+        store.clear()
+        assert len(store) == 0
+        assert not store.single_flight.locked("k")
