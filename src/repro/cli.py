@@ -24,6 +24,8 @@ Service mode (see the "Simulation service" README section)::
     repro-dragonfly submit fig10_local --client alice   # prints job id
     repro-dragonfly status j000001
     repro-dragonfly watch j000001 --out result.json
+    repro-dragonfly trace j000001             # span waterfall for a job
+    repro-dragonfly metrics --live            # poll /api/metrics
     repro-dragonfly cancel j000001
     repro-dragonfly cache stats --cache-dir ~/.cache/repro
     repro-dragonfly shutdown
@@ -273,8 +275,80 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _metric_value(data, name, labels=None) -> float:
+    """Sum of a metric's samples in a ``repro.metrics/v1`` payload,
+    restricted to samples whose labels include ``labels``."""
+    total = 0.0
+    for metric in data.get("metrics", []):
+        if metric.get("name") != name:
+            continue
+        for sample in metric.get("samples", []):
+            got = sample.get("labels", {})
+            if labels and any(got.get(k) != v for k, v in labels.items()):
+                continue
+            total += sample.get("value", sample.get("count", 0.0))
+    return total
+
+
+def _live_metrics_line(data) -> str:
+    """One refreshing status line from the runtime-metrics payload."""
+    running = _metric_value(
+        data, "service_jobs_by_state", {"state": "running"}
+    )
+    queued = _metric_value(data, "service_queue_depth")
+    fields = [
+        f"queue={queued:.0f}",
+        f"running={running:.0f}",
+        f"submitted={_metric_value(data, 'service_jobs_submitted_total'):.0f}",
+        f"points={_metric_value(data, 'engine_points_total'):.0f}",
+        f"hits={_metric_value(data, 'store_hits_total'):.0f}",
+        f"misses={_metric_value(data, 'store_misses_total'):.0f}",
+        f"retries={_metric_value(data, 'service_job_retries_total'):.0f}",
+        f"http={_metric_value(data, 'http_requests_total'):.0f}",
+    ]
+    return "  ".join(fields)
+
+
+def _cmd_live_metrics(args) -> int:
+    """``metrics --live``: poll a service's /api/metrics surface."""
+    import time as _time
+
+    from .service import ServiceError
+
+    client = _service_client(args)
+    remaining = args.count
+    try:
+        while True:
+            data = client.metrics(fmt="json")
+            stamp = _time.strftime("%H:%M:%S")
+            print(f"[{stamp}] {_live_metrics_line(data)}", flush=True)
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    return 0
+            _time.sleep(args.interval)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_metrics(args) -> int:
-    """Probe-kind listing, or the channels inside a results file."""
+    """Probe-kind listing, channels in a results file, or (with
+    ``--live``/``--server``) a running service's runtime metrics."""
+    if args.live:
+        return _cmd_live_metrics(args)
+    if args.server:
+        from .service import ServiceError
+
+        client = _service_client(args)
+        try:
+            print(client.metrics(fmt="prometheus"), end="")
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
     if not args.results:
         print("registered metric probes (run with: "
               "repro-dragonfly run <name> --metrics <kinds>):")
@@ -390,8 +464,10 @@ def _default_cache_dir() -> str:
 
 
 def _cmd_serve(args) -> int:
+    from .obs import setup_logging
     from .service import RetryPolicy, create_server, serve
 
+    setup_logging(fmt=args.log_format)
     try:
         server = create_server(
             host=args.host,
@@ -404,25 +480,33 @@ def _cmd_serve(args) -> int:
             state_dir=args.state_dir,
             retry=RetryPolicy(max_attempts=args.max_attempts),
             hang_timeout=args.hang_timeout,
+            telemetry=not args.no_telemetry,
         )
     except (OSError, ValueError) as exc:
         print(f"error: cannot start service: {exc}", file=sys.stderr)
         return 2
     host, port = server.server_address[:2]
-    print(f"# simulation service on http://{host}:{port}", file=sys.stderr)
-    print(f"# result store: {args.cache_dir}", file=sys.stderr)
+
+    def banner(line):
+        # one atomic write per line: log records from the (already
+        # running) executor thread share stderr and must not land
+        # between a banner line and its newline — tests and scripts
+        # parse these lines for the URL
+        sys.stderr.write(line + "\n")
+        sys.stderr.flush()
+
+    banner(f"# simulation service on http://{host}:{port}")
+    banner(f"# result store: {args.cache_dir}")
     if args.state_dir:
         service = server.service
-        print(
+        banner(
             f"# job journal: {args.state_dir} "
             f"({service.restored_jobs} job(s) restored, "
-            f"{service.resumed_executions} resumed)",
-            file=sys.stderr,
+            f"{service.resumed_executions} resumed)"
         )
-    print(
+    banner(
         "# submit with: repro-dragonfly submit <study> "
-        f"--server http://{host}:{port}",
-        file=sys.stderr,
+        f"--server http://{host}:{port}"
     )
     serve(server)
     return 0
@@ -588,6 +672,31 @@ def _cmd_status(args) -> int:
     print(f"jobs on {client.address}:")
     for job in jobs:
         print(_format_job_line(job))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render a job's span waterfall from the service trace endpoint."""
+    from .obs import render_waterfall
+    from .service import ServiceError
+
+    client = _service_client(args)
+    try:
+        payload = client.trace(args.job)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    spans = payload.get("spans", [])
+    if not spans:
+        print(
+            f"# job {args.job}: trace {payload.get('trace_id')} has no "
+            "recorded spans yet"
+        )
+        return 1
+    print(render_waterfall(spans))
     return 0
 
 
@@ -917,6 +1026,44 @@ def main(argv=None) -> int:
         help="watchdog: reap a running job this many seconds after "
         "its last heartbeat (default: disabled)",
     )
+    serve_p.add_argument(
+        "--log-format", choices=("text", "json"), default="text",
+        help="service log lines: classic text or structured NDJSON "
+        "(each line carries trace_id/job/state fields)",
+    )
+    serve_p.add_argument(
+        "--no-telemetry", action="store_true",
+        help="disable the runtime telemetry plane (span log, trace "
+        "endpoint; metrics counters still tick but gauges go stale)",
+    )
+
+    # runtime-metrics flags on the 'metrics' verb (probe listing above)
+    _add_server_arg(metrics)
+    metrics.add_argument(
+        "--live", action="store_true",
+        help="poll the service /api/metrics surface and print one "
+        "status line per interval (Ctrl-C to stop)",
+    )
+    metrics.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="--live polling interval (default: 2s)",
+    )
+    metrics.add_argument(
+        "--count", type=int, default=None, metavar="N",
+        help="--live: stop after N polls (default: run until Ctrl-C)",
+    )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="render a job's span waterfall (queue wait, engine, "
+        "kernel chunks) from a telemetry-enabled service",
+    )
+    trace_p.add_argument("job", help="job id from 'submit'")
+    trace_p.add_argument(
+        "--json", action="store_true",
+        help="print the raw repro.trace/v1 payload instead",
+    )
+    _add_server_arg(trace_p)
 
     submit = sub.add_parser(
         "submit", help="submit a study to a running service"
@@ -1023,6 +1170,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "status": _cmd_status,
+        "trace": _cmd_trace,
         "watch": _cmd_watch,
         "cancel": _cmd_cancel,
         "shutdown": _cmd_shutdown,

@@ -16,8 +16,19 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..network.stats import SimResult
+from ..obs import REGISTRY
 
 __all__ = ["ResultCache"]
+
+# runtime telemetry (repro.obs): raw cache write volume.  Hit/miss
+# accounting lives one layer up in the service ResultStore — counting
+# here too would double-report every store lookup.
+_M_WRITES = REGISTRY.counter(
+    "cache_writes_total", "Point results written to the on-disk cache"
+)
+_M_WRITE_BYTES = REGISTRY.counter(
+    "cache_write_bytes_total", "Bytes of point results written"
+)
 
 
 class ResultCache:
@@ -61,8 +72,11 @@ class ResultCache:
         )
         try:
             with os.fdopen(fd, "w") as fh:
-                json.dump(payload, fh)
+                text = json.dumps(payload)
+                fh.write(text)
             os.replace(tmp, self._path(key))
+            _M_WRITES.inc()
+            _M_WRITE_BYTES.inc(len(text))
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -32,6 +32,8 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..network.native import THREADS_ENV, NativeBatch, native_available
+from ..obs import REGISTRY
+from ..obs import trace as obs_trace
 from ..network.simulator import (
     CORE_ENV,
     Simulator,
@@ -79,6 +81,29 @@ class PointFailure(RuntimeError):
 PointCallback = Callable[[int, int, float, SimResult, str], None]
 
 logger = logging.getLogger("repro.engine")
+
+# runtime telemetry (repro.obs).  Counters/histograms are recorded in
+# the *parent* process only — pool workers have their own (discarded)
+# registry copies; their spans still land via the REPRO_SPANLOG file.
+_M_POINTS = REGISTRY.counter(
+    "engine_points_total",
+    "Points delivered by run_experiments "
+    "(source=cache replayed, source=fresh simulated)",
+    ("source",),
+)
+_M_POINT_SECONDS = REGISTRY.histogram(
+    "engine_point_seconds",
+    "Wall time per freshly simulated point (serial path)",
+)
+_M_CRASHES = REGISTRY.counter(
+    "engine_worker_crashes_total",
+    "Engine pool crashes (a worker died mid-point/sweep)",
+)
+_M_BATCH_LANES = REGISTRY.histogram(
+    "engine_batch_lanes",
+    "Lanes packed per batched kernel dispatch (occupancy)",
+    buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+)
 
 #: environment override for the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
@@ -193,8 +218,20 @@ def _attempt_point(spec: ExperimentSpec, rate: float) -> SimResult:
 
 
 def _point_task(task: Tuple[int, int, ExperimentSpec, float]):
+    """One pooled point, run inside a worker process.
+
+    The span parents to the ``REPRO_TRACEPARENT`` carrier and lands in
+    the ``REPRO_SPANLOG`` file (both inherited through the pool), so
+    worker-side timings join the submitting job's trace."""
     si, ri, spec, rate = task
-    return si, ri, _attempt_point(spec, rate)
+    with obs_trace.span(
+        "engine.point",
+        label=spec.label or spec.describe(),
+        rate=rate,
+        worker=os.getpid(),
+    ):
+        res = _attempt_point(spec, rate)
+    return si, ri, res
 
 
 def _resolve_workers(
@@ -318,64 +355,98 @@ def run_experiments(
     specs = list(specs)
     have: List[Dict[int, SimResult]] = [{} for _ in specs]
 
-    # Replay every cached point first: cutoffs may already be decided.
-    if cache is not None:
-        for si, spec in enumerate(specs):
-            for ri, rate in enumerate(spec.rates):
-                res = cache.get(point_key(spec, rate))
-                if res is not None:
-                    have[si][ri] = res
-                    if on_point is not None:
-                        on_point(si, ri, rate, res, "cache")
+    with obs_trace.span("engine.run", specs=len(specs)) as run_span:
+        # Replay every cached point first: cutoffs may be decided.
+        if cache is not None:
+            with obs_trace.span("engine.cache_replay") as replay_span:
+                replayed = 0
+                for si, spec in enumerate(specs):
+                    for ri, rate in enumerate(spec.rates):
+                        res = cache.get(point_key(spec, rate))
+                        if res is not None:
+                            have[si][ri] = res
+                            replayed += 1
+                            if on_point is not None:
+                                on_point(si, ri, rate, res, "cache")
+                if replayed:
+                    _M_POINTS.inc(replayed, source="cache")
+                replay_span.set(points=replayed)
 
-    total_missing = sum(
-        1
-        for si, spec in enumerate(specs)
-        for ri in range(len(spec.rates))
-        if ri not in have[si]
-    )
-    use_batch = total_missing > 0 and _batch_enabled(batch)
-    if use_batch:
-        threads = _kernel_threads()
-        workers = _resolve_workers(
-            workers, len(specs), kernel_threads=threads
+        total_missing = sum(
+            1
+            for si, spec in enumerate(specs)
+            for ri in range(len(spec.rates))
+            if ri not in have[si]
         )
-    else:
-        workers = _resolve_workers(workers, total_missing)
-    t0 = time.perf_counter()
+        use_batch = total_missing > 0 and _batch_enabled(batch)
+        if use_batch:
+            threads = _kernel_threads()
+            workers = _resolve_workers(
+                workers, len(specs), kernel_threads=threads
+            )
+        else:
+            workers = _resolve_workers(workers, total_missing)
+        run_span.set(missing=total_missing, workers=workers)
+        t0 = time.perf_counter()
 
-    if total_missing == 0:
-        pass  # everything replayed from cache
-    elif use_batch:
-        _run_batched(
-            specs, have, cache, stop_after_saturation, workers, threads,
-            on_point,
-        )
-    elif workers <= 1:
-        _run_serial(specs, have, cache, stop_after_saturation, on_point)
-    else:
-        _run_parallel(
-            specs, have, cache, stop_after_saturation, workers, on_point
-        )
+        # Advertise the ambient context to pool workers: both pooled
+        # schedulers create their pools inside this window, so forked
+        # and spawned children alike inherit the carrier and parent
+        # their spans correctly (spans land via REPRO_SPANLOG).
+        ctx = obs_trace.current_context()
+        saved = os.environ.get(obs_trace.TRACEPARENT_ENV)
+        saved_pid = os.environ.get(obs_trace.TRACEPARENT_PID_ENV)
+        if ctx is not None and obs_trace.tracing_active():
+            os.environ[obs_trace.TRACEPARENT_ENV] = (
+                obs_trace.format_traceparent(ctx)
+            )
+            # mark the carrier as ours: only *child* processes read it
+            os.environ[obs_trace.TRACEPARENT_PID_ENV] = str(os.getpid())
+        try:
+            if total_missing == 0:
+                pass  # everything replayed from cache
+            elif use_batch:
+                _run_batched(
+                    specs, have, cache, stop_after_saturation, workers,
+                    threads, on_point,
+                )
+            elif workers <= 1:
+                _run_serial(
+                    specs, have, cache, stop_after_saturation, on_point
+                )
+            else:
+                _run_parallel(
+                    specs, have, cache, stop_after_saturation, workers,
+                    on_point,
+                )
+        finally:
+            if saved is None:
+                os.environ.pop(obs_trace.TRACEPARENT_ENV, None)
+            else:
+                os.environ[obs_trace.TRACEPARENT_ENV] = saved
+            if saved_pid is None:
+                os.environ.pop(obs_trace.TRACEPARENT_PID_ENV, None)
+            else:
+                os.environ[obs_trace.TRACEPARENT_PID_ENV] = saved_pid
 
-    sweeps = [
-        assemble_sweep(
-            spec.label or spec.describe(),
-            spec.rates,
-            have[si],
-            stop_after_saturation,
+        sweeps = [
+            assemble_sweep(
+                spec.label or spec.describe(),
+                spec.rates,
+                have[si],
+                stop_after_saturation,
+            )
+            for si, spec in enumerate(specs)
+        ]
+        logger.info(
+            "ran %d spec(s) (%d points missing of %d) with %d "
+            "worker(s) in %.2fs",
+            len(specs),
+            total_missing,
+            sum(len(s.rates) for s in specs),
+            workers,
+            time.perf_counter() - t0,
         )
-        for si, spec in enumerate(specs)
-    ]
-    logger.info(
-        "ran %d spec(s) (%d points missing of %d) with %d worker(s) "
-        "in %.2fs",
-        len(specs),
-        total_missing,
-        sum(len(s.rates) for s in specs),
-        workers,
-        time.perf_counter() - t0,
-    )
     return sweeps
 
 
@@ -417,13 +488,22 @@ def _run_serial(
                 break
             rate = spec.rates[ri]
             t0 = time.perf_counter()
-            res = _attempt_point(spec, rate)
+            with obs_trace.span(
+                "engine.point",
+                label=spec.label or spec.describe(),
+                rate=rate,
+            ):
+                res = _attempt_point(spec, rate)
+            elapsed = time.perf_counter() - t0
             logger.debug(
                 "%s rate=%.3f done in %.2fs",
-                spec.describe(), rate, time.perf_counter() - t0,
+                spec.describe(), rate, elapsed,
             )
+            _M_POINTS.inc(source="fresh")
+            _M_POINT_SECONDS.observe(elapsed)
             have[si][ri] = res
-            _store(cache, spec, rate, res)
+            with obs_trace.span("store.write", rate=rate):
+                _store(cache, spec, rate, res)
             if on_point is not None:
                 on_point(si, ri, rate, res, "fresh")
 
@@ -463,6 +543,7 @@ def _run_parallel(
 
     def record(si: int, ri: int, res: SimResult) -> None:
         have[si][ri] = res
+        _M_POINTS.inc(source="fresh")
         _store(cache, specs[si], specs[si].rates[ri], res)
         if on_point is not None:
             on_point(si, ri, specs[si].rates[ri], res, "fresh")
@@ -551,6 +632,7 @@ def _run_parallel(
                         submit(si, ri)
                 return
         except BrokenProcessPool:
+            _M_CRASHES.inc()
             lost = [
                 (si, ri)
                 for si, ri in inflight_now
@@ -596,17 +678,22 @@ def _sweep_batch(
     once per *sweep*, not once per chunk.  Returns only the newly
     simulated points.
     """
-    topo_key = (spec.topology, spec.topology_opts)
-    system = _lru_get(_systems, topo_key, lambda: build_system(spec))
-    routing_key = topo_key + (
-        spec.routing, spec.routing_opts, spec.faults
-    )
-    routing = _lru_get(
-        _routings, routing_key, lambda: build_routing(spec, system)
-    )
-    graph, routing, traffic = build_experiment(
-        spec, system=system, routing=routing
-    )
+    with obs_trace.span(
+        "route.resolve", label=spec.label or spec.describe()
+    ):
+        topo_key = (spec.topology, spec.topology_opts)
+        system = _lru_get(
+            _systems, topo_key, lambda: build_system(spec)
+        )
+        routing_key = topo_key + (
+            spec.routing, spec.routing_opts, spec.faults
+        )
+        routing = _lru_get(
+            _routings, routing_key, lambda: build_routing(spec, system)
+        )
+        graph, routing, traffic = build_experiment(
+            spec, system=system, routing=routing
+        )
     probes = build_metrics(spec)
     native = (
         os.environ.get(CORE_ENV) in (None, "", "native")
@@ -643,35 +730,51 @@ def _sweep_batch(
                     f"{spec.label or spec.describe()}@{lane_rate:g}"
                 )
         t0 = time.perf_counter()
+        _M_BATCH_LANES.observe(len(chunk))
         if native:
-            batch = NativeBatch(
-                graph,
-                routing,
-                traffic,
-                spec.params,
-                [seed for seed, _ in lanes],
-                probes=bool(probes),
-                route_donor=donor,
-            )
-            results = batch.run(
-                [rate for _, rate in lanes], threads=threads
-            )
+            with obs_trace.span(
+                "kernel.prepare",
+                lanes=len(chunk),
+                donor=donor is not None,
+            ):
+                batch = NativeBatch(
+                    graph,
+                    routing,
+                    traffic,
+                    spec.params,
+                    [seed for seed, _ in lanes],
+                    probes=bool(probes),
+                    route_donor=donor,
+                )
+            with obs_trace.span(
+                "kernel.run", lanes=len(chunk), threads=threads
+            ):
+                results = batch.run(
+                    [rate for _, rate in lanes], threads=threads
+                )
             donor = batch.route_donor or donor
             if probes:
-                for (_, rate), core, res in zip(
-                    lanes, batch.lanes, results
-                ):
-                    _attach_probe_channels(core, rate, probes, res)
+                with obs_trace.span("probe.decode", lanes=len(chunk)):
+                    for (_, rate), core, res in zip(
+                        lanes, batch.lanes, results
+                    ):
+                        _attach_probe_channels(core, rate, probes, res)
         else:
-            results = run_batch(
-                graph,
-                routing,
-                traffic,
-                spec.params,
-                lanes,
+            with obs_trace.span(
+                "kernel.run",
+                lanes=len(chunk),
                 threads=threads,
-                probes=probes or None,
-            )
+                core="python",
+            ):
+                results = run_batch(
+                    graph,
+                    routing,
+                    traffic,
+                    spec.params,
+                    lanes,
+                    threads=threads,
+                    probes=probes or None,
+                )
         logger.debug(
             "%s batched %d lane(s) in %.2fs",
             spec.describe(), len(chunk), time.perf_counter() - t0,
@@ -728,6 +831,8 @@ def _run_batched(
         solo = False  # after a crash, re-run suspects one at a time
 
         def record_sweep(si: int, new: Dict[int, SimResult]) -> None:
+            if new:
+                _M_POINTS.inc(len(new), source="fresh")
             for ri in sorted(new):
                 res = new[ri]
                 have[si][ri] = res
@@ -760,6 +865,7 @@ def _run_batched(
                         record_sweep(si, new)
                         todo.remove(si)
             except BrokenProcessPool:
+                _M_CRASHES.inc()
                 lost = [si for si in batch_now if si in todo]
                 if len(lost) == 1:
                     si = lost[0]
@@ -782,6 +888,7 @@ def _run_batched(
 
             def _chunk_point(ri, rate, res, si=si):
                 have[si][ri] = res
+                _M_POINTS.inc(source="fresh")
                 _store(cache, specs[si], rate, res)
                 if on_point is not None:
                     on_point(si, ri, rate, res, "fresh")

@@ -1,0 +1,64 @@
+"""Runtime observability: tracing, metrics and structured logging.
+
+``repro.obs`` is the telemetry plane of the *runtime* (service, engine
+executor, HTTP layer) — distinct from :mod:`repro.metrics`, which
+measures the *simulated network* (per-link flit load, misrouting, …).
+A :class:`~repro.metrics.Probe` answers "what did the wafer's traffic
+do?"; this package answers "where did this job spend its wall-clock
+and what is the fleet doing right now?".
+
+Four stdlib-only modules:
+
+* :mod:`repro.obs.trace` — ``trace_id``/``span_id`` context
+  (``contextvars``-propagated in-process, W3C-``traceparent``-style
+  over HTTP and ``REPRO_TRACEPARENT`` into engine worker processes)
+  with a ``span()`` context manager that no-ops when no sink is
+  installed;
+* :mod:`repro.obs.spanlog` — the span sink: bounded in-memory index
+  per trace plus an NDJSON file (``repro.span/v1``) under the service
+  ``--state-dir``;
+* :mod:`repro.obs.registry` — process-wide thread-safe metrics
+  registry (labelled counters / gauges / histograms) with Prometheus
+  text and JSON exporters in :mod:`repro.obs.export`;
+* :mod:`repro.obs.log` — structured NDJSON logging helpers that stamp
+  every record with the current trace context.
+"""
+
+from .export import parse_prometheus, render_waterfall, to_json, to_prometheus
+from .log import get_logger, setup_logging
+from .registry import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry
+from .spanlog import SPAN_SCHEMA, SpanLog
+from .trace import (
+    SpanContext,
+    current_context,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+    span,
+    tracing_active,
+    use_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "SPAN_SCHEMA",
+    "SpanContext",
+    "SpanLog",
+    "current_context",
+    "format_traceparent",
+    "get_logger",
+    "new_context",
+    "parse_prometheus",
+    "parse_traceparent",
+    "render_waterfall",
+    "setup_logging",
+    "span",
+    "to_json",
+    "to_prometheus",
+    "tracing_active",
+    "use_context",
+]

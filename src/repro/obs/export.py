@@ -1,0 +1,243 @@
+"""Exporters for the metrics registry and the span log.
+
+* :func:`to_prometheus` — Prometheus text exposition format 0.0.4
+  (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` /
+  ``_count`` histogram series), what ``GET /api/metrics`` serves by
+  default;
+* :func:`to_json` — the same snapshot as a JSON document
+  (``repro.metrics/v1``) for programmatic consumers;
+* :func:`parse_prometheus` — a small parser for the text format, used
+  by CI to assert parseability and counter monotonicity between two
+  scrapes without third-party clients;
+* :func:`render_waterfall` — ASCII span waterfall for the
+  ``repro-dragonfly trace <job-id>`` CLI verb.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+from .registry import REGISTRY, MetricsRegistry
+
+__all__ = [
+    "parse_prometheus",
+    "render_waterfall",
+    "to_json",
+    "to_prometheus",
+]
+
+METRICS_SCHEMA = "repro.metrics/v1"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry snapshot in Prometheus text exposition format."""
+    registry = registry if registry is not None else REGISTRY
+    lines: List[str] = []
+    for metric in registry.collect():
+        name = metric["name"]
+        if metric["help"]:
+            lines.append(f"# HELP {name} {_escape_help(metric['help'])}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for sample in metric["samples"]:
+            labels = sample["labels"]
+            if metric["type"] == "histogram":
+                for bucket in sample["buckets"]:
+                    le = (
+                        "+Inf"
+                        if bucket["le"] == "+Inf"
+                        else _format_value(float(bucket["le"]))
+                    )
+                    le_label = 'le="%s"' % le
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, le_label)}"
+                        f" {bucket['count']}"
+                    )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)}"
+                    f" {_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)}"
+                    f" {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry snapshot as a ``repro.metrics/v1`` JSON document."""
+    registry = registry if registry is not None else REGISTRY
+    return json.dumps(
+        {"schema": METRICS_SCHEMA, "metrics": registry.collect()},
+        sort_keys=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# text-format parsing (CI assertions)
+# ----------------------------------------------------------------------
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        key = text[i:eq].strip().lstrip(",").strip()
+        if text[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {text!r}")
+        j = eq + 2
+        out = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                nxt = text[j + 1]
+                out.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+                continue
+            if ch == '"':
+                break
+            out.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in {text!r}")
+        labels[key] = "".join(out)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse Prometheus text format into
+    ``{series_name: {sorted-label-json: value}}``.
+
+    Strict enough to catch malformed output (that is its job in CI):
+    raises ``ValueError`` on lines that are neither comments, blanks,
+    nor well-formed samples.  Histogram child series appear under
+    their literal names (``x_bucket``, ``x_sum``, ``x_count``).
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            labeltext, valuetext = rest.rsplit("}", 1)
+            labels = _parse_labels(labeltext)
+        else:
+            name, valuetext = line.split(None, 1)
+            labels = {}
+        name = name.strip()
+        if not name or not name.replace("_", "a").isalnum():
+            raise ValueError(f"bad metric name in line {raw!r}")
+        value = float(valuetext.split()[0])  # raises on malformed
+        key = json.dumps(labels, sort_keys=True)
+        out.setdefault(name, {})[key] = value
+    return out
+
+
+# ----------------------------------------------------------------------
+# span waterfall (trace CLI)
+# ----------------------------------------------------------------------
+def _fmt_ms(seconds: float) -> str:
+    if seconds >= 10:
+        return f"{seconds:8.2f}s"
+    return f"{seconds * 1000.0:7.1f}ms"
+
+
+def render_waterfall(spans: List[Dict], width: int = 48) -> str:
+    """ASCII waterfall for one trace's spans (``repro.span/v1`` dicts).
+
+    Rows are depth-indented by parentage, bars are positioned on a
+    shared time axis, and error spans are flagged.  Orphan spans
+    (parent evicted or from another process) render at depth 0.
+    """
+    if not spans:
+        return "(no spans)"
+    spans = sorted(
+        spans, key=lambda s: (s.get("start", 0.0), s.get("end", 0.0))
+    )
+    t0 = min(s.get("start", 0.0) for s in spans)
+    t1 = max(s.get("end", s.get("start", 0.0)) for s in spans)
+    total = max(t1 - t0, 1e-9)
+
+    by_id = {s.get("span_id"): s for s in spans}
+
+    def depth(s: Dict) -> int:
+        d = 0
+        seen = set()
+        cur = s
+        while True:
+            pid = cur.get("parent_id")
+            if not pid or pid in seen or pid not in by_id:
+                return d
+            seen.add(pid)
+            cur = by_id[pid]
+            d += 1
+
+    name_width = max(
+        len("  " * depth(s) + s.get("name", "?")) for s in spans
+    )
+    name_width = min(max(name_width, 12), 44)
+
+    header = (
+        f"trace {spans[0].get('trace_id', '?')}  "
+        f"({len(spans)} spans, {_fmt_ms(total).strip()} total)"
+    )
+    lines = [header]
+    for s in spans:
+        start = s.get("start", t0)
+        end = s.get("end", start)
+        lo = int((start - t0) / total * width)
+        hi = int((end - t0) / total * width)
+        lo = min(max(lo, 0), width - 1)
+        hi = min(max(hi, lo + 1), width)
+        bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+        label = "  " * depth(s) + s.get("name", "?")
+        flag = ""
+        if s.get("status") == "error":
+            flag = f"  !! {s.get('error', 'error')}"
+        if s.get("links"):
+            flag += f"  ~> links {','.join(s['links'])}"
+        lines.append(
+            f"{label:<{name_width}.{name_width}} "
+            f"|{bar}| {_fmt_ms(end - start)}{flag}"
+        )
+    return "\n".join(lines)

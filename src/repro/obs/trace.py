@@ -1,0 +1,380 @@
+"""Distributed trace context for the service + engine runtime.
+
+A *trace* follows one unit of work (a service job, a CLI run) across
+threads, processes and the HTTP socket; a *span* is one timed stage
+inside it (queue wait, kernel chunk, store write).  The design is a
+deliberately small subset of W3C Trace Context / OpenTelemetry:
+
+* :class:`SpanContext` — ``(trace_id, span_id)``, the only thing that
+  crosses boundaries.  In-process it rides a :mod:`contextvars`
+  variable (so it survives any call depth and is thread-local by
+  construction); over HTTP it is a ``traceparent`` header
+  (``00-<trace_id>-<span_id>-01``); into engine worker processes it is
+  the ``REPRO_TRACEPARENT`` environment variable, set by
+  ``run_experiments`` around pool creation so forked and spawned
+  workers alike inherit it.
+* :func:`span` — context manager creating a child span of the current
+  context, timing its body, recording exceptions, and emitting the
+  finished span to every installed sink.  With **no sink installed and
+  no ambient context**, it yields a shared no-op span and touches
+  neither the clock nor the contextvar — the disabled path costs one
+  list check.
+* Sinks — callables taking one span dict (see :data:`SPAN_KEYS`).  The
+  service installs a :class:`~repro.obs.spanlog.SpanLog`; worker
+  processes with no inherited sink lazily bootstrap a file-append sink
+  from ``REPRO_SPANLOG``.
+
+Span dicts are schema-tagged ``repro.span/v1``; see
+:mod:`repro.obs.spanlog` for the stored form.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "SPANLOG_ENV",
+    "TRACEPARENT_ENV",
+    "TRACEPARENT_PID_ENV",
+    "Span",
+    "SpanContext",
+    "add_sink",
+    "current_context",
+    "emit",
+    "format_traceparent",
+    "new_context",
+    "new_id",
+    "parse_traceparent",
+    "remove_sink",
+    "span",
+    "start_span",
+    "tracing_active",
+    "use_context",
+]
+
+#: environment carrier of the ambient span context (W3C traceparent
+#: value), read by engine worker processes.
+TRACEPARENT_ENV = "REPRO_TRACEPARENT"
+
+#: PID of the process that set :data:`TRACEPARENT_ENV`.  The carrier
+#: is for *child* processes only — in the process that exported it,
+#: unrelated threads (concurrent HTTP handlers, the watchdog) must not
+#: inherit the running execution's context from the environment.
+TRACEPARENT_PID_ENV = "REPRO_TRACEPARENT_PID"
+
+#: environment carrier of the span-log path, so worker processes
+#: without an inherited in-memory sink can still persist spans.
+SPANLOG_ENV = "REPRO_SPANLOG"
+
+
+def new_id(nbytes: int = 8) -> str:
+    """A random lowercase-hex id (8 bytes = span, 16 bytes = trace)."""
+    return os.urandom(nbytes).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated part of a span: which trace, which parent."""
+
+    trace_id: str
+    span_id: str
+
+
+def new_context() -> SpanContext:
+    return SpanContext(trace_id=new_id(16), span_id=new_id(8))
+
+
+def format_traceparent(ctx: SpanContext) -> str:
+    """W3C ``traceparent`` header value for ``ctx``."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-01"
+
+
+def parse_traceparent(value: Optional[str]) -> Optional[SpanContext]:
+    """Parse a ``traceparent`` value; ``None`` on anything malformed.
+
+    Tolerant on purpose: a bad header from a foreign client must never
+    fail the request, it just starts a fresh trace.
+    """
+    if not value:
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 4:
+        return None
+    _, trace_id, span_id = parts[0], parts[1], parts[2]
+    if len(trace_id) != 32 or len(span_id) != 16:
+        return None
+    try:
+        int(trace_id, 16), int(span_id, 16)
+    except ValueError:
+        return None
+    if int(trace_id, 16) == 0 or int(span_id, 16) == 0:
+        return None
+    return SpanContext(trace_id=trace_id, span_id=span_id)
+
+
+# ----------------------------------------------------------------------
+# ambient context + sinks
+# ----------------------------------------------------------------------
+_current: ContextVar[Optional[SpanContext]] = ContextVar(
+    "repro_obs_span", default=None
+)
+_sinks: List[Callable[[Dict], None]] = []
+_sink_lock = threading.Lock()
+# lazy env-bootstrapped file sink (worker processes): path -> file
+_env_sink_fh = None
+_env_sink_path: Optional[str] = None
+
+
+def add_sink(sink: Callable[[Dict], None]) -> None:
+    """Install a span sink (idempotent)."""
+    with _sink_lock:
+        if sink not in _sinks:
+            _sinks.append(sink)
+
+
+def remove_sink(sink: Callable[[Dict], None]) -> None:
+    with _sink_lock:
+        try:
+            _sinks.remove(sink)
+        except ValueError:
+            pass
+
+
+def tracing_active() -> bool:
+    """Whether emitted spans go anywhere (sink installed, or a span-log
+    path is advertised in the environment for this worker to append
+    to)."""
+    return bool(_sinks) or bool(os.environ.get(SPANLOG_ENV))
+
+
+def current_context() -> Optional[SpanContext]:
+    """The ambient span context: contextvar first, then the
+    ``REPRO_TRACEPARENT`` carrier (worker-process bootstrap).
+
+    The env carrier only applies in processes *other* than the one
+    that exported it, so sibling threads of an in-process engine run
+    don't misattribute their spans to the running execution.
+    """
+    ctx = _current.get()
+    if ctx is not None:
+        return ctx
+    if os.environ.get(TRACEPARENT_PID_ENV) == str(os.getpid()):
+        return None
+    return parse_traceparent(os.environ.get(TRACEPARENT_ENV))
+
+
+@contextmanager
+def use_context(ctx: Optional[SpanContext]):
+    """Make ``ctx`` the ambient context for the body's duration."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+def _env_sink(record: Dict) -> None:
+    """Append to the ``REPRO_SPANLOG`` file (one JSON line per span).
+
+    Used by engine worker processes that were spawned (not forked) and
+    therefore did not inherit the service's in-memory sink.  The
+    handle is cached per path; line appends on an ``O_APPEND`` stream
+    are effectively atomic at these sizes, so concurrent workers can
+    share the file.
+    """
+    global _env_sink_fh, _env_sink_path
+    import json
+
+    path = os.environ.get(SPANLOG_ENV)
+    if not path:
+        return
+    try:
+        if _env_sink_fh is None or _env_sink_path != path:
+            if _env_sink_fh is not None:
+                try:
+                    _env_sink_fh.close()
+                except OSError:
+                    pass
+            _env_sink_fh = open(path, "a")
+            _env_sink_path = path
+        _env_sink_fh.write(json.dumps(record) + "\n")
+        _env_sink_fh.flush()
+    except OSError:
+        pass
+
+
+def emit(record: Dict) -> None:
+    """Deliver one finished span to the installed sinks.
+
+    Sinks must never raise into instrumented code paths; a failing
+    sink is dropped for the record (not uninstalled — a transient
+    disk-full should not silently disable tracing forever).
+    """
+    sinks = list(_sinks)
+    if not sinks:
+        if os.environ.get(SPANLOG_ENV):
+            _env_sink(record)
+        return
+    for sink in sinks:
+        try:
+            sink(record)
+        except Exception:  # noqa: BLE001 — telemetry must not break work
+            pass
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class Span:
+    """One timed stage of a trace.
+
+    Usually managed by :func:`span`; the service also drives a few
+    spans manually across threads (queue wait starts in the HTTP
+    handler and ends in the executor), which is what the explicit
+    :meth:`end` is for.  ``links`` name other span ids this span
+    continues (a resumed execution links its pre-crash incarnation).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start",
+        "attrs",
+        "links",
+        "status",
+        "error",
+        "_ended",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        context: Optional[SpanContext] = None,
+        parent: Optional[SpanContext] = None,
+        links: Optional[List[str]] = None,
+        **attrs,
+    ) -> None:
+        parent = parent if parent is not None else current_context()
+        self.name = name
+        if context is not None:
+            self.trace_id = context.trace_id
+            self.span_id = context.span_id
+        else:
+            self.trace_id = parent.trace_id if parent else new_id(16)
+            self.span_id = new_id(8)
+        self.parent_id = parent.span_id if parent else None
+        self.start = time.time()
+        self.attrs = dict(attrs)
+        self.links = list(links or ())
+        self.status = "ok"
+        self.error = None
+        self._ended = False
+
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def add_link(self, span_id: Optional[str]) -> "Span":
+        if span_id:
+            self.links.append(span_id)
+        return self
+
+    def end(
+        self, status: Optional[str] = None, error: Optional[str] = None
+    ) -> None:
+        """Close the span and emit it; idempotent (crash-retry paths
+        may race a watchdog onto the same span)."""
+        if self._ended:
+            return
+        self._ended = True
+        if status is not None:
+            self.status = status
+        if error is not None:
+            self.error = error
+            if status is None:
+                self.status = "error"
+        record = {
+            "schema": "repro.span/v1",
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": round(self.start, 6),
+            "end": round(time.time(), 6),
+            "status": self.status,
+        }
+        if self.error:
+            record["error"] = self.error
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.links:
+            record["links"] = self.links
+        emit(record)
+
+
+class _NoopSpan:
+    """Shared do-nothing span for the tracing-disabled fast path."""
+
+    __slots__ = ()
+    trace_id = ""
+    span_id = ""
+    context = None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def add_link(self, span_id) -> "_NoopSpan":
+        return self
+
+    def end(self, status=None, error=None) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def start_span(
+    name: str, *, parent: Optional[SpanContext] = None, **attrs
+):
+    """A live span (or the no-op when tracing is off) to end manually."""
+    if not tracing_active() and _current.get() is None:
+        return NOOP_SPAN
+    return Span(name, parent=parent, **attrs)
+
+
+@contextmanager
+def span(name: str, *, parent: Optional[SpanContext] = None, **attrs):
+    """Time the body as a child span of the ambient (or given) context.
+
+    The new span becomes the ambient context inside the body, so
+    nested ``span()`` calls build the tree without any plumbing.  An
+    exception marks the span ``error`` (with the exception repr) and
+    propagates — spans always close, which is what keeps traces
+    complete across the service's crash-retry-resume paths.
+    """
+    if not tracing_active() and _current.get() is None and parent is None:
+        yield NOOP_SPAN
+        return
+    sp = Span(name, parent=parent, **attrs)
+    token = _current.set(sp.context)
+    try:
+        yield sp
+    except BaseException as exc:
+        sp.end(status="error", error=f"{type(exc).__name__}: {exc}")
+        raise
+    finally:
+        _current.reset(token)
+        sp.end()

@@ -133,12 +133,33 @@ def _once(path: str) -> bool:
     return True
 
 
+def _record_fire(site: str, label: str, n: int) -> None:
+    """Emit a zero-duration span marking an injected fault, so a
+    chaos-CI failure is correlatable with the trace that absorbed it.
+
+    Lazily imported (this module stays a leaf when chaos is disarmed)
+    and emitted *before* the caller acts on the fire — a ``kill-server``
+    span must hit the log before the SIGKILL does.  Best-effort: chaos
+    must keep working even if telemetry is broken.
+    """
+    try:
+        from ..obs import trace
+
+        if not trace.tracing_active() and trace.current_context() is None:
+            return
+        sp = trace.Span(f"chaos.{site}", label=label, check=n)
+        sp.end(status="error", error=f"injected fault at site {site!r}")
+    except Exception:  # noqa: BLE001 — never let telemetry mask a fault
+        pass
+
+
 def should_fire(site: str, label: str = "") -> bool:
     """Check (and count) one occurrence of a chaos site.
 
     ``label`` is the check's context (e.g. a spec's curve label); a
     directive carrying ``match=`` only fires when the label contains
-    the substring.
+    the substring.  A firing check is also recorded as a ``chaos.*``
+    span when tracing is active.
     """
     cfg = active(site)
     if cfg is None:
@@ -149,16 +170,20 @@ def should_fire(site: str, label: str = "") -> bool:
     _counters[site] = _counters.get(site, 0) + 1
     n = _counters[site]
     if "once" in cfg:
-        return _once(cfg["once"])
-    if "after" in cfg:
-        return n == int(cfg["after"])
-    if "every" in cfg:
-        return n % max(1, int(cfg["every"])) == 0
-    if "times" in cfg:
-        return n <= int(cfg["times"])
-    if "rate" in cfg:
-        return random.random() < float(cfg["rate"])
-    return True
+        fired = _once(cfg["once"])
+    elif "after" in cfg:
+        fired = n == int(cfg["after"])
+    elif "every" in cfg:
+        fired = n % max(1, int(cfg["every"])) == 0
+    elif "times" in cfg:
+        fired = n <= int(cfg["times"])
+    elif "rate" in cfg:
+        fired = random.random() < float(cfg["rate"])
+    else:
+        fired = True
+    if fired:
+        _record_fire(site, label, n)
+    return fired
 
 
 # ----------------------------------------------------------------------

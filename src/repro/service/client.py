@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import http.client
 import json
-import logging
 import os
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
@@ -31,6 +30,8 @@ from urllib.parse import urlparse
 
 from ..api import Study, StudyResult
 from ..metrics import MetricChannel
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from .protocol import JobRequest
 
 __all__ = [
@@ -48,7 +49,7 @@ DEFAULT_SERVER_ENV = "REPRO_SERVICE_URL"
 #: connection.
 TERMINAL_EVENTS = ("done", "error", "failed", "cancelled", "detached")
 
-logger = logging.getLogger("repro.service")
+logger = get_logger("repro.service")
 
 
 class ServiceError(RuntimeError):
@@ -122,6 +123,7 @@ class ServiceClient:
         payload: Optional[Dict] = None,
         *,
         idempotent: Optional[bool] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         """One JSON call, with transport-level retry when idempotent.
 
@@ -130,10 +132,13 @@ class ServiceClient:
         """
         if idempotent is None:
             idempotent = method == "GET"
+        # extra headers ride as a keyword-only tail so the bare
+        # 3-argument call shape (method, path, payload) stays stable
+        extra = {"extra_headers": headers} if headers else {}
         attempt = 0
         while True:
             try:
-                return self._request_once(method, path, payload)
+                return self._request_once(method, path, payload, **extra)
             except ServiceError as exc:
                 attempt += 1
                 if exc.code or not idempotent or attempt > self.retries:
@@ -145,12 +150,16 @@ class ServiceClient:
                 time.sleep(delay)
 
     def _request_once(
-        self, method: str, path: str, payload: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         conn = self._connect()
         try:
             body = None
-            headers = {}
+            headers = dict(extra_headers or {})
             if payload is not None:
                 body = json.dumps(payload)
                 headers["Content-Type"] = "application/json"
@@ -186,8 +195,21 @@ class ServiceClient:
 
     def submit(self, request: JobRequest) -> Dict:
         """Submit a prepared request; returns the job status (with an
-        ``attached`` flag when it deduped onto an in-flight run)."""
-        return self._request("POST", "/api/jobs", request.to_data())
+        ``attached`` flag when it deduped onto an in-flight run).
+
+        The call carries a W3C-style ``traceparent`` header — the
+        ambient trace context if the caller opened one, else a fresh
+        root — so the server-side execution trace is rooted in this
+        client and ``trace_id`` in the returned status is greppable in
+        the caller's own telemetry.
+        """
+        ctx = obs_trace.current_context() or obs_trace.new_context()
+        return self._request(
+            "POST",
+            "/api/jobs",
+            request.to_data(),
+            headers={"traceparent": obs_trace.format_traceparent(ctx)},
+        )
 
     def submit_study(
         self,
@@ -227,6 +249,41 @@ class ServiceClient:
         return StudyResult.from_dict(
             self._request("GET", f"/api/jobs/{job_id}/result")
         )
+
+    def trace(self, job_id: str) -> Dict:
+        """The job's span tree (``repro.trace/v1``): trace id plus the
+        spans recorded so far, ready for a waterfall render."""
+        return self._request("GET", f"/api/jobs/{job_id}/trace")
+
+    def metrics(self, fmt: str = "json") -> Union[Dict, str]:
+        """The live ``/api/metrics`` surface.
+
+        ``fmt="json"`` returns the decoded ``repro.metrics/v1`` payload;
+        ``fmt="prometheus"`` returns the raw text exposition.
+        """
+        if fmt == "json":
+            return self._request("GET", "/api/metrics?format=json")
+        if fmt != "prometheus":
+            raise ValueError(
+                f"fmt must be 'json' or 'prometheus', got {fmt!r}"
+            )
+        conn = self._connect()
+        try:
+            try:
+                conn.request("GET", "/api/metrics")
+                resp = conn.getresponse()
+                text = resp.read().decode()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServiceError(
+                    f"cannot reach service at {self.address}: {exc}"
+                ) from None
+            if resp.status >= 400:
+                raise ServiceError(
+                    f"HTTP {resp.status} from /api/metrics", resp.status
+                )
+            return text
+        finally:
+            conn.close()
 
     def shutdown(self) -> Dict:
         return self._request("POST", "/api/shutdown")

@@ -26,6 +26,8 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..api import Study, StudyResult
 from ..network.stats import SimResult
+from ..obs import REGISTRY
+from ..obs import trace as obs_trace
 from .protocol import JOB_EVENT_SCHEMA, JOB_STATUS_SCHEMA, JobRequest
 
 __all__ = [
@@ -47,6 +49,28 @@ TERMINAL_STATES = ("done", "error", "failed", "cancelled")
 #: instead of riding inline in the ``point`` event (see
 #: :meth:`~repro.metrics.MetricChannel.to_frames`).
 FRAME_ROWS = 256
+
+# runtime telemetry (see repro.obs).  Counters are process-global and
+# monotonic, so multiple service instances in one process (tests) can
+# share them safely; point-in-time gauges are refreshed by the server
+# at scrape time from its own scheduler instead.
+_M_SUBMITTED = REGISTRY.counter(
+    "service_jobs_submitted_total",
+    "Jobs accepted by the scheduler (attached=true rode an existing "
+    "execution instead of enqueueing new work)",
+    ("attached",),
+)
+_M_RETRIES = REGISTRY.counter(
+    "service_retries_total", "Supervised execution retries"
+)
+_M_QUARANTINES = REGISTRY.counter(
+    "service_quarantines_total",
+    "Executions parked as failed after exhausting their retry budget",
+)
+_M_QUEUE_WAIT = REGISTRY.histogram(
+    "service_queue_wait_seconds",
+    "Time executions spent queued before their first running attempt",
+)
 
 
 class JobCancelled(Exception):
@@ -123,8 +147,58 @@ class Execution:
         #: optional ``fn(execution, state)`` called on each state
         #: transition — the journal's write-ahead hook.
         self.on_transition: Optional[Callable] = None
+        #: trace identity (``repro.obs``): the id every span of this
+        #: execution shares, and the open root span ended at the
+        #: terminal transition.  ``None`` while tracing is disabled.
+        self.trace_id: Optional[str] = None
+        self.trace: Optional[obs_trace.SpanContext] = None
+        self.root_span = obs_trace.NOOP_SPAN
+        self._queue_span = obs_trace.NOOP_SPAN
+        self._queued_at = time.time()
         self._events: List[Dict] = []
         self._cond = threading.Condition()
+
+    # -- tracing -------------------------------------------------------
+    def begin_trace(
+        self,
+        parent: Optional[obs_trace.SpanContext] = None,
+        link: Optional[str] = None,
+        resumed: bool = False,
+    ) -> None:
+        """Open this execution's root span (and the queue-wait span).
+
+        ``parent`` is the submitting client's context (the root then
+        joins the client's trace) or, on journal replay, the pre-crash
+        root — which keeps the original ``trace_id``.  ``link`` names
+        the pre-crash root span id so resumed work is explicitly tied
+        to the incarnation it continues.  No-op while tracing is off.
+        """
+        name = "execution.resume" if resumed else "execution"
+        self.root_span = obs_trace.start_span(
+            name,
+            parent=parent,
+            key=self.key[:16],
+            study=self.study.name,
+            points_total=self.points_total,
+        )
+        self.root_span.add_link(link)
+        ctx = self.root_span.context
+        if ctx is not None:
+            self.trace = ctx
+            self.trace_id = ctx.trace_id
+        self._queue_span = obs_trace.start_span(
+            "queue.wait", parent=self.trace
+        )
+        self._queued_at = time.time()
+
+    def _end_trace(
+        self, status: str, error: Optional[str] = None
+    ) -> None:
+        self._queue_span.end()  # idempotent; cancelled-while-queued path
+        self.root_span.set(points_done=self.points_done)
+        self.root_span.end(
+            status="ok" if status == "done" else status, error=error
+        )
 
     # -- event emission (executor side) --------------------------------
     def _emit(self, event: Dict) -> None:
@@ -150,8 +224,12 @@ class Execution:
         with self._cond:
             if self.state in TERMINAL_STATES:
                 return
+            first = self.state == "queued"
             self.state = "running"
         self.beat()
+        if first:
+            self._queue_span.end()
+            _M_QUEUE_WAIT.observe(time.time() - self._queued_at)
         self._notify("running")
         self._emit(
             {
@@ -228,6 +306,7 @@ class Execution:
                 return
             self.state = "done"
             self.result = result
+        self._end_trace("done")
         self._notify("done")
         self._emit(
             {
@@ -245,6 +324,7 @@ class Execution:
                 return
             self.state = "error"
             self.error = error
+        self._end_trace("error", error)
         self._notify("error")
         self._emit({"event": "error", "error": error})
 
@@ -254,6 +334,7 @@ class Execution:
         """One failed attempt that will be retried after ``delay``."""
         self.attempts = attempt
         self.beat()
+        _M_RETRIES.inc()
         self._emit(
             {
                 "event": "retry",
@@ -280,6 +361,8 @@ class Execution:
             self.error = error
             self.traceback = traceback_text
             self.attempts = attempts
+        _M_QUARANTINES.inc()
+        self._end_trace("failed", error)
         self._notify("failed")
         self._emit(
             {
@@ -296,6 +379,7 @@ class Execution:
             if self.state in TERMINAL_STATES:
                 return
             self.state = "cancelled"
+        self._end_trace("cancelled")
         self._notify("cancelled")
         self._emit({"event": "cancelled", "points_done": self.points_done})
 
@@ -332,6 +416,7 @@ class Execution:
         state: str,
         events: List[Dict],
         error: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> "Execution":
         """Rebuild a finished execution from its journaled state and
         on-disk event log, so status / events / result endpoints keep
@@ -342,6 +427,7 @@ class Execution:
         execution.state = state
         execution._events = list(events)
         execution.error = error
+        execution.trace_id = trace_id
         for event in events:
             kind = event.get("event")
             if kind == "point":
@@ -413,6 +499,8 @@ class Job:
             out["attempts"] = exe.attempts
         if exe.resumed:
             out["resumed"] = True
+        if exe.trace_id:
+            out["trace_id"] = exe.trace_id
         return out
 
 
@@ -446,12 +534,19 @@ class Scheduler:
             if job.client == client and not job.terminal
         )
 
-    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        request: JobRequest,
+        trace: Optional[obs_trace.SpanContext] = None,
+    ) -> Tuple[Job, bool]:
         """Queue (or attach to) the request's execution.
 
         Returns ``(job, attached)`` — ``attached`` is true when an
         identical execution was already queued or running and this job
-        subscribed to it instead of enqueueing new work.  Raises
+        subscribed to it instead of enqueueing new work.  ``trace`` is
+        the submitting client's span context (from the ``traceparent``
+        header); a *new* execution joins that trace, an attached job
+        keeps the execution's existing one.  Raises
         :class:`BusyError` at the client's in-flight cap and
         ``ValueError`` on an invalid study payload.
         """
@@ -473,6 +568,7 @@ class Scheduler:
             attached = execution is not None
             if execution is None:
                 execution = Execution(key, request, study)
+                execution.begin_trace(parent=trace)
                 if self.execution_hook is not None:
                     self.execution_hook(execution)
                 self._executions[key] = execution
@@ -483,6 +579,7 @@ class Scheduler:
             job = Job(f"j{next(self._job_seq):06d}", request, execution)
             execution.jobs.append(job)
             self._jobs[job.id] = job
+            _M_SUBMITTED.inc(attached=str(attached).lower())
             self._lock.notify_all()
             return job, attached
 

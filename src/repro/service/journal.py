@@ -30,12 +30,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import logging
 import os
 import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs.log import get_logger
 from . import chaos
 from .protocol import JobRequest
 
@@ -50,7 +50,7 @@ __all__ = [
 
 JOB_JOURNAL_SCHEMA = "repro.job-journal/v1"
 
-logger = logging.getLogger("repro.service")
+logger = get_logger("repro.service")
 
 
 def read_ndjson_tolerant(
@@ -148,6 +148,11 @@ class JournalJob:
     key: str
     request: JobRequest
     cancelled: bool = False
+    #: trace identity of the execution's pre-crash incarnation — the
+    #: shared ``trace_id`` a resumed run must keep, and the root
+    #: ``span_id`` its resume span links back to.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
 
 
 @dataclasses.dataclass
@@ -192,17 +197,24 @@ class JobJournal:
                 logger.exception("journal append failed (%s)", self.path)
 
     def record_job(
-        self, job_id: str, key: str, request: JobRequest
+        self,
+        job_id: str,
+        key: str,
+        request: JobRequest,
+        trace_id: Optional[str] = None,
+        span_id: Optional[str] = None,
     ) -> None:
-        self._append(
-            {
-                "rec": "job",
-                "id": job_id,
-                "key": key,
-                "request": request.to_data(),
-            },
-            sync=True,
-        )
+        record: Dict = {
+            "rec": "job",
+            "id": job_id,
+            "key": key,
+            "request": request.to_data(),
+        }
+        if trace_id:
+            record["trace_id"] = trace_id
+        if span_id:
+            record["span_id"] = span_id
+        self._append(record, sync=True)
 
     def record_state(
         self, key: str, state: str, error: Optional[str] = None
@@ -236,7 +248,11 @@ class JobJournal:
                     )
                     continue
                 view.jobs[record["id"]] = JournalJob(
-                    id=record["id"], key=record["key"], request=request
+                    id=record["id"],
+                    key=record["key"],
+                    request=request,
+                    trace_id=record.get("trace_id"),
+                    span_id=record.get("span_id"),
                 )
             elif kind == "state":
                 view.states[record["key"]] = record["state"]
@@ -256,18 +272,18 @@ class JobJournal:
         with self._lock:
             with open(tmp, "w") as fh:
                 for job in view.jobs.values():
-                    fh.write(
-                        json.dumps(
-                            {
-                                "schema": JOB_JOURNAL_SCHEMA,
-                                "rec": "job",
-                                "id": job.id,
-                                "key": job.key,
-                                "request": job.request.to_data(),
-                            }
-                        )
-                        + "\n"
-                    )
+                    record = {
+                        "schema": JOB_JOURNAL_SCHEMA,
+                        "rec": "job",
+                        "id": job.id,
+                        "key": job.key,
+                        "request": job.request.to_data(),
+                    }
+                    if job.trace_id:
+                        record["trace_id"] = job.trace_id
+                    if job.span_id:
+                        record["span_id"] = job.span_id
+                    fh.write(json.dumps(record) + "\n")
                     if job.cancelled:
                         fh.write(
                             json.dumps(

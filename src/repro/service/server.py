@@ -34,7 +34,6 @@ default and trusts its tenants, like a local build daemon.
 from __future__ import annotations
 
 import json
-import logging
 import threading
 import time
 import traceback
@@ -44,6 +43,9 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from .. import __version__
 from ..engine.spec import ENGINE_VERSION
+from ..obs import REGISTRY, SpanLog, to_json, to_prometheus
+from ..obs import trace as obs_trace
+from ..obs.log import get_logger
 from . import chaos
 from .jobs import (
     TERMINAL_STATES,
@@ -55,15 +57,35 @@ from .jobs import (
     Scheduler,
 )
 from .journal import EventLog, JobJournal, JournalView
-from .protocol import JobRequest
+from .protocol import JOB_STATES, JobRequest
 from .store import ResultStore
 
 __all__ = ["SimulationService", "create_server", "serve"]
 
-logger = logging.getLogger("repro.service")
+logger = get_logger("repro.service")
 
 #: default TCP port of ``repro-dragonfly serve`` (0 picks a free one).
 DEFAULT_PORT = 8642
+
+# runtime telemetry (repro.obs).  HTTP series are labelled by route
+# *template* (``/api/jobs/<id>``), never the raw path — ids are
+# unbounded and would explode the label cardinality.
+_M_HTTP_REQUESTS = REGISTRY.counter(
+    "http_requests_total",
+    "HTTP requests served",
+    ("method", "route", "code"),
+)
+_M_HTTP_SECONDS = REGISTRY.histogram(
+    "http_request_seconds",
+    "HTTP request latency (excludes event-stream tail time)",
+    ("method", "route"),
+)
+_M_QUEUE_DEPTH = REGISTRY.gauge(
+    "service_queue_depth", "Executions waiting in the scheduler queue"
+)
+_M_JOBS_BY_STATE = REGISTRY.gauge(
+    "service_jobs", "Jobs known to this service, by state", ("state",)
+)
 
 
 class SimulationService:
@@ -79,6 +101,7 @@ class SimulationService:
         retry: Optional[RetryPolicy] = None,
         hang_timeout: Optional[float] = None,
         start_executor: bool = True,
+        telemetry: bool = True,
     ) -> None:
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
@@ -90,6 +113,19 @@ class SimulationService:
         self.hang_timeout = hang_timeout
         self.state_dir = Path(state_dir) if state_dir else None
         self.journal: Optional[JobJournal] = None
+        #: runtime telemetry plane (tracing + HTTP metrics).  When on,
+        #: a span sink is installed — persistent under
+        #: ``<state-dir>/spans.ndjson``, in-memory otherwise — and the
+        #: HTTP layer records request metrics.  When off, span emission
+        #: takes its no-op fast path and requests skip observation
+        #: (the benchmark's overhead baseline).
+        self.telemetry = telemetry
+        self.spanlog: Optional[SpanLog] = None
+        if telemetry:
+            span_path = (
+                self.state_dir / "spans.ndjson" if self.state_dir else None
+            )
+            self.spanlog = SpanLog(span_path).install()
         # startup hygiene: adopt locks orphaned by dead processes, but
         # never steal a live sibling server's in-flight computation
         reaped = self.store.single_flight.clear()
@@ -164,9 +200,26 @@ class SimulationService:
             live = state not in TERMINAL_STATES and any(
                 not j.cancelled for j in jobs
             )
+            # the pre-crash trace identity, as journaled at submission
+            prior = next(
+                (j for j in jobs if j.trace_id and j.span_id), None
+            )
             if live:
                 execution = Execution(key, jobs[0].request, study)
                 execution.resumed = True
+                # resume *inside* the original trace: the new root
+                # span keeps the journaled trace_id (its parent is the
+                # pre-crash root) and links the incarnation it
+                # continues, so one waterfall shows both lives
+                execution.begin_trace(
+                    parent=(
+                        obs_trace.SpanContext(prior.trace_id, prior.span_id)
+                        if prior
+                        else None
+                    ),
+                    link=prior.span_id if prior else None,
+                    resumed=True,
+                )
                 self.resumed_executions += 1
             else:
                 if state not in TERMINAL_STATES:
@@ -182,6 +235,7 @@ class SimulationService:
                     state,
                     events,
                     error=view.errors.get(key),
+                    trace_id=prior.trace_id if prior else None,
                 )
             executions[key] = execution
             for job in jobs:
@@ -202,23 +256,44 @@ class SimulationService:
         )
 
     # -- client surface ------------------------------------------------
-    def submit(self, request: JobRequest) -> Tuple[Job, bool]:
+    def submit(
+        self,
+        request: JobRequest,
+        traceparent: Optional[str] = None,
+    ) -> Tuple[Job, bool]:
         """Queue or attach (see :meth:`Scheduler.submit`).
 
-        With a ``state_dir``, the accepted job is journaled (fsynced)
-        before this returns — an acknowledged submission survives any
-        crash from here on.
+        ``traceparent`` is the submitting client's W3C-style trace
+        header; a new execution joins that trace (transport metadata
+        only — it never feeds the execution key).  With a
+        ``state_dir``, the accepted job is journaled (fsynced) before
+        this returns — an acknowledged submission survives any crash
+        from here on.
         """
-        job, attached = self.scheduler.submit(request)
+        job, attached = self.scheduler.submit(
+            request, trace=obs_trace.parse_traceparent(traceparent)
+        )
+        execution = job.execution
         if self.journal is not None:
-            self.journal.record_job(job.id, job.execution.key, request)
+            self.journal.record_job(
+                job.id,
+                execution.key,
+                request,
+                trace_id=execution.trace_id,
+                span_id=(
+                    execution.trace.span_id if execution.trace else None
+                ),
+            )
         logger.info(
             "job %s %s execution %s (client=%r priority=%d)",
             job.id,
             "attached to" if attached else "queued as",
-            job.execution.key[:12],
+            execution.key[:12],
             job.client,
             job.priority,
+            job=job.id,
+            trace_id=execution.trace_id,
+            state=job.state,
         )
         return job, attached
 
@@ -292,6 +367,8 @@ class SimulationService:
             self._executor.join(timeout=timeout)
         if self.journal is not None:
             self.journal.close()
+        if self.spanlog is not None:
+            self.spanlog.close()
 
     # -- executor ------------------------------------------------------
     def _run_loop(self) -> None:
@@ -359,6 +436,8 @@ class SimulationService:
             execution.study.name,
             execution.points_total,
             " (resumed)" if execution.resumed else "",
+            trace_id=execution.trace_id,
+            state="running",
         )
 
         def on_point(scenario, label, rate, result, source):
@@ -379,10 +458,25 @@ class SimulationService:
                 execution.attempts = attempt
                 execution.beat()
                 cache = self.store.single_flight_cache()
+                # one span per supervised attempt, parented to the
+                # execution's root; the engine's spans nest under it
+                # via the ambient context (study.run executes on this
+                # thread).  Ended explicitly per outcome below, so a
+                # crash-retry closes its span before backing off.
+                attempt_span = obs_trace.start_span(
+                    "execution.attempt",
+                    parent=execution.trace,
+                    attempt=attempt,
+                )
+                ambient = attempt_span.context or execution.trace
                 try:
-                    result = execution.study.run(
-                        workers=workers, cache=cache, on_point=on_point
-                    )
+                    with obs_trace.use_context(ambient):
+                        result = execution.study.run(
+                            workers=workers,
+                            cache=cache,
+                            on_point=on_point,
+                        )
+                    attempt_span.end()
                     execution.finish(
                         result, self.store.stats_channel().to_dict()
                     )
@@ -393,28 +487,35 @@ class SimulationService:
                         execution.points_done,
                         execution.cache_hits,
                         f" (attempt {attempt})" if attempt > 1 else "",
+                        trace_id=execution.trace_id,
+                        state="done",
                     )
                     return
                 except JobCancelled:
+                    attempt_span.end(status="cancelled")
                     execution.mark_cancelled()
                     logger.info(
                         "execution %s cancelled after %d point(s)",
                         execution.key[:12],
                         execution.points_done,
+                        trace_id=execution.trace_id,
+                        state="cancelled",
                     )
                     return
                 except Exception as exc:
                     error = f"{type(exc).__name__}: {exc}"
+                    attempt_span.end(status="error", error=error)
                     tb = traceback.format_exc()
                     if attempt >= self.retry.max_attempts:
                         execution.quarantine(error, tb, attempt)
-                        logger.error(
+                        logger.exception(
                             "execution %s quarantined after %d "
-                            "attempt(s): %s\n%s",
+                            "attempt(s): %s",
                             execution.key[:12],
                             attempt,
                             error,
-                            tb,
+                            trace_id=execution.trace_id,
+                            state="failed",
                         )
                         return
                     delay = self.retry.delay(attempt)
@@ -429,6 +530,8 @@ class SimulationService:
                         self.retry.max_attempts,
                         error,
                         delay,
+                        trace_id=execution.trace_id,
+                        state="retrying",
                     )
                     # interruptible backoff: completed points replay
                     # from the store, so the retry only recomputes
@@ -465,10 +568,22 @@ class _Handler(BaseHTTPRequestHandler):
         logger.debug("%s %s", self.address_string(), fmt % args)
 
     # -- plumbing ------------------------------------------------------
+    def send_response(self, code, message=None):  # capture for metrics
+        self._status_code = code
+        super().send_response(code, message)
+
     def _send_json(self, payload: Dict, code: int = 200) -> None:
         body = (json.dumps(payload) + "\n").encode()
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, text: str, content_type: str) -> None:
+        body = text.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -493,9 +608,66 @@ class _Handler(BaseHTTPRequestHandler):
                 return int(v)
         return default
 
+    def _query_param(self, name: str) -> Optional[str]:
+        for pair in (self._query or "").split("&"):
+            k, _, v = pair.partition("=")
+            if k == name and v:
+                return v
+        return None
+
+    @staticmethod
+    def _route_template(parts: List[str]) -> str:
+        """The request's route with ids templated out — metric labels
+        must stay bounded however many jobs pass through."""
+        if len(parts) >= 3 and parts[:2] == ["api", "jobs"]:
+            if len(parts) == 3:
+                return "/api/jobs/<id>"
+            return "/api/jobs/<id>/" + "/".join(parts[3:])
+        return "/" + "/".join(parts) if parts else "/"
+
+    def _observed(self, method: str, handler) -> None:
+        """Time + trace one request (the telemetry middleware).
+
+        The span parents to the client's ``traceparent`` header when
+        present; the latency histogram skips the event-stream route,
+        whose duration is dominated by how long the *job* runs, not
+        the HTTP layer.  With telemetry off the request runs bare.
+        """
+        parts = self._path_parts()
+        self._status_code = 0
+        if not self.service.telemetry:
+            handler(parts)
+            return
+        route = self._route_template(parts)
+        parent = obs_trace.parse_traceparent(
+            self.headers.get("traceparent")
+        )
+        t0 = time.perf_counter()
+        try:
+            with obs_trace.span(
+                f"http.{method.lower()}", parent=parent, route=route
+            ) as sp:
+                handler(parts)
+                sp.set(code=self._status_code or 200)
+        finally:
+            _M_HTTP_REQUESTS.inc(
+                method=method,
+                route=route,
+                code=str(self._status_code or 200),
+            )
+            if parts[-1:] != ["events"]:
+                _M_HTTP_SECONDS.observe(
+                    time.perf_counter() - t0, method=method, route=route
+                )
+
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        parts = self._path_parts()
+        self._observed("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._observed("POST", self._handle_post)
+
+    def _handle_get(self, parts: List[str]) -> None:
         try:
             if parts == ["api", "health"]:
                 self._send_json(
@@ -507,6 +679,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif parts == ["api", "stats"]:
                 self._send_json(self.service.stats())
+            elif parts == ["api", "metrics"]:
+                self._metrics()
             elif parts == ["api", "jobs"]:
                 self._send_json(
                     {
@@ -522,6 +696,8 @@ class _Handler(BaseHTTPRequestHandler):
                     self._stream_events(parts[2])
                 elif parts[3] == "result":
                     self._job_result(parts[2])
+                elif parts[3] == "trace":
+                    self._job_trace(parts[2])
                 else:
                     self._error(f"unknown endpoint {self.path!r}", 404)
             else:
@@ -531,12 +707,14 @@ class _Handler(BaseHTTPRequestHandler):
         except BrokenPipeError:
             pass  # client hung up mid-stream
 
-    def do_POST(self) -> None:  # noqa: N802
-        parts = self._path_parts()
+    def _handle_post(self, parts: List[str]) -> None:
         try:
             if parts == ["api", "jobs"]:
                 request = JobRequest.from_data(self._read_body())
-                job, attached = self.service.submit(request)
+                job, attached = self.service.submit(
+                    request,
+                    traceparent=self.headers.get("traceparent"),
+                )
                 status = job.status(
                     queued_ahead=self.service.scheduler.queued_ahead(job)
                 )
@@ -614,6 +792,50 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(execution.result.to_dict())
 
+    def _metrics(self) -> None:
+        """``GET /api/metrics``: the registry snapshot — Prometheus
+        text by default, JSON with ``?format=json``.  Point-in-time
+        gauges are refreshed from *this* service's scheduler at scrape
+        time (counters/histograms accumulate at their mutation sites).
+        """
+        stats = self.service.scheduler.stats()
+        _M_QUEUE_DEPTH.set(stats["queued_executions"])
+        for state in JOB_STATES:
+            _M_JOBS_BY_STATE.set(
+                stats["by_state"].get(state, 0), state=state
+            )
+        if self._query_param("format") == "json":
+            self._send_text(
+                to_json(REGISTRY) + "\n", "application/json"
+            )
+        else:
+            self._send_text(
+                to_prometheus(REGISTRY),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+
+    def _job_trace(self, job_id: str) -> None:
+        """``GET /api/jobs/<id>/trace``: every recorded span of the
+        job's trace (``repro.trace/v1``), for the CLI waterfall."""
+        job = self.service.job(job_id)
+        trace_id = job.execution.trace_id
+        spanlog = self.service.spanlog
+        if not trace_id or spanlog is None:
+            self._error(
+                f"no trace recorded for job {job_id} "
+                "(telemetry disabled?)",
+                404,
+            )
+            return
+        self._send_json(
+            {
+                "schema": "repro.trace/v1",
+                "job": job_id,
+                "trace_id": trace_id,
+                "spans": spanlog.for_trace(trace_id),
+            }
+        )
+
 
 class _ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
@@ -641,6 +863,7 @@ def create_server(
     state_dir: Union[str, Path, None] = None,
     retry: Optional[RetryPolicy] = None,
     hang_timeout: Optional[float] = None,
+    telemetry: bool = True,
 ) -> _ServiceHTTPServer:
     """Build a ready-to-serve HTTP simulation service.
 
@@ -651,6 +874,9 @@ def create_server(
     With ``state_dir`` the service journals jobs and replays them on
     the next start, so restarting against the same directory resumes
     interrupted work (see :mod:`repro.service.journal`).
+    ``telemetry=False`` disables the tracing + HTTP-metrics plane
+    (``GET /api/metrics`` still answers with whatever the process has
+    recorded).
     """
     if store is None:
         if cache_dir is None:
@@ -665,6 +891,7 @@ def create_server(
         state_dir=state_dir,
         retry=retry,
         hang_timeout=hang_timeout,
+        telemetry=telemetry,
     )
     return _ServiceHTTPServer((host, port), service)
 

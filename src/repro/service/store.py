@@ -39,9 +39,29 @@ from ..engine.cache import ResultCache
 from ..engine.spec import ENGINE_VERSION
 from ..metrics import MetricChannel
 from ..network.stats import SimResult
+from ..obs import REGISTRY
+from ..obs import trace as obs_trace
 from . import chaos
 
 __all__ = ["ResultStore", "SingleFlight", "SingleFlightCache"]
+
+# runtime telemetry (repro.obs): fleet-wide store behaviour.
+_M_HITS = REGISTRY.counter(
+    "store_hits_total", "Result-store lookups served from disk"
+)
+_M_MISSES = REGISTRY.counter(
+    "store_misses_total", "Result-store lookups that missed"
+)
+_M_EVICTIONS = REGISTRY.counter(
+    "store_evictions_total", "Entries evicted by the LRU bounds"
+)
+_M_SF_WAITS = REGISTRY.counter(
+    "singleflight_waits_total",
+    "Lookups that blocked on another process's in-flight computation",
+)
+_M_SF_STEALS = REGISTRY.counter(
+    "singleflight_steals_total", "Stale single-flight locks removed"
+)
 
 
 class SingleFlight:
@@ -134,6 +154,7 @@ class SingleFlight:
             except OSError:
                 pass
             self.steals += 1
+            _M_SF_STEALS.inc()
             return True
         return False
 
@@ -155,6 +176,7 @@ class SingleFlight:
             if not waited:
                 waited = True
                 self.waits += 1
+                _M_SF_WAITS.inc()
             time.sleep(self.poll_interval)
         return True
 
@@ -250,10 +272,13 @@ class ResultStore:
     def get(self, key: str) -> Optional[SimResult]:
         res = self.cache.get(key)
         if res is not None:
+            _M_HITS.inc()
             try:  # LRU recency: a hit counts as a use
                 os.utime(self.cache._path(key))
             except OSError:
                 pass
+        else:
+            _M_MISSES.inc()
         return res
 
     def put(
@@ -322,6 +347,8 @@ class ResultStore:
             count -= 1
             total -= size
         self.evicted += removed
+        if removed:
+            _M_EVICTIONS.inc(removed)
         return removed
 
     # -- inspection ----------------------------------------------------
@@ -446,7 +473,12 @@ class SingleFlightCache:
             self._owned.add(key)
             return None
         timeout = self.hold_wait if self._owned else self.wait_timeout
-        if sf.wait(key, timeout):
+        with obs_trace.span(
+            "store.singleflight_wait", key=key[:16]
+        ) as sp:
+            released = sf.wait(key, timeout)
+            sp.set(released=released)
+        if released:
             res = self.store.get(key)
             if res is not None:
                 return res

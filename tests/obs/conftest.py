@@ -1,0 +1,18 @@
+"""Shared telemetry fixtures: a clean sink list per test."""
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture()
+def capture_spans(monkeypatch):
+    """Collect every emitted span dict in a plain list, leaving the
+    global sink list as the test found it."""
+    monkeypatch.delenv(trace.SPANLOG_ENV, raising=False)
+    monkeypatch.delenv(trace.TRACEPARENT_ENV, raising=False)
+    monkeypatch.delenv(trace.TRACEPARENT_PID_ENV, raising=False)
+    spans = []
+    trace.add_sink(spans.append)
+    yield spans
+    trace.remove_sink(spans.append)

@@ -1,0 +1,64 @@
+"""The span waterfall renderer (the ``trace`` CLI's output)."""
+
+from repro.obs import render_waterfall
+
+
+def _span(span_id, name, start, end, parent=None, **extra):
+    rec = {
+        "schema": "repro.span/v1",
+        "trace_id": "t" * 32,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "start": start,
+        "end": end,
+        "status": "ok",
+    }
+    rec.update(extra)
+    return rec
+
+
+class TestWaterfall:
+    def test_empty(self):
+        assert render_waterfall([]) == "(no spans)"
+
+    def test_depth_indentation_and_header(self):
+        out = render_waterfall(
+            [
+                _span("a", "execution", 0.0, 1.0),
+                _span("b", "engine.run", 0.1, 0.9, parent="a"),
+                _span("c", "kernel.run", 0.2, 0.8, parent="b"),
+            ]
+        )
+        lines = out.splitlines()
+        assert lines[0].startswith(f"trace {'t' * 32}  (3 spans,")
+        assert lines[1].startswith("execution")
+        assert lines[2].startswith("  engine.run")
+        assert lines[3].startswith("    kernel.run")
+        # bars share one time axis: the root bar spans the full width
+        assert lines[1].count("█") > lines[3].count("█")
+
+    def test_error_and_links_flagged(self):
+        out = render_waterfall(
+            [
+                _span(
+                    "a", "execution.resume", 0.0, 1.0,
+                    status="error", error="ChaosError: injected",
+                    links=["deadbeef00000000"],
+                ),
+            ]
+        )
+        assert "!! ChaosError: injected" in out
+        assert "~> links deadbeef00000000" in out
+
+    def test_orphan_and_cyclic_parents_render_at_depth_zero(self):
+        # parent evicted from the ring, or a (corrupt) parent cycle:
+        # either way every span still renders
+        out = render_waterfall(
+            [
+                _span("a", "orphan", 0.0, 0.5, parent="gone"),
+                _span("b", "loop1", 0.0, 0.5, parent="c"),
+                _span("c", "loop2", 0.1, 0.4, parent="b"),
+            ]
+        )
+        assert "orphan" in out and "loop1" in out and "loop2" in out

@@ -1,0 +1,111 @@
+"""Structured logging: field kwargs, trace stamping, both formatters."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import get_logger, setup_logging
+from repro.obs.trace import new_context, use_context
+
+
+@pytest.fixture()
+def json_log():
+    """An isolated logger with a JSON handler writing to a buffer."""
+    stream = io.StringIO()
+    name = "repro.test.jsonlog"
+    handler = setup_logging(fmt="json", stream=stream, logger_name=name)
+    logger = get_logger(name)
+    logger.logger.propagate = False
+    yield logger, stream
+    logging.getLogger(name).removeHandler(handler)
+
+
+@pytest.fixture()
+def text_log():
+    stream = io.StringIO()
+    name = "repro.test.textlog"
+    handler = setup_logging(fmt="text", stream=stream, logger_name=name)
+    logger = get_logger(name)
+    logger.logger.propagate = False
+    yield logger, stream
+    logging.getLogger(name).removeHandler(handler)
+
+
+class TestJsonFormat:
+    def test_fields_and_printf_args(self, json_log):
+        logger, stream = json_log
+        logger.info("job %s queued", "j01", job="j01", state="queued")
+        rec = json.loads(stream.getvalue())
+        assert rec["msg"] == "job j01 queued"
+        assert rec["job"] == "j01" and rec["state"] == "queued"
+        assert rec["level"] == "info"
+        assert rec["logger"].endswith("jsonlog")
+
+    def test_trace_context_stamped(self, json_log):
+        logger, stream = json_log
+        ctx = new_context()
+        with use_context(ctx):
+            logger.info("inside")
+        rec = json.loads(stream.getvalue())
+        assert rec["trace_id"] == ctx.trace_id
+        assert rec["span_id"] == ctx.span_id
+
+    def test_no_context_no_trace_fields(self, json_log):
+        logger, stream = json_log
+        logger.info("outside")
+        rec = json.loads(stream.getvalue())
+        assert "trace_id" not in rec
+
+    def test_exception_carries_traceback(self, json_log):
+        logger, stream = json_log
+        try:
+            raise ValueError("kaput")
+        except ValueError:
+            logger.exception("stage failed", job="j02")
+        rec = json.loads(stream.getvalue())
+        assert rec["exc_type"] == "ValueError"
+        assert "kaput" in rec["traceback"]
+        assert rec["job"] == "j02"
+
+    def test_every_line_is_one_json_object(self, json_log):
+        logger, stream = json_log
+        for i in range(3):
+            logger.info("line %d", i, n=i)
+        lines = stream.getvalue().strip().splitlines()
+        assert [json.loads(l)["n"] for l in lines] == [0, 1, 2]
+
+
+class TestTextFormat:
+    def test_field_tail(self, text_log):
+        logger, stream = text_log
+        logger.info("job queued", job="j01", state="queued")
+        line = stream.getvalue().strip()
+        assert "job queued" in line
+        assert line.endswith("| job=j01 state=queued")
+
+    def test_plain_message_has_no_tail(self, text_log):
+        logger, stream = text_log
+        logger.info("nothing structured")
+        assert "|" not in stream.getvalue()
+
+
+class TestSetup:
+    def test_rejects_unknown_format(self):
+        with pytest.raises(ValueError, match="log format"):
+            setup_logging(fmt="yaml")
+
+    def test_idempotent_reinstall(self):
+        name = "repro.test.idem"
+        h1 = setup_logging(fmt="text", logger_name=name)
+        h2 = setup_logging(fmt="json", logger_name=name)
+        target = logging.getLogger(name)
+        try:
+            ours = [
+                h for h in target.handlers
+                if getattr(h, "_repro_obs_handler", False)
+            ]
+            assert ours == [h2] and h1 not in target.handlers
+        finally:
+            target.removeHandler(h2)

@@ -1,0 +1,168 @@
+"""Metrics registry: get-or-create semantics, label handling, export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_prometheus, to_json, to_prometheus
+from repro.obs.export import METRICS_SCHEMA
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("jobs_total", "jobs")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labelled_series_are_independent(self, registry):
+        c = registry.counter("points_total", "", labelnames=("source",))
+        c.inc(3, source="fresh")
+        c.inc(source="cache")
+        assert c.value(source="fresh") == 3
+        assert c.value(source="cache") == 1
+        assert c.value(source="other") == 0
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError, match="only go up"):
+            registry.counter("x_total").inc(-1)
+
+    def test_wrong_labelset_rejected(self, registry):
+        c = registry.counter("y_total", "", labelnames=("kind",))
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc(other="nope")
+        with pytest.raises(ValueError, match="takes labels"):
+            c.inc()
+
+    def test_thread_safety_no_lost_updates(self, registry):
+        c = registry.counter("contended_total")
+        threads = [
+            threading.Thread(
+                target=lambda: [c.inc() for _ in range(1000)]
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(5)
+        g.inc()
+        g.dec(2)
+        assert g.value() == 4
+
+    def test_callback_sampled_at_collect(self, registry):
+        box = {"v": 7}
+        g = registry.gauge("live")
+        g.set_function(lambda: box["v"])
+        assert g.value() == 7
+        box["v"] = 9
+        assert g.collect() == [{"labels": {}, "value": 9.0}]
+
+    def test_dead_callback_reads_zero(self, registry):
+        g = registry.gauge("flaky")
+        g.set_function(lambda: 1 / 0)
+        assert g.value() == 0.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_count(self, registry):
+        h = registry.histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 20.0):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == pytest.approx(21.05)
+        (sample,) = h.collect()
+        les = [b["le"] for b in sample["buckets"]]
+        counts = [b["count"] for b in sample["buckets"]]
+        assert les == [0.1, 1.0, 10.0, "+Inf"]
+        assert counts == [1, 3, 3, 4]  # cumulative
+
+    def test_trailing_inf_bucket_dropped(self, registry):
+        h = registry.histogram("b", buckets=(1.0, float("inf")))
+        assert h.buckets == (1.0,)
+
+
+class TestRegistrySemantics:
+    def test_same_name_returns_same_metric(self, registry):
+        a = registry.counter("shared_total", "first caller")
+        b = registry.counter("shared_total", "second caller")
+        assert a is b
+
+    def test_type_mismatch_raises(self, registry):
+        registry.counter("thing")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("thing")
+
+    def test_label_mismatch_raises(self, registry):
+        registry.counter("lbl_total", labelnames=("a",))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("lbl_total", labelnames=("b",))
+
+    def test_invalid_names_rejected(self, registry):
+        for bad in ("", "has space", "has-dash", "ha$h"):
+            with pytest.raises(ValueError, match="invalid metric name"):
+                registry.counter(bad)
+
+    def test_reserved_label_rejected(self, registry):
+        with pytest.raises(ValueError, match="reserved"):
+            registry.histogram("h", labelnames=("le",))
+
+
+class TestExport:
+    def _populated(self, registry):
+        registry.counter("jobs_total", "submitted", ("state",)).inc(
+            3, state="done"
+        )
+        registry.gauge("depth", "queue depth").set(2)
+        h = registry.histogram(
+            "seconds", "latency", buckets=(0.005, 0.05)
+        )
+        h.observe(0.001)
+        h.observe(0.02)
+        return registry
+
+    def test_prometheus_text_roundtrips_through_parser(self, registry):
+        text = to_prometheus(self._populated(registry))
+        assert "# TYPE jobs_total counter" in text
+        assert "# TYPE seconds histogram" in text
+        parsed = parse_prometheus(text)
+        assert parsed["jobs_total"][json.dumps({"state": "done"})] == 3.0
+        assert parsed["depth"]['{}'] == 2.0
+        buckets = parsed["seconds_bucket"]
+        assert buckets[json.dumps({"le": "0.005"})] == 1.0
+        assert buckets[json.dumps({"le": "+Inf"})] == 2.0
+        assert parsed["seconds_count"]['{}'] == 2.0
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("esc_total", "", ("path",)).inc(
+            path='a"b\\c\nd'
+        )
+        parsed = parse_prometheus(to_prometheus(registry))
+        (key,) = parsed["esc_total"]
+        assert json.loads(key) == {"path": 'a"b\\c\nd'}
+
+    def test_json_export_schema(self, registry):
+        doc = json.loads(to_json(self._populated(registry)))
+        assert doc["schema"] == METRICS_SCHEMA
+        names = [m["name"] for m in doc["metrics"]]
+        assert names == sorted(names)
+        assert "jobs_total" in names
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("ok_total 1\nbad-name 2\n")
+        with pytest.raises(ValueError):
+            parse_prometheus("ok_total notanumber\n")

@@ -1,0 +1,133 @@
+"""Trace context: propagation carriers, span lifecycle, no-op path."""
+
+import os
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    SpanContext,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+    span,
+    start_span,
+    use_context,
+)
+
+
+class TestTraceparent:
+    def test_roundtrip(self):
+        ctx = new_context()
+        assert len(ctx.trace_id) == 32 and len(ctx.span_id) == 16
+        header = format_traceparent(ctx)
+        assert header == f"00-{ctx.trace_id}-{ctx.span_id}-01"
+        assert parse_traceparent(header) == ctx
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-span-01",
+            "00-" + "z" * 32 + "-" + "a" * 16 + "-01",  # non-hex
+            "00-" + "0" * 32 + "-" + "a" * 16 + "-01",  # zero trace
+            "00-" + "a" * 32 + "-" + "0" * 16 + "-01",  # zero span
+        ],
+    )
+    def test_malformed_values_parse_to_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+    def test_env_carrier_is_for_child_processes_only(self, monkeypatch):
+        ctx = new_context()
+        monkeypatch.setenv(trace.TRACEPARENT_ENV, format_traceparent(ctx))
+        # no PID marker: treated as inherited from a parent process
+        assert trace.current_context() == ctx
+        # our own marker: sibling threads of the exporter see nothing
+        monkeypatch.setenv(trace.TRACEPARENT_PID_ENV, str(os.getpid()))
+        assert trace.current_context() is None
+        # a different PID (the worker case) reads the carrier again
+        monkeypatch.setenv(trace.TRACEPARENT_PID_ENV, "1")
+        assert trace.current_context() == ctx
+
+
+class TestSpanLifecycle:
+    def test_noop_without_sink_or_context(self):
+        assert not trace.tracing_active()
+        with span("nothing") as sp:
+            assert sp is NOOP_SPAN
+        assert start_span("nothing") is NOOP_SPAN
+
+    def test_nesting_builds_parent_chain(self, capture_spans):
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        names = [s["name"] for s in capture_spans]
+        assert names == ["inner", "outer"]  # children close first
+        for s in capture_spans:
+            assert s["schema"] == "repro.span/v1"
+            assert s["end"] >= s["start"]
+
+    def test_exception_marks_error_and_propagates(self, capture_spans):
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("work"):
+                raise RuntimeError("boom")
+        (record,) = capture_spans
+        assert record["status"] == "error"
+        assert "RuntimeError: boom" in record["error"]
+
+    def test_end_is_idempotent(self, capture_spans):
+        sp = Span("stage")
+        sp.end()
+        sp.end(status="error", error="too late")
+        (record,) = capture_spans
+        assert record["status"] == "ok" and "error" not in record
+
+    def test_attrs_and_links_recorded(self, capture_spans):
+        sp = Span("stage", points=4)
+        sp.set(rate=0.4).add_link("feedbeef00000000").add_link(None)
+        sp.end()
+        (record,) = capture_spans
+        assert record["attrs"] == {"points": 4, "rate": 0.4}
+        assert record["links"] == ["feedbeef00000000"]
+
+    def test_explicit_parent_overrides_ambient(self, capture_spans):
+        foreign = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+        with span("ambient"):
+            with span("child", parent=foreign) as sp:
+                assert sp.trace_id == foreign.trace_id
+                assert sp.parent_id == foreign.span_id
+
+    def test_use_context_sets_ambient(self, capture_spans):
+        ctx = new_context()
+        with use_context(ctx):
+            assert trace.current_context() == ctx
+            with span("stage") as sp:
+                assert sp.trace_id == ctx.trace_id
+        assert trace.current_context() is None
+
+    def test_parented_span_recorded_even_without_sink(self, monkeypatch):
+        # a parent context means someone upstream is collecting: the
+        # span must be real (so its context can propagate), even if
+        # emission then goes nowhere in this process
+        assert not trace.tracing_active()
+        with span("stage", parent=new_context()) as sp:
+            assert sp is not NOOP_SPAN
+
+
+class TestEnvSpanlogSink:
+    def test_worker_bootstrap_appends_to_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "spans.ndjson"
+        monkeypatch.setenv(trace.SPANLOG_ENV, str(path))
+        assert trace.tracing_active()
+        with span("worker.stage"):
+            pass
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        import json
+
+        assert json.loads(lines[0])["name"] == "worker.stage"

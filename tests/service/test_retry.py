@@ -211,7 +211,7 @@ class TestClientRequestRetry:
         )
         attempts = []
 
-        def down(method, path, payload=None):
+        def down(method, path, payload=None, extra_headers=None):
             attempts.append(method)
             raise ServiceError("cannot reach service")
 

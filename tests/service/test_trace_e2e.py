@@ -1,0 +1,193 @@
+"""Runtime telemetry end-to-end over a live server: one trace from
+``submit`` to ``done``, the /api/metrics surface, and the waterfall."""
+
+import pytest
+
+from repro.obs import (
+    parse_prometheus,
+    render_waterfall,
+    trace as obs_trace,
+)
+from repro.service import ServiceClient, ServiceError, create_server
+
+from .conftest import tiny_study
+
+#: stages every completed one-shot job must have recorded.
+REQUIRED_SPANS = {
+    "http.post",
+    "execution",
+    "queue.wait",
+    "execution.attempt",
+    "engine.run",
+    "engine.cache_replay",
+}
+
+
+class TestJobTrace:
+    def test_one_trace_covers_submit_to_done(self, service):
+        client, server = service
+        job = client.submit_study(tiny_study())
+        client.watch(job["id"])
+
+        status = client.status(job["id"])
+        assert status["state"] == "done"
+        trace_id = status["trace_id"]
+        assert len(trace_id) == 32
+
+        payload = client.trace(job["id"])
+        assert payload["schema"] == "repro.trace/v1"
+        assert payload["trace_id"] == trace_id
+        spans = payload["spans"]
+        assert len(spans) >= 6
+        assert {s["trace_id"] for s in spans} == {trace_id}
+        names = {s["name"] for s in spans}
+        assert REQUIRED_SPANS <= names
+        for s in spans:
+            assert s["schema"] == "repro.span/v1"
+            assert s["end"] >= s["start"]
+            assert s["status"] == "ok"
+        # the execution root covers every engine stage
+        (root,) = [s for s in spans if s["name"] == "execution"]
+        engine = [s for s in spans if s["name"].startswith("engine.")]
+        assert engine
+        assert all(
+            root["start"] <= s["start"] and s["end"] <= root["end"] + 1e-6
+            for s in engine
+        )
+
+    def test_client_context_roots_the_server_trace(self, service):
+        client, server = service
+        ctx = obs_trace.new_context()
+        with obs_trace.use_context(ctx):
+            job = client.submit_study(tiny_study(seed=5, label="ctx"))
+        client.watch(job["id"])
+        status = client.status(job["id"])
+        # the server joined the caller's trace rather than minting one
+        assert status["trace_id"] == ctx.trace_id
+        spans = client.trace(job["id"])["spans"]
+        (root,) = [s for s in spans if s["name"] == "execution"]
+        assert root["parent_id"] == ctx.span_id
+
+    def test_waterfall_renders_job_stages(self, service):
+        client, server = service
+        job = client.submit_study(tiny_study(seed=7, label="wf"))
+        client.watch(job["id"])
+        out = render_waterfall(client.trace(job["id"])["spans"])
+        assert out.startswith("trace ")
+        for name in ("execution", "queue.wait", "engine.run"):
+            assert name in out
+
+    def test_attached_job_shares_the_execution_trace(self, service):
+        client, server = service
+        study = tiny_study(measure_cycles=60000, label="att")
+        first = client.submit_study(study)
+        second = client.submit_study(study)
+        try:
+            assert second["attached"] is True
+            assert second["trace_id"] == first["trace_id"]
+        finally:
+            client.cancel(first["id"])
+            client.cancel(second["id"])
+
+
+class TestMetricsSurface:
+    def test_prometheus_text_parses_and_counts_the_job(self, service):
+        client, server = service
+        before = parse_prometheus(client.metrics(fmt="prometheus"))
+
+        job = client.submit_study(tiny_study(seed=9, label="met"))
+        client.watch(job["id"])
+
+        after = parse_prometheus(client.metrics(fmt="prometheus"))
+        for name in (
+            "service_jobs_submitted_total",
+            "http_requests_total",
+            "engine_points_total",
+            "service_queue_wait_seconds_count",
+            "http_request_seconds_count",
+        ):
+            assert name in after, sorted(after)
+
+        def total(parsed, name):
+            return sum(parsed.get(name, {}).values())
+
+        # the registry is process-global, so assert deltas: this job
+        # submitted once, ran 2 fresh points, answered HTTP requests
+        assert (
+            total(after, "service_jobs_submitted_total")
+            == total(before, "service_jobs_submitted_total") + 1
+        )
+        assert (
+            total(after, "engine_points_total")
+            >= total(before, "engine_points_total") + 2
+        )
+        assert total(after, "http_requests_total") > total(
+            before, "http_requests_total"
+        )
+
+    def test_json_format_and_route_labels(self, service):
+        client, server = service
+        job = client.submit_study(tiny_study(seed=13, label="js"))
+        client.watch(job["id"])
+        doc = client.metrics(fmt="json")
+        assert doc["schema"] == "repro.metrics/v1"
+        by_name = {m["name"]: m for m in doc["metrics"]}
+        http = by_name["http_requests_total"]
+        routes = {s["labels"]["route"] for s in http["samples"]}
+        assert "/api/jobs" in routes
+        # ids are collapsed into a route template, not one series per job
+        assert "/api/jobs/<id>/events" in routes
+        assert not any(job["id"] in r for r in routes)
+        codes = {s["labels"]["code"] for s in http["samples"]}
+        assert "200" in codes
+
+    def test_gauges_reflect_scheduler_state(self, service):
+        client, server = service
+        study = tiny_study(measure_cycles=60000, label="gauge")
+        blocker = client.submit_study(study)
+        queued = client.submit_study(
+            tiny_study(measure_cycles=60000, seed=21, label="gauge2")
+        )
+        try:
+            doc = client.metrics(fmt="json")
+            by_name = {m["name"]: m for m in doc["metrics"]}
+            states = {
+                s["labels"]["state"]: s["value"]
+                for s in by_name["service_jobs"]["samples"]
+            }
+            assert states.get("queued", 0) + states.get("running", 0) >= 1.0
+        finally:
+            client.cancel(blocker["id"])
+            client.cancel(queued["id"])
+
+
+class TestTelemetryDisabled:
+    def test_trace_endpoint_404s_and_jobs_still_run(self, tmp_path):
+        import threading
+
+        server = create_server(
+            host="127.0.0.1", port=0, cache_dir=tmp_path,
+            default_workers=1, telemetry=False,
+        )
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        client = ServiceClient(
+            f"http://127.0.0.1:{server.server_address[1]}"
+        )
+        try:
+            job = client.submit_study(tiny_study(seed=17, label="off"))
+            client.watch(job["id"])
+            assert client.status(job["id"])["state"] == "done"
+            with pytest.raises(ServiceError) as err:
+                client.trace(job["id"])
+            assert err.value.code == 404
+            # the metrics endpoint still answers (counters are global)
+            assert client.metrics(fmt="json")["schema"] == (
+                "repro.metrics/v1"
+            )
+        finally:
+            server.initiate_shutdown()
+            server.server_close()
+            thread.join(timeout=10)
