@@ -1,0 +1,145 @@
+"""Closed-loop workload benchmark: collective completion times.
+
+Runs the bundled ``workload`` study — ring vs tree vs hierarchical
+allreduce schedules on the switch-less W-group, plus the same ring
+collective on a degraded wafer — and records every completion-time
+summary (makespan, max phase CCT, bubble/overlap fractions, masked
+packets) to ``BENCH_workload.json``.
+
+Sanity gates (exit non-zero on breach):
+
+* every closed-loop point drains (the driver raises otherwise) and
+  delivers all unmasked packets;
+* raising the pacing bandwidth never slows a schedule down;
+* the hierarchical schedule beats the flat ring at equal volume (fewer
+  serialized phases over the same chips);
+* the degraded wafer masks packets and changes the ring's completion
+  time relative to the healthy fabric.
+
+Usage::
+
+    python benchmarks/bench_workload.py [--scale quick|default|full]
+        [--workers N] [--out BENCH_workload.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import build_study  # noqa: E402
+
+
+def curve_series(curve) -> list:
+    series = []
+    for point in curve.points:
+        channels = point.result.channels
+        cct = channels["cct"].summary
+        entry = {
+            "rate": point.rate,
+            "makespan": cct["makespan"],
+            "avg_cct": cct["avg_cct"],
+            "max_cct": cct["max_cct"],
+            "phases": cct["phases"],
+            "masked_packets": cct["masked_packets"],
+            "delivered": point.result.packets_delivered,
+        }
+        if "bubble" in channels:
+            entry["bubble_fraction"] = (
+                channels["bubble"].summary["bubble_fraction"]
+            )
+        if "overlap" in channels:
+            entry["overlap_fraction"] = (
+                channels["overlap"].summary["overlap_fraction"]
+            )
+        series.append(entry)
+    return series
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--scale", choices=("quick", "default", "full"),
+                    default="default")
+    ap.add_argument("--workers", type=int, default=1)
+    ap.add_argument("--out", default="BENCH_workload.json")
+    args = ap.parse_args(argv)
+
+    study = build_study("workload", scale=args.scale)
+    t0 = time.perf_counter()
+    result = study.run(workers=args.workers)
+    wall = time.perf_counter() - t0
+
+    schedules = result["schedules"]
+    degraded = result["degraded-fabric"]
+    data = {
+        "benchmark": "workload",
+        "scale": args.scale,
+        "python": platform.python_version(),
+        "wall_seconds": round(wall, 3),
+        "schedules": {
+            c.label: curve_series(c) for c in schedules.curves
+        },
+        "degraded": {
+            c.label: curve_series(c) for c in degraded.curves
+        },
+    }
+
+    failures = []
+    for scenario in data["schedules"], data["degraded"]:
+        for label, series in scenario.items():
+            for faster, slower in zip(series[1:], series):
+                if faster["makespan"] > slower["makespan"]:
+                    failures.append(
+                        f"{label}: makespan rose with bandwidth "
+                        f"({slower['rate']:g} -> {faster['rate']:g})"
+                    )
+    ring = data["schedules"]["Ring"]
+    hier = data["schedules"]["Hierarchical"]
+    for r, h in zip(ring, hier):
+        if not h["makespan"] < r["makespan"]:
+            failures.append(
+                f"hierarchical not faster than ring at rate {r['rate']:g}"
+            )
+    healthy = data["degraded"]["Healthy"]
+    broken = data["degraded"]["Degraded"]
+    for hp, dp in zip(healthy, broken):
+        if dp["masked_packets"] <= 0:
+            failures.append(
+                f"degraded fabric masked nothing at rate {dp['rate']:g}"
+            )
+        if dp["makespan"] == hp["makespan"]:
+            failures.append(
+                f"degraded makespan identical to healthy at rate "
+                f"{dp['rate']:g}"
+            )
+    data["gates_ok"] = not failures
+    data["gate_failures"] = failures
+
+    Path(args.out).write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {args.out} ({wall:.1f}s, scale={args.scale})")
+    for label, series in data["schedules"].items():
+        spans = ", ".join(
+            f"{p['rate']:g}->{p['makespan']:.0f}cyc" for p in series
+        )
+        print(f"  {label:>14s}: {spans}")
+    for label, series in data["degraded"].items():
+        spans = ", ".join(
+            f"{p['rate']:g}->{p['makespan']:.0f}cyc"
+            f"(masked {p['masked_packets']:.0f})" for p in series
+        )
+        print(f"  {label:>14s}: {spans}")
+    if failures:
+        print("GATE FAILURES:", *failures, sep="\n  ")
+        return 1
+    print("all completion-time gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,10 @@ def make_spec(
     topology_opts: Optional[Dict] = None,
     routing_opts: Optional[Dict] = None,
     traffic_opts: Optional[Dict] = None,
+    faults: Optional[Dict] = None,
+    metrics=None,
+    workload: str = "",
+    workload_opts: Optional[Dict] = None,
 ) -> ExperimentSpec:
     """Labelled :meth:`ExperimentSpec.create` with scale-thinned rates."""
     return ExperimentSpec.create(
@@ -137,6 +141,10 @@ def make_spec(
         params=params,
         rates=pick_rates(rates, scale),
         label=label,
+        faults=faults,
+        metrics=metrics,
+        workload=workload,
+        workload_opts=workload_opts,
     )
 
 
@@ -659,6 +667,124 @@ def _resilience_smoke(scale: str) -> Study:
         description="Runs in seconds at every scale.",
         tags=("resilience", "smoke"),
         scenarios=study.scenarios,
+    )
+
+
+# ----------------------------------------------------------------------
+# closed-loop application workloads (repro.workload)
+# ----------------------------------------------------------------------
+
+#: the application-level channels every closed-loop study ships with.
+_WORKLOAD_METRICS = ("cct", "bubble", "overlap")
+
+
+@register_study("workload")
+def _workload(scale: str) -> Study:
+    """Closed-loop collective completion times on the switch-less fabric.
+
+    Two questions, one spec grid: how do ring and hierarchical
+    allreduce schedules compare at equal message volume (Fig. 14's
+    collective, driven closed-loop), and how much completion time does
+    a degraded wafer cost the same collective?  Rates are pacing
+    bandwidths (flits/cycle/chip); every spec carries the ``cct`` /
+    ``bubble`` / ``overlap`` channels.
+    """
+    params = sim_params(scale)
+    wgroups = 41 if scale == "full" else 2
+    sless = switchless_arch(
+        preset="radix16_equiv", num_wgroups=wgroups, cgroups_per_wafer=1
+    )
+    rates = pick_rates([0.25, 0.5, 1.0], scale, quick_count=2)
+    volume = 256 if scale == "full" else 64
+    scope = {"scope": ("group", 0)}
+
+    def spec(label, workload, *, faults=None, opts=None):
+        return make_spec(
+            label, traffic="uniform", traffic_opts=scope, rates=rates,
+            params=params, scale=scale, faults=faults,
+            metrics=_WORKLOAD_METRICS, workload=workload,
+            workload_opts={"volume": volume, **(opts or {})}, **sless,
+        )
+
+    schedules = Scenario(
+        name="schedules",
+        title="Closed-loop allreduce: ring vs tree vs hierarchical",
+        note=(
+            "same message volume, three schedules; the cct channel's "
+            "makespan is the figure of merit"
+        ),
+        baseline="Ring",
+        specs=(
+            spec("Ring", "ring_allreduce"),
+            spec("Tree", "tree_allreduce"),
+            spec("Hierarchical", "hierarchical_allreduce"),
+        ),
+    )
+    degraded = Scenario(
+        name="degraded-fabric",
+        title="Closed-loop ring allreduce: healthy vs degraded wafer",
+        note=(
+            "masked packets shrink the collective; completion time "
+            "still reflects rerouted traffic on the surviving links"
+        ),
+        baseline="Healthy",
+        specs=(
+            spec("Healthy", "ring_allreduce"),
+            spec(
+                "Degraded", "ring_allreduce",
+                # failed channels force reroutes; dead dies mask their
+                # share of the collective (cct reports both effects)
+                faults={
+                    "model": "random", "link_rate": 0.05,
+                    "die_rate": 0.15, "seed": 7,
+                },
+            ),
+        ),
+    )
+    return Study(
+        name="workload",
+        title="Closed-loop application workloads (CCT)",
+        description=(
+            "Dependency-graph collectives driven closed-loop over the "
+            "switch-less W-group; completion time, bubble fraction and "
+            "compute/comm overlap per phase schedule."
+        ),
+        tags=("workload",),
+        scenarios=(schedules, degraded),
+    )
+
+
+@register_study("workload_smoke")
+def _workload_smoke(scale: str) -> Study:
+    """Seconds-scale closed-loop study for CI: one C-group mesh."""
+    params = SimParams(
+        warmup_cycles=100, measure_cycles=250, drain_cycles=150, seed=11
+    )
+    rates = [0.25, 0.5]
+
+    def spec(label, workload, **kw):
+        return make_spec(
+            label, traffic="uniform", rates=rates, params=params,
+            scale=scale, metrics=_WORKLOAD_METRICS, workload=workload,
+            workload_opts={"volume": 32}, **MESH_ARCH, **kw,
+        )
+
+    scenario = Scenario(
+        name="ring-vs-hierarchical",
+        title="Workload smoke: closed-loop allreduce on one C-group",
+        note="tiny closed-loop sanity scenario for CI and the tests",
+        baseline="Ring",
+        specs=(
+            spec("Ring", "ring_allreduce"),
+            spec("Hierarchical", "hierarchical_allreduce"),
+        ),
+    )
+    return Study(
+        name="workload_smoke",
+        title="CI workload smoke study",
+        description="Closed-loop collectives in seconds at every scale.",
+        tags=("workload", "smoke"),
+        scenarios=(scenario,),
     )
 
 

@@ -117,6 +117,17 @@ class Scenario:
             specs=tuple(s.with_metrics(metrics) for s in self.specs),
         )
 
+    def with_workload(self, workload, workload_opts=None) -> "Scenario":
+        """Copy with every spec's closed-loop axis replaced (see
+        :meth:`~repro.engine.ExperimentSpec.with_workload`)."""
+        return replace(
+            self,
+            specs=tuple(
+                s.with_workload(workload, workload_opts)
+                for s in self.specs
+            ),
+        )
+
     def run(
         self,
         *,
@@ -238,6 +249,21 @@ class Study:
             self,
             scenarios=tuple(
                 s.with_metrics(metrics) for s in self.scenarios
+            ),
+        )
+
+    def with_workload(self, workload, workload_opts=None) -> "Study":
+        """Copy with the closed-loop axis applied to every spec.
+
+        The CLI's ``run <study> --workload ring_allreduce`` flag goes
+        through here: every curve of the study is re-driven closed-loop
+        by the named workload (rates become pacing bandwidths).
+        """
+        return replace(
+            self,
+            scenarios=tuple(
+                s.with_workload(workload, workload_opts)
+                for s in self.scenarios
             ),
         )
 

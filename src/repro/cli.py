@@ -123,6 +123,26 @@ def _progress_printer(total: int):
     return on_point
 
 
+def _parse_workload_opts(text):
+    """``k=v,k=v`` -> builder options dict (ints where they parse)."""
+    opts = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"cannot parse workload option {item!r} (expected "
+                "KEY=VALUE)"
+            )
+        try:
+            opts[key] = int(value)
+        except ValueError:
+            opts[key] = value
+    return opts
+
+
 def _run_study(study, args) -> int:
     """Shared run/report/export path of ``run``, ``compare``, ``sweep``."""
     metrics = getattr(args, "metrics", None)
@@ -131,6 +151,19 @@ def _run_study(study, args) -> int:
         try:
             study = study.with_metrics(names)
         except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    workload = getattr(args, "workload", None)
+    if workload:
+        try:
+            opts = _parse_workload_opts(
+                getattr(args, "workload_opts", None) or ""
+            )
+            if workload == "trace" and "trace" in opts:
+                # the value is a file path on the CLI; inline it
+                opts["trace"] = Path(opts["trace"]).read_text()
+            study = study.with_workload(workload, opts)
+        except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -206,6 +239,12 @@ def _cmd_list(args) -> int:
         presets = list_presets(kind)
         if presets:
             print(f"  {kind:12s} {', '.join(presets)}")
+    print()
+    from .workload import list_workloads
+
+    print("application workloads (closed-loop; see "
+          "'repro-dragonfly workloads'):")
+    print(f"  {', '.join(list_workloads() + ['trace'])}")
     return 0
 
 
@@ -354,6 +393,8 @@ def _cmd_metrics(args) -> int:
               "repro-dragonfly run <name> --metrics <kinds>):")
         for name, desc in probe_descriptions().items():
             print(f"  {name:18s} {desc}")
+        print("the cct/bubble/overlap channels need a closed-loop run "
+              "(see 'repro-dragonfly workloads')")
         return 0
     try:
         result = StudyResult.load(args.results)
@@ -371,6 +412,29 @@ def _cmd_metrics(args) -> int:
         print(f"  {name:18s} on {points} point(s)")
     print("render with: repro-dragonfly report "
           f"{args.results} --channel <name>")
+    return 0
+
+
+def _cmd_workloads(args) -> int:
+    """List the closed-loop application workloads and the trace schema."""
+    from .workload import TRACE_SCHEMA, workload_descriptions
+
+    print("application workloads (run closed-loop with: "
+          "repro-dragonfly run <study> --workload <name>):")
+    for name, desc in sorted(workload_descriptions().items()):
+        print(f"  {name:24s} {desc}")
+    print(f"  {'trace':24s} replay a recorded {TRACE_SCHEMA} JSON "
+          "document (--workload-opts trace=<path>)")
+    print()
+    print(f"trace format: {TRACE_SCHEMA} — a JSON object with 'schema', "
+          "'name' and a 'phases' list; each phase has 'name', 'pattern' "
+          "(['shift', k] | ['all_to_all'] | ['none']) and optional "
+          "'volume' (flits/node), 'after' (phase names) and 'compute' "
+          "(cycles)")
+    print("application channels: attach --metrics cct,bubble,overlap "
+          "(see 'repro-dragonfly metrics')")
+    print("bundled closed-loop studies: "
+          "repro-dragonfly list --tag workload")
     return 0
 
 
@@ -865,6 +929,17 @@ def main(argv=None) -> int:
         help="system size / cycle count for bundled names "
         "(ignored for files)",
     )
+    run.add_argument(
+        "--workload", default=None, metavar="NAME",
+        help="re-drive every curve closed-loop with this application "
+        "workload (see 'repro-dragonfly workloads'); rates become "
+        "pacing bandwidths",
+    )
+    run.add_argument(
+        "--workload-opts", default=None, metavar="K=V[,K=V]",
+        help="builder options for --workload (e.g. volume=256); for "
+        "--workload trace, trace=<path> names the trace JSON file",
+    )
     _add_exec_args(run)
 
     list_p = sub.add_parser(
@@ -953,6 +1028,12 @@ def main(argv=None) -> int:
     metrics.add_argument(
         "results", nargs="?", default=None,
         help="optional path to a StudyResult JSON file",
+    )
+
+    sub.add_parser(
+        "workloads",
+        help="list the closed-loop application workloads and the trace "
+        "format",
     )
 
     sweep = sub.add_parser(
@@ -1164,6 +1245,7 @@ def main(argv=None) -> int:
         "compare": _cmd_compare,
         "report": _cmd_report,
         "metrics": _cmd_metrics,
+        "workloads": _cmd_workloads,
         "resilience": _cmd_resilience,
         "sweep": _cmd_sweep,
         "verify": _cmd_verify,

@@ -177,6 +177,11 @@ def simulate_point(spec: ExperimentSpec, rate: float) -> SimResult:
     graph, routing, traffic = build_experiment(
         spec, system=system, routing=routing
     )
+    if spec.workload:
+        # closed-loop: phase-scheduled injection, window = makespan
+        from ..workload.driver import run_closed_loop
+
+        return run_closed_loop(spec, graph, routing, traffic, rate)
     params = spec.params.scaled(seed=point_seed(spec, rate))
     return Simulator(
         graph, routing, traffic, params, probes=build_metrics(spec)
@@ -378,7 +383,13 @@ def run_experiments(
             for ri in range(len(spec.rates))
             if ri not in have[si]
         )
-        use_batch = total_missing > 0 and _batch_enabled(batch)
+        # closed-loop specs can't ride the packed native kernel (the
+        # plan needs a per-cycle callback); they take the pooled path
+        use_batch = (
+            total_missing > 0
+            and _batch_enabled(batch)
+            and not any(s.workload for s in specs)
+        )
         if use_batch:
             threads = _kernel_threads()
             workers = _resolve_workers(

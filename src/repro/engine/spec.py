@@ -91,7 +91,13 @@ __all__ = [
 #: simulated numbers, but a cached probe-off point must not satisfy a
 #: probe-on request (its payload carries no channels) — and vice versa
 #: a probe-on entry would smuggle channels into probe-off results.
-ENGINE_VERSION = 3
+#:
+#: v4: the ``workload`` axis (closed-loop runs) joined the hashed
+#: payload — present only when non-empty, so the payload *content* of
+#: workload-less (open-loop) specs is unchanged from v3; their digests
+#: still move with the version bump, which is the point: a closed-loop
+#: point must never alias an open-loop one at the same rate.
+ENGINE_VERSION = 4
 
 
 def suggest(name: str, candidates: Sequence[str]) -> str:
@@ -223,6 +229,41 @@ def list_presets(topology: str) -> List[str]:
 
 # ----------------------------------------------------------------------
 # the spec itself
+def _check_workload(workload: str, workload_opts: Optional[Dict]) -> None:
+    """Fail fast on a bad closed-loop axis.
+
+    Full validation (options vs the builder's signature, DAG
+    integrity, sizing) happens when the executor builds the workload
+    over the traffic's chips; here we check what doesn't need a chip
+    count — the name is known and a ``trace`` document parses.
+    """
+    if not workload:
+        if workload_opts:
+            raise ValueError(
+                "workload_opts without a workload name have no effect"
+            )
+        return
+    # workload -> engine is the package's import direction; the reverse
+    # import stays lazy so repro.workload can use suggest() from here
+    from ..workload.ir import WORKLOADS
+    from ..workload.trace import workload_loads
+
+    candidates = sorted(WORKLOADS) + ["trace"]
+    if workload not in candidates:
+        raise ValueError(
+            f"unknown workload {workload!r}; registered: {candidates}"
+            + suggest(workload, candidates)
+        )
+    if workload == "trace":
+        trace = (workload_opts or {}).get("trace")
+        if not isinstance(trace, str) or not trace:
+            raise ValueError(
+                "workload 'trace' needs workload_opts={'trace': <json "
+                "document string>}"
+            )
+        workload_loads(trace)  # fail fast on a malformed document
+
+
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class ExperimentSpec:
@@ -238,6 +279,15 @@ class ExperimentSpec:
     kinds.  Probes are attached per simulated point and their channels
     ride inside the point's ``SimResult`` — through the cache too,
     which is why the axis is hashed (see the v3 note above).
+
+    ``workload`` switches the spec to *closed-loop* execution: instead
+    of open-loop Bernoulli injection at each rate, the executor builds
+    the named :mod:`repro.workload` DAG over the traffic's
+    participating chips and drives it with a
+    :class:`~repro.workload.driver.PhasePlan` (rates become pacing
+    bandwidths).  ``workload_opts`` are the builder's keyword options
+    (``trace`` carries the whole trace document as one JSON string,
+    since nested dicts don't freeze).  Empty = open-loop, the default.
     """
 
     topology: str
@@ -251,6 +301,8 @@ class ExperimentSpec:
     label: str = ""
     faults: Tuple = ()
     metrics: Tuple = ()
+    workload: str = ""
+    workload_opts: Tuple = ()
 
     @classmethod
     def create(
@@ -267,6 +319,8 @@ class ExperimentSpec:
         label: str = "",
         faults: Optional[Dict] = None,
         metrics=None,
+        workload: str = "",
+        workload_opts: Optional[Dict] = None,
     ) -> "ExperimentSpec":
         """Build a spec from keyword dicts, validating the kind names."""
         for kind, table, what in (
@@ -276,6 +330,7 @@ class ExperimentSpec:
         ):
             _lookup(table, kind, what)
         FaultSpec.from_opts(faults or {})  # fail fast on a bad fault axis
+        _check_workload(workload, workload_opts)
         return cls(
             topology=topology,
             routing=routing,
@@ -288,11 +343,24 @@ class ExperimentSpec:
             label=label,
             faults=_freeze(faults or {}),
             metrics=normalize_metrics(metrics),  # fail fast here too
+            workload=workload,
+            workload_opts=_freeze(workload_opts or {}),
         )
 
     def with_faults(self, faults: Optional[Dict]) -> "ExperimentSpec":
         FaultSpec.from_opts(faults or {})
         return replace(self, faults=_freeze(faults or {}))
+
+    def with_workload(
+        self, workload: str, workload_opts: Optional[Dict] = None
+    ) -> "ExperimentSpec":
+        """Copy with the closed-loop axis replaced (``""`` clears)."""
+        _check_workload(workload, workload_opts)
+        return replace(
+            self,
+            workload=workload,
+            workload_opts=_freeze(workload_opts or {}),
+        )
 
     def with_metrics(self, metrics) -> "ExperimentSpec":
         """Copy with the probe axis replaced (``None``/``()`` clears)."""
@@ -331,6 +399,10 @@ class ExperimentSpec:
             # omitted when empty, so pre-metrics scenario files and
             # probe-less specs serialise byte-identically to before
             data["metrics"] = metrics_to_data(self.metrics)
+        if self.workload:
+            # same omit-when-empty policy as metrics
+            data["workload"] = self.workload
+            data["workload_opts"] = _thaw_opts(self.workload_opts)
         return data
 
     @classmethod
@@ -358,6 +430,8 @@ class ExperimentSpec:
             rates=data.get("rates", ()),
             label=data.get("label", ""),
             metrics=data.get("metrics"),
+            workload=data.get("workload", ""),
+            workload_opts=data.get("workload_opts"),
         )
 
     # -- hashing -------------------------------------------------------
@@ -380,6 +454,10 @@ class ExperimentSpec:
                 for k in self.params.__dataclass_fields__
             },
         }
+        if self.workload:
+            # omitted when empty: open-loop payload content is
+            # unchanged from v3 (see the v4 note on ENGINE_VERSION)
+            payload["workload"] = [self.workload, list(self.workload_opts)]
         blob = json.dumps(payload, sort_keys=True, default=list)
         return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -392,6 +470,8 @@ class ExperimentSpec:
             base += f"+{FaultSpec.from_opts(_thaw_opts(self.faults)).describe()}"
         if self.metrics:
             base += f"+probes[{','.join(name for name, _ in self.metrics)}]"
+        if self.workload:
+            base += f"+wl[{self.workload}]"
         return f"{self.label} ({base})" if self.label else base
 
 

@@ -23,7 +23,14 @@ Registered kinds:
     hop accounting against BFS-minimal distances: misroute ratio and
     excess-hop histogram (the Fig. 13 misrouting metric);
 ``ejection_fairness``
-    delivered flits per destination chip with a Jain fairness index.
+    delivered flits per destination chip with a Jain fairness index;
+``cct``
+    per-phase collective completion times of a closed-loop workload
+    run (empty for open-loop runs);
+``bubble``
+    communication-idle ("bubble") cycles of the closed-loop makespan;
+``overlap``
+    compute/communication overlap of a closed-loop run.
 """
 
 from __future__ import annotations
@@ -39,10 +46,13 @@ from .probe import Probe, register_probe
 from .record import RunRecord
 
 __all__ = [
+    "BubbleProbe",
+    "CCTProbe",
     "EjectionFairnessProbe",
     "LatencyHistogramProbe",
     "LinkUtilizationProbe",
     "MisrouteProbe",
+    "OverlapProbe",
     "TimeSeriesProbe",
     "VCUtilizationProbe",
 ]
@@ -438,4 +448,195 @@ class EjectionFairnessProbe(Probe):
                 "mean_flits": _mean(flits),
             },
             meta={"population": "measured_delivered"},
+        )
+
+
+# ----------------------------------------------------------------------
+# Closed-loop application metrics.  These read RunRecord.phases — the
+# per-phase completion records a PhasePlan leaves behind — and degrade
+# to empty channels on open-loop runs (phases == ()).
+
+def _interval_union(intervals) -> List[Tuple[int, int]]:
+    """Merge half-open ``[lo, hi)`` intervals into a disjoint union."""
+    merged: List[Tuple[int, int]] = []
+    for lo, hi in sorted(i for i in intervals if i[1] > i[0]):
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _union_length(merged) -> int:
+    return sum(hi - lo for lo, hi in merged)
+
+
+def _comm_intervals(phases) -> List[Tuple[int, int]]:
+    """Half-open comm spans ``[comm_start, done + 1)`` per comm phase."""
+    return [
+        (p["comm_start"], p["done"] + 1)
+        for p in phases
+        if p["comm_start"] >= 0 and p["done"] >= 0
+    ]
+
+
+def _makespan(phases) -> Tuple[int, int]:
+    """(start, end) of the workload: first release to last done + 1."""
+    starts = [p["release"] for p in phases if p["release"] >= 0]
+    ends = [p["done"] + 1 for p in phases if p["done"] >= 0]
+    if not starts or not ends:
+        return (0, 0)
+    return (min(starts), max(ends))
+
+
+@register_probe
+class CCTProbe(Probe):
+    """Per-phase collective completion times of a closed-loop run.
+
+    One row per workload phase: release cycle (all dependencies
+    drained), first injection cycle, completion cycle (last tail flit
+    ejected), the phase's completion time ``cct = done - release + 1``,
+    and its packet/flit/masked counts.  The summary carries the
+    workload makespan and the critical (slowest) phase.
+    """
+
+    name = "cct"
+    description = (
+        "per-phase collective completion times (closed-loop runs)"
+    )
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        phases = record.phases
+        rows = []
+        for p in phases:
+            cct = p["done"] - p["release"] + 1 if p["done"] >= 0 else -1
+            rows.append(
+                (
+                    p["name"],
+                    p["release"],
+                    p["comm_start"],
+                    p["done"],
+                    cct,
+                    p["compute"],
+                    p["packets"],
+                    p["flits"],
+                    p["masked"],
+                )
+            )
+        ccts = [r[4] for r in rows if r[4] >= 0]
+        start, end = _makespan(phases)
+        crit = max(rows, key=lambda r: r[4], default=None)
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("phase", "release", "comm_start", "done", "cct",
+                     "compute", "packets", "flits", "masked"),
+            rows=tuple(rows),
+            summary={
+                "phases": float(len(phases)),
+                "makespan": float(end - start),
+                "avg_cct": _mean(ccts),
+                "max_cct": float(max(ccts, default=-1)),
+                "critical_phase": (
+                    float(rows.index(crit)) if crit else _nan()
+                ),
+                "total_flits": float(sum(r[7] for r in rows)),
+                "masked_packets": float(sum(r[8] for r in rows)),
+            },
+            meta={"population": "closed_loop_phases"},
+        )
+
+
+@register_probe
+class BubbleProbe(Probe):
+    """Communication-idle ("bubble") share of the closed-loop makespan.
+
+    Merges the per-phase comm spans into a disjoint union; every
+    makespan cycle outside that union is a bubble — cycles the fabric
+    sat idle waiting on dependencies or compute.  Rows list the merged
+    busy intervals.
+    """
+
+    name = "bubble"
+    description = (
+        "communication-idle (bubble) fraction of the closed-loop "
+        "makespan"
+    )
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        phases = record.phases
+        start, end = _makespan(phases)
+        makespan = end - start
+        busy = _interval_union(_comm_intervals(phases))
+        comm_busy = _union_length(busy)
+        bubble = max(0, makespan - comm_busy)
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("t_start", "t_end", "cycles"),
+            rows=tuple((lo, hi, hi - lo) for lo, hi in busy),
+            summary={
+                "makespan": float(makespan),
+                "comm_busy_cycles": float(comm_busy),
+                "bubble_cycles": float(bubble),
+                "bubble_fraction": (
+                    bubble / makespan if makespan else _nan()
+                ),
+            },
+            meta={"population": "closed_loop_phases"},
+        )
+
+
+@register_probe
+class OverlapProbe(Probe):
+    """Compute/communication overlap of a closed-loop run.
+
+    Compute spans are ``[release, release + compute)`` per phase; comm
+    spans as in the bubble probe.  The overlap is the intersection of
+    the two unions — cycles where some phase computed while another
+    communicated — reported as a fraction of the total compute span
+    (1.0 = compute fully hidden behind communication).
+    """
+
+    name = "overlap"
+    description = (
+        "compute/communication overlap fraction (closed-loop runs)"
+    )
+
+    def collect(self, record: RunRecord) -> MetricChannel:
+        phases = record.phases
+        compute = _interval_union(
+            (p["release"], p["release"] + p["compute"])
+            for p in phases
+            if p["release"] >= 0 and p["compute"] > 0
+        )
+        comm = _interval_union(_comm_intervals(phases))
+        overlap: List[Tuple[int, int]] = []
+        i = j = 0
+        while i < len(compute) and j < len(comm):
+            lo = max(compute[i][0], comm[j][0])
+            hi = min(compute[i][1], comm[j][1])
+            if lo < hi:
+                overlap.append((lo, hi))
+            if compute[i][1] <= comm[j][1]:
+                i += 1
+            else:
+                j += 1
+        compute_busy = _union_length(compute)
+        comm_busy = _union_length(comm)
+        hidden = _union_length(overlap)
+        return MetricChannel(
+            name=self.channel_name(),
+            kind="table",
+            columns=("t_start", "t_end", "cycles"),
+            rows=tuple((lo, hi, hi - lo) for lo, hi in overlap),
+            summary={
+                "compute_cycles": float(compute_busy),
+                "comm_busy_cycles": float(comm_busy),
+                "overlap_cycles": float(hidden),
+                "overlap_fraction": (
+                    hidden / compute_busy if compute_busy else _nan()
+                ),
+            },
+            meta={"population": "closed_loop_phases"},
         )

@@ -125,6 +125,11 @@ class RunRecord:
     link_ends: List[Tuple[int, int]] = field(default_factory=list)
     #: link ids failed by the run's fault axis (empty when healthy).
     failed_links: frozenset = frozenset()
+    #: closed-loop phase records (``()`` for open-loop runs): one dict
+    #: per workload phase with name/release/comm_start/done/compute/
+    #: packets/flits/masked, in workload order.  The application-level
+    #: probes (cct, bubble, overlap) read these.
+    phases: Tuple[Dict, ...] = ()
 
     # ------------------------------------------------------------------
     @property

@@ -870,9 +870,19 @@ class NativeCore(ArrayCore):
         )
 
     def run(
-        self, rate: float, schedule: Optional[InjectionSchedule] = None
+        self,
+        rate: float,
+        schedule: Optional[InjectionSchedule] = None,
+        plan=None,
     ) -> SimResult:
         """Run the full warmup+measure+drain schedule at ``rate``."""
+        if plan is not None:
+            # The C kernel has no per-cycle callback surface for the
+            # closed-loop feedback, so decline and fall back to the
+            # array core's Python loop (same decline idiom as
+            # ``dest_batch = None``).  Results stay bit-identical to a
+            # plain ArrayCore run of the same plan.
+            return ArrayCore.run(self, rate, schedule=schedule, plan=plan)
         ctx = self._prepare(rate, schedule)
         st = self._build_state(ctx)
         err = self._lib.sim_run(ctypes.byref(st))

@@ -148,6 +148,10 @@ class ReferenceCore:
         #: fresh instance, where behaviour is bit-identical to the
         #: original single-run implementation.
         self._clock = 0
+        #: the closed-loop PhasePlan of the most recent run (None for
+        #: open-loop runs); run_record() reads its phase records and
+        #: measurement window.
+        self._plan = None
 
     # ------------------------------------------------------------------
     def injection_probs(self, rate: float) -> List[float]:
@@ -180,8 +184,14 @@ class ReferenceCore:
             self._np_rng,
         )
 
-    def _make_packet(self, t: int, src: int, measured: bool) -> Optional[Packet]:
-        dst = self.traffic.dest(src, self._py_rng)
+    def _make_packet(
+        self, t: int, src: int, measured: bool, dst: Optional[int] = None
+    ) -> Optional[Packet]:
+        # a caller-provided destination (closed-loop plan events) skips
+        # the traffic draw, so no RNG is consumed — matching the array
+        # core's plan-mode stream
+        if dst is None:
+            dst = self.traffic.dest(src, self._py_rng)
         if dst is None or dst == src:
             return None
         if self._route_flat is not None:
@@ -217,7 +227,19 @@ class ReferenceCore:
             )
         p = self.params
         graph = self.graph
-        measure_end = self._clock - p.drain_cycles
+        plan = self._plan
+        if plan is not None:
+            # closed-loop: the window is the measured makespan, not the
+            # (huge) horizon the params carried as a safety bound
+            measure_start = plan._t0
+            measure_cycles = plan.elapsed()
+            measure_end = measure_start + measure_cycles
+            phases = plan.phase_records()
+        else:
+            measure_start = self._clock - p.drain_cycles - p.measure_cycles
+            measure_cycles = p.measure_cycles
+            measure_end = measure_start + measure_cycles
+            phases = ()
         p_src, p_dst, p_t0, p_meas = [], [], [], []
         p_done, p_hops, p_off = [], [], []
         route_lv: List[int] = []
@@ -237,9 +259,9 @@ class ReferenceCore:
             num_links=graph.num_links,
             num_vcs=self.num_vcs,
             packet_length=p.packet_length,
-            measure_start=measure_end - p.measure_cycles,
+            measure_start=measure_start,
             measure_end=measure_end,
-            measure_cycles=p.measure_cycles,
+            measure_cycles=measure_cycles,
             active_chips=self._active_chips,
             p_src=p_src,
             p_dst=p_dst,
@@ -254,6 +276,7 @@ class ReferenceCore:
             },
             link_ends=[(l.src, l.dst) for l in graph.links],
             failed_links=failed_links_of(self.routing),
+            phases=phases,
         )
 
     def _finish_flit(self, pkt: Packet, fidx: int, t: int, in_window: bool) -> None:
@@ -266,10 +289,15 @@ class ReferenceCore:
             if pkt.measured:
                 self._latencies.append(t - pkt.t_create)
                 self._hops.append(len(pkt.path))
+            if self._plan is not None:
+                self._plan.packet_done(pkt.pid, t)
 
     # ------------------------------------------------------------------
     def run(
-        self, rate: float, schedule: Optional[InjectionSchedule] = None
+        self,
+        rate: float,
+        schedule: Optional[InjectionSchedule] = None,
+        plan=None,
     ) -> SimResult:
         """Run the full warmup+measure+drain schedule at ``rate``.
 
@@ -277,10 +305,17 @@ class ReferenceCore:
         pattern's active chips.  When ``schedule`` is given, packet
         starts come from it (in order) instead of per-cycle Bernoulli
         draws — the mode the cross-core equivalence tests pin.
+        ``plan`` switches to closed-loop mode: events come from a
+        :class:`~repro.workload.driver.PhasePlan` whose phase releases
+        feed back from tail-flit ejections, and the loop ends when the
+        last phase drains.
         """
+        if plan is not None and schedule is not None:
+            raise ValueError("pass either a schedule or a plan, not both")
         p = self.params
         if rate < 0:
             raise ValueError("rate must be >= 0")
+        self._plan = plan
         meas = p.measure_cycles
         # absolute cycle stamps: this run covers [t0, t_end)
         t0 = self._clock
@@ -289,33 +324,46 @@ class ReferenceCore:
         t_end = meas_end + p.drain_cycles
         pkt_len = p.packet_length
 
-        # Per-node Bernoulli probability of *starting a packet* this cycle.
-        active = self._active_nodes
-        probs = np.array(self.injection_probs(rate), dtype=np.float64)
-        if np.any(probs > 1.0):
-            raise ValueError(
-                f"offered rate {rate} exceeds 1 packet/node/cycle; "
-                "increase packet_length or lower the rate"
-            )
-        active_arr = np.array(active, dtype=np.int64)
-        # patterns with inactive nodes offer less than the nominal rate
-        effective_offered = (
-            float(probs.sum()) * pkt_len / self._active_chips
-            if self._active_chips
-            else 0.0
-        )
-
-        # Pinned-schedule injection state (None -> legacy Bernoulli).
-        if schedule is not None:
-            # schedule cycles are run-local; shift them onto the clock
-            ev_cycles = (
-                [c + t0 for c in schedule.cycles]
-                if t0
-                else schedule.cycles
-            )
-            ev_nodes = schedule.nodes
-            n_ev = len(ev_cycles)
+        if plan is not None:
+            if rate <= 0:
+                raise ValueError("closed-loop rate must be > 0")
+            # nothing is offered open-loop: the plan injects on demand
+            effective_offered = 0.0
+            ev_cycles = plan.ev_cycles
+            ev_nodes = plan.ev_nodes
+            ev_dests = plan.ev_dests
+            n_ev = plan.begin(t0)
             ev_ptr = 0
+        else:
+            # Per-node Bernoulli probability of *starting a packet*
+            # this cycle.
+            active = self._active_nodes
+            probs = np.array(self.injection_probs(rate), dtype=np.float64)
+            if np.any(probs > 1.0):
+                raise ValueError(
+                    f"offered rate {rate} exceeds 1 packet/node/cycle; "
+                    "increase packet_length or lower the rate"
+                )
+            active_arr = np.array(active, dtype=np.int64)
+            # patterns with inactive nodes offer less than the nominal
+            # rate
+            effective_offered = (
+                float(probs.sum()) * pkt_len / self._active_chips
+                if self._active_chips
+                else 0.0
+            )
+
+            # Pinned-schedule injection state (None -> legacy Bernoulli).
+            if schedule is not None:
+                # schedule cycles are run-local; shift onto the clock
+                ev_cycles = (
+                    [c + t0 for c in schedule.cycles]
+                    if t0
+                    else schedule.cycles
+                )
+                ev_nodes = schedule.nodes
+                n_ev = len(ev_cycles)
+                ev_ptr = 0
 
         wheel_size = self._wheel_size
         arrivals = self._arrivals
@@ -366,7 +414,28 @@ class ReferenceCore:
 
             # --- 3. packet generation ----------------------------------
             if t < meas_end:
-                if schedule is not None:
+                if plan is not None:
+                    starts = []
+                    while ev_ptr < n_ev and ev_cycles[ev_ptr] == t:
+                        nid = ev_nodes[ev_ptr]
+                        dst = ev_dests[ev_ptr]
+                        ev_ptr += 1
+                        # dst is pre-drawn and never None/self, so the
+                        # packet always materialises and pid stays equal
+                        # to the event index (the plan relies on that).
+                        pkt = self._make_packet(t, nid, in_window, dst=dst)
+                        if in_window:
+                            self._packets_measured += 1
+                        if not pkt.path:
+                            for fidx in range(pkt.size):
+                                self.total_flits_injected += 1
+                                finish_flit(pkt, fidx, t, in_window)
+                            continue
+                        srcq[nid].append([pkt, 0])
+                        if not hot_flag[nid]:
+                            hot_flag[nid] = 1
+                            hot_list.append(nid)
+                elif schedule is not None:
                     starts = []
                     while ev_ptr < n_ev and ev_cycles[ev_ptr] == t:
                         starts.append(ev_nodes[ev_ptr])
@@ -624,6 +693,16 @@ class ReferenceCore:
                 else:
                     hot_flag[r] = 0
 
+            # --- 5. closed-loop phase releases -------------------------
+            # Completions recorded this cycle release dependent phases
+            # at t+1; materialise their events before the next cycle's
+            # generation pass so the strict == t match never misses.
+            if plan is not None:
+                if plan.dirty:
+                    n_ev = plan.flush(ev_ptr)
+                if plan.finished:
+                    break
+
         self._hot_list = hot_list
         self._clock = t_end
 
@@ -635,7 +714,7 @@ class ReferenceCore:
             packets_measured=self._packets_measured,
             flits_ejected=self._flits_ejected_window,
             active_chips=self._active_chips,
-            measure_cycles=meas,
+            measure_cycles=plan.elapsed() if plan is not None else meas,
         )
 
     # ------------------------------------------------------------------

@@ -191,6 +191,10 @@ class ArrayCore:
         #: uses one per point) starts at 0, where behaviour is
         #: bit-identical to the single-run semantics.
         self._clock = 0
+        #: the closed-loop PhasePlan of the most recent run (None for
+        #: open-loop runs); run_record() reads its phase records and
+        #: measurement window.
+        self._plan = None
 
     # ------------------------------------------------------------------
     def _init_loop_state(self) -> None:
@@ -273,7 +277,18 @@ class ArrayCore:
             p_done[pid] = p_t0[pid] + latencies[i]
         p = self.params
         graph = self.graph
-        measure_end = self._clock - p.drain_cycles
+        plan = self._plan
+        if plan is not None:
+            # closed-loop: the whole makespan is the measurement window
+            measure_start = plan._t0
+            measure_cycles = plan.elapsed()
+            measure_end = measure_start + measure_cycles
+            phases = plan.phase_records()
+        else:
+            measure_end = self._clock - p.drain_cycles
+            measure_start = measure_end - p.measure_cycles
+            measure_cycles = p.measure_cycles
+            phases = ()
         return RunRecord(
             core=self.core_id,
             rate=rate,
@@ -281,10 +296,11 @@ class ArrayCore:
             num_links=graph.num_links,
             num_vcs=self.num_vcs,
             packet_length=p.packet_length,
-            measure_start=measure_end - p.measure_cycles,
+            measure_start=measure_start,
             measure_end=measure_end,
-            measure_cycles=p.measure_cycles,
+            measure_cycles=measure_cycles,
             active_chips=self._active_chips,
+            phases=phases,
             p_src=list(self._p_src),
             p_dst=list(self._p_dst),
             p_t0=list(p_t0[:npk]),
@@ -379,13 +395,25 @@ class ArrayCore:
 
     # ------------------------------------------------------------------
     def run(
-        self, rate: float, schedule: Optional[InjectionSchedule] = None
+        self,
+        rate: float,
+        schedule: Optional[InjectionSchedule] = None,
+        plan=None,
     ) -> SimResult:
-        """Run the full warmup+measure+drain schedule at ``rate``."""
+        """Run the full warmup+measure+drain schedule at ``rate``.
+
+        ``plan`` switches the run to closed-loop mode: injection events
+        come from (and phase completions feed back into) a
+        :class:`~repro.workload.driver.PhasePlan` instead of a
+        pre-sampled schedule, and the loop ends when the plan's last
+        phase drains.
+        """
+        if plan is not None and schedule is not None:
+            raise ValueError("pass either a schedule or a plan, not both")
         if not self._loop_ready:
             self._init_loop_state()
+        self._plan = plan
         p = self.params
-        probs = self._checked_probs(rate)
         meas = p.measure_cycles
         # absolute cycle stamps: this run covers [t0, t_end)
         t0 = self._clock
@@ -395,33 +423,51 @@ class ArrayCore:
         pkt_len = p.packet_length
         szm1 = pkt_len - 1
 
-        # bit-identical to the reference core's float(np.array(...).sum())
-        effective_offered = (
-            float(np.array(probs, dtype=np.float64).sum())
-            * pkt_len
-            / self._active_chips
-            if self._active_chips
-            else 0.0
-        )
-
-        if schedule is None:
-            schedule = build_injection_schedule(
-                self._active_nodes,
-                probs,
-                p.warmup_cycles + meas,
-                self._np_rng,
+        if plan is not None:
+            if rate <= 0:
+                raise ValueError("closed-loop rate must be > 0")
+            # nothing is offered open-loop: the plan injects on demand
+            effective_offered = 0.0
+            ev_cycles = plan.ev_cycles
+            ev_nodes = plan.ev_nodes
+            ev_dests = plan.ev_dests
+            n_ev = plan.begin(t0)
+            ip = 0
+            grow = [0] * plan.total_events
+        else:
+            probs = self._checked_probs(rate)
+            # bit-identical to the reference core's
+            # float(np.array(...).sum())
+            effective_offered = (
+                float(np.array(probs, dtype=np.float64).sum())
+                * pkt_len
+                / self._active_chips
+                if self._active_chips
+                else 0.0
             )
-        # schedule cycles are run-local; shift them onto the clock
-        ev_cycles = (
-            [c + t0 for c in schedule.cycles] if t0 else schedule.cycles
-        )
-        ev_nodes = schedule.nodes
-        n_ev = len(ev_cycles)
-        ip = 0
 
-        # Preallocate packet arrays: one slot per scheduled packet start
-        # (extending, so packet ids stay valid across repeated run()s).
-        grow = [0] * n_ev
+            if schedule is None:
+                schedule = build_injection_schedule(
+                    self._active_nodes,
+                    probs,
+                    p.warmup_cycles + meas,
+                    self._np_rng,
+                )
+            # schedule cycles are run-local; shift them onto the clock
+            ev_cycles = (
+                [c + t0 for c in schedule.cycles]
+                if t0
+                else schedule.cycles
+            )
+            ev_nodes = schedule.nodes
+            ev_dests = None
+            n_ev = len(ev_cycles)
+            ip = 0
+
+            # Preallocate packet arrays: one slot per scheduled packet
+            # start (extending, so packet ids stay valid across
+            # repeated run()s).
+            grow = [0] * n_ev
         p_off = self._p_off
         p_off.extend(grow)
         p_hops = self._p_hops
@@ -457,6 +503,7 @@ class ArrayCore:
         route_slice = self._route_slice
         dest = self.traffic.dest
         py_rng = self._py_rng
+        plan_done = plan.packet_done if plan is not None else None
 
         hd_key = self._hd_key
         hd_nlv = self._hd_nlv
@@ -575,10 +622,17 @@ class ArrayCore:
                 ip = n_ev
             while ip < n_ev and ev_cycles[ip] <= t:
                 nid = ev_nodes[ip]
-                ip += 1
-                dst = dest(nid, py_rng)
-                if dst is None or dst == nid:
-                    continue
+                if plan_done is not None:
+                    # closed-loop: destination was planned at release;
+                    # no drop branch, so pid == event index (the plan's
+                    # phase lookup key)
+                    dst = ev_dests[ip]
+                    ip += 1
+                else:
+                    ip += 1
+                    dst = dest(nid, py_rng)
+                    if dst is None or dst == nid:
+                        continue
                 off, nhops = route_slice(nid, dst)
                 pid = npk
                 npk += 1
@@ -601,6 +655,8 @@ class ArrayCore:
                         hops_out.append(0)
                         if probing:
                             eject_pid.append(pid)
+                    if plan_done is not None:
+                        plan_done(pid, t)
                     continue
                 sq = srcq[nid]
                 if not sq:
@@ -680,6 +736,8 @@ class ArrayCore:
                                     hops_out.append(p_hops[pid])
                                     if probing:
                                         eject_pid.append(pid)
+                                if plan_done is not None:
+                                    plan_done(pid, t)
                             n += 1
                             if not b:
                                 del ne[lv]
@@ -825,6 +883,8 @@ class ArrayCore:
                                         hops_out.append(p_hops[pid])
                                         if probing:
                                             eject_pid.append(pid)
+                                    if plan_done is not None:
+                                        plan_done(pid, t)
                                 n += 1
                                 if not b:
                                     del ne[lv]
@@ -961,6 +1021,8 @@ class ArrayCore:
                                             hops_out.append(p_hops[pid])
                                             if probing:
                                                 eject_pid.append(pid)
+                                        if plan_done is not None:
+                                            plan_done(pid, t)
                                     if b:
                                         set_head(desc, b[0])
                                     else:
@@ -1006,6 +1068,14 @@ class ArrayCore:
                     hot_flag[r] = 0
 
             t += 1
+            # --- closed-loop phase releases ----------------------------
+            if plan is not None:
+                if plan.dirty:
+                    # completions this cycle unlocked phases: merge
+                    # their events (cycles >= t) into the tail
+                    n_ev = plan.flush(ip)
+                if plan.finished:
+                    break
             # --- idle fast-forward -------------------------------------
             if not hot_list and pending == 0:
                 if ip < n_ev:
@@ -1030,7 +1100,9 @@ class ArrayCore:
             packets_measured=pm,
             flits_ejected=few,
             active_chips=self._active_chips,
-            measure_cycles=meas,
+            # closed-loop: the window is the measured makespan, so
+            # accepted_rate reports achieved collective bandwidth
+            measure_cycles=plan.elapsed() if plan is not None else meas,
         )
 
     # ------------------------------------------------------------------

@@ -203,13 +203,17 @@ class Simulator:
         self,
         rate: float,
         schedule: Optional[InjectionSchedule] = None,
+        plan=None,
     ) -> SimResult:
         """Run the full warmup+measure+drain window at ``rate``.
 
         ``rate`` is offered load in flits/cycle/chip over the traffic
         pattern's active chips.  ``schedule`` pins the packet-start
         events (used by the cross-core equivalence harness); by default
-        the core samples its own.
+        the core samples its own.  ``plan`` switches to closed-loop
+        mode (see :class:`~repro.workload.driver.PhasePlan`): injections
+        follow the plan's phase releases and the run ends when the last
+        phase drains.
 
         With probes attached, each probe decodes the run's record into
         one channel on the returned result — strictly after the core
@@ -224,7 +228,7 @@ class Simulator:
                     "Simulator per probed point"
                 )
             self._probed_runs = 1
-        result = self._core.run(rate, schedule=schedule)
+        result = self._core.run(rate, schedule=schedule, plan=plan)
         if self.probes:
             record = self._core.run_record(rate)
             self.last_record = record

@@ -1,0 +1,124 @@
+"""``repro.workload-trace/v1``: the workload trace file format.
+
+A trace is the on-disk form of a :class:`~repro.workload.ir.Workload`
+DAG, so recorded or synthetic traces are first-class scenario inputs
+(``ExperimentSpec(workload="trace", workload_opts={"trace": <doc>})``).
+
+Serialisation is canonical — sorted keys, fixed separators, two-space
+indent, trailing newline — so ``workload_dumps(workload_loads(text)) ==
+text`` holds byte-for-byte for documents produced here (the round-trip
+stability the trace tests pin down).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict
+
+from .ir import Phase, Workload
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "workload_to_data",
+    "workload_from_data",
+    "workload_dumps",
+    "workload_loads",
+    "save_trace",
+    "load_trace",
+]
+
+TRACE_SCHEMA = "repro.workload-trace/v1"
+
+
+def workload_to_data(workload: Workload) -> Dict:
+    """JSON-ready dict (schema ``repro.workload-trace/v1``).
+
+    Defaults are omitted so documents stay minimal and canonical.
+    """
+    phases = []
+    for p in workload.phases:
+        entry: Dict = {"name": p.name, "pattern": list(p.pattern)}
+        if p.volume:
+            entry["volume"] = p.volume
+        if p.after:
+            entry["after"] = list(p.after)
+        if p.compute:
+            entry["compute"] = p.compute
+        phases.append(entry)
+    return {
+        "schema": TRACE_SCHEMA,
+        "name": workload.name,
+        "phases": phases,
+    }
+
+
+def workload_from_data(data: Dict) -> Workload:
+    schema = data.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ValueError(
+            f"not a workload trace: schema {schema!r} "
+            f"(expected {TRACE_SCHEMA!r})"
+        )
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise ValueError("workload trace needs a non-empty 'name'")
+    raw = data.get("phases")
+    if not isinstance(raw, list) or not raw:
+        raise ValueError("workload trace needs a non-empty 'phases' list")
+    phases = []
+    for entry in raw:
+        if not isinstance(entry, dict):
+            raise ValueError(f"malformed phase entry {entry!r}")
+        extra = set(entry) - {"name", "pattern", "volume", "after", "compute"}
+        if extra:
+            raise ValueError(
+                f"phase {entry.get('name')!r}: unknown field(s) "
+                f"{', '.join(sorted(extra))}"
+            )
+        pattern = entry.get("pattern", ["none"])
+        if not isinstance(pattern, list):
+            raise ValueError(
+                f"phase {entry.get('name')!r}: pattern must be a list"
+            )
+        phases.append(
+            Phase(
+                name=entry.get("name", ""),
+                pattern=tuple(pattern),
+                volume=int(entry.get("volume", 0)),
+                after=tuple(entry.get("after", ())),
+                compute=int(entry.get("compute", 0)),
+            )
+        )
+    return Workload(name=name, phases=tuple(phases))
+
+
+def workload_dumps(workload: Workload) -> str:
+    """Canonical (byte-stable) trace document for ``workload``."""
+    return (
+        json.dumps(
+            workload_to_data(workload),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+        + "\n"
+    )
+
+
+def workload_loads(text: str) -> Workload:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"workload trace is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError("workload trace must be a JSON object")
+    return workload_from_data(data)
+
+
+def save_trace(workload: Workload, path) -> None:
+    Path(path).write_text(workload_dumps(workload))
+
+
+def load_trace(path) -> Workload:
+    return workload_loads(Path(path).read_text())

@@ -1,0 +1,86 @@
+"""CLI surface of the closed-loop workloads."""
+
+import json
+
+from repro.cli import main
+from repro.workload import build_workload, save_trace
+
+
+def test_workloads_verb_lists_builders_and_schema(capsys):
+    assert main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    for name in ("ring_allreduce", "tree_allreduce", "all_to_all",
+                 "pipeline", "trace"):
+        assert name in out
+    assert "repro.workload-trace/v1" in out
+
+
+def test_list_mentions_workloads(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "application workloads" in out
+    assert "ring_allreduce" in out
+    assert "workload_smoke" in out
+
+
+def test_metrics_lists_closed_loop_channels(capsys):
+    assert main(["metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "cct" in out and "bubble" in out and "overlap" in out
+
+
+def test_run_bundled_workload_study(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    rc = main([
+        "run", "workload_smoke", "--scale", "quick", "--workers", "1",
+        "--out", str(out_file),
+    ])
+    assert rc == 0
+    data = json.loads(out_file.read_text())
+    point = data["scenarios"][0]["curves"][0]["points"][0]
+    assert "cct" in point["result"]["channels"]
+
+
+def test_run_workload_flag_and_channel_report(capsys, tmp_path):
+    out_file = tmp_path / "res.json"
+    rc = main([
+        "run", "smoke", "--scale", "quick", "--workers", "1",
+        "--workload", "ring_allreduce", "--workload-opts", "volume=32",
+        "--metrics", "cct", "--out", str(out_file),
+    ])
+    assert rc == 0
+    # the saved result renders the cct table back through report
+    rc = main(["report", str(out_file), "--channel", "cct"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "cct" in out and "rs0" in out
+
+
+def test_run_workload_trace_from_file(capsys, tmp_path):
+    trace = tmp_path / "trace.json"
+    save_trace(build_workload("all_to_all", None, num_chips=4), trace)
+    rc = main([
+        "run", "smoke", "--scale", "quick", "--workers", "1",
+        "--workload", "trace", "--workload-opts", f"trace={trace}",
+        "--metrics", "cct",
+    ])
+    assert rc == 0
+
+
+def test_run_misspelled_workload_suggests(capsys):
+    rc = main([
+        "run", "smoke", "--scale", "quick",
+        "--workload", "ring_alreduce",
+    ])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'ring_allreduce'" in err
+
+
+def test_bad_workload_opts_rejected(capsys):
+    rc = main([
+        "run", "smoke", "--scale", "quick",
+        "--workload", "ring_allreduce", "--workload-opts", "volume",
+    ])
+    assert rc == 2
+    assert "KEY=VALUE" in capsys.readouterr().err

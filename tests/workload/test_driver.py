@@ -1,0 +1,175 @@
+"""PhasePlan semantics and the closed-loop driver."""
+
+import pytest
+
+from repro.engine import ExperimentSpec, build_experiment
+from repro.engine.executor import simulate_point
+from repro.network import SimParams
+from repro.workload import (
+    PhasePlan,
+    build_workload,
+    participating_chips,
+    run_closed_loop,
+)
+
+PARAMS = SimParams(seed=11)
+
+
+def mesh_experiment(**kw):
+    spec = ExperimentSpec.create(
+        topology="mesh", topology_opts={"dim": 4, "chiplet_dim": 2},
+        routing="xy_mesh", traffic="uniform", params=PARAMS,
+        rates=[0.5], **kw,
+    )
+    return spec, build_experiment(spec)
+
+
+class TestParticipatingChips:
+    def test_chips_and_nodes_cover_scope(self):
+        _, (graph, routing, traffic) = mesh_experiment()
+        index, positions, nodes = participating_chips(traffic)
+        assert len(positions) == 4
+        assert sorted(n for ns in nodes.values() for n in ns) == sorted(
+            traffic.active_nodes()
+        )
+
+
+class TestPhasePlan:
+    def build_plan(self, workload_name="ring_allreduce", opts=None,
+                   rate=0.5):
+        _, (graph, routing, traffic) = mesh_experiment()
+        _, positions, _ = participating_chips(traffic)
+        w = build_workload(workload_name, opts, num_chips=len(positions))
+        return PhasePlan(w, traffic, params=PARAMS, rate=rate, seed=3)
+
+    def test_rejects_zero_rate(self):
+        _, (graph, routing, traffic) = mesh_experiment()
+        w = build_workload("ring_allreduce", None, num_chips=4)
+        with pytest.raises(ValueError, match="rate"):
+            PhasePlan(w, traffic, params=PARAMS, rate=0.0, seed=3)
+
+    def test_begin_materialises_only_roots(self):
+        plan = self.build_plan()
+        n_ev = plan.begin(0)
+        # ring: one root phase; later phases are gated
+        assert n_ev == len(plan._templates[0])
+        assert n_ev < plan.total_events
+        assert not plan.finished
+
+    def test_begin_is_single_run(self):
+        plan = self.build_plan()
+        plan.begin(0)
+        with pytest.raises(RuntimeError, match="single-run"):
+            plan.begin(0)
+
+    def test_packet_done_drains_phase_and_releases_dependent(self):
+        plan = self.build_plan()
+        n_ev = plan.begin(0)
+        for pid in range(n_ev):
+            plan.packet_done(pid, 100 + pid)
+        assert plan.dirty  # phase 0 done -> phase 1 pending
+        n2 = plan.flush(n_ev)
+        assert n2 == n_ev + len(plan._templates[1])
+        # dependent released at t_done + 1, after its compute (0 here)
+        t_done = 100 + n_ev - 1
+        assert plan._release_c[1] == t_done + 1
+        assert min(plan.ev_cycles[n_ev:]) >= t_done + 1
+
+    def test_event_arrays_stay_cycle_sorted_past_pointer(self):
+        plan = self.build_plan()
+        n_ev = plan.begin(0)
+        for pid in range(n_ev):
+            plan.packet_done(pid, 50)
+        plan.flush(n_ev)
+        tail = plan.ev_cycles[n_ev:]
+        assert tail == sorted(tail)
+
+    def test_compute_only_phases_cascade_through_flush(self):
+        plan = self.build_plan("all_to_all", {"compute": 64})
+        plan.begin(0)
+        n_ev = len(plan.ev_cycles)
+        for pid in range(n_ev):
+            plan.packet_done(pid, 10)
+        assert plan.dirty
+        n2 = plan.flush(n_ev)
+        # the compute-only expert phase resolved inline and released
+        # the combine phase: its events start after the compute gap
+        assert n2 > n_ev
+        assert min(plan.ev_cycles[n_ev:]) >= 10 + 1 + 64
+
+    def test_elapsed_is_makespan(self):
+        # drive every event to completion round by round
+        plan = self.build_plan()
+        plan.begin(5)
+        consumed = 0
+        t = 30
+        while not plan.finished:
+            n = len(plan.ev_cycles)
+            for pid in range(consumed, n):
+                plan.packet_done(pid, t)
+            consumed = n
+            if plan.dirty:
+                plan.flush(consumed)
+            t += 100
+        assert plan.elapsed() == (t - 100) - 5 + 1
+        assert consumed == plan.total_events
+
+    def test_phase_records_report_all_phases(self):
+        plan = self.build_plan()
+        recs = plan.phase_records()
+        assert len(recs) == plan.num_phases
+        assert all(r["done"] == -1 for r in recs)  # nothing ran yet
+        assert {"name", "release", "comm_start", "done", "compute",
+                "packets", "flits", "masked"} <= set(recs[0])
+
+    def test_horizon_bounds_the_run(self):
+        plan = self.build_plan()
+        per_phase_flits = sum(
+            len(t) for t in plan._templates
+        ) * plan._L
+        assert plan.horizon() > per_phase_flits
+
+
+class TestRunClosedLoop:
+    def test_end_to_end_finishes_and_measures_makespan(self):
+        spec, (graph, routing, traffic) = mesh_experiment(
+            workload="ring_allreduce", workload_opts={"volume": 32},
+        )
+        result = run_closed_loop(spec, graph, routing, traffic, 0.5)
+        assert result.packets_measured > 0
+        assert result.delivered_fraction == pytest.approx(1.0)
+        assert not result.saturated
+
+    def test_simulate_point_routes_closed_loop(self):
+        spec, _ = mesh_experiment(
+            workload="ring_allreduce", workload_opts={"volume": 32},
+            metrics=("cct", "bubble", "overlap"),
+        )
+        result = simulate_point(spec, 0.5)
+        cct = result.channels["cct"]
+        assert cct.summary["phases"] == 6.0
+        assert cct.summary["makespan"] > 0
+        # chained ring phases tile the makespan: ccts sum to it
+        assert sum(r[4] for r in cct.rows) == cct.summary["makespan"]
+        bubble = result.channels["bubble"]
+        assert bubble.summary["bubble_fraction"] == pytest.approx(0.0)
+
+    def test_open_loop_points_carry_empty_phase_channels(self):
+        spec, _ = mesh_experiment(metrics=("cct",))
+        result = simulate_point(spec, 0.3)
+        cct = result.channels["cct"]
+        assert cct.summary["phases"] == 0.0
+        assert cct.rows == ()
+
+    def test_overlap_reported_for_pipeline(self):
+        spec, _ = mesh_experiment(
+            workload="pipeline",
+            workload_opts={"volume": 32, "compute": 64},
+            metrics=("overlap",),
+        )
+        result = simulate_point(spec, 0.5)
+        ov = result.channels["overlap"].summary
+        assert ov["compute_cycles"] > 0
+        # microbatch b computes while b-1 communicates
+        assert ov["overlap_cycles"] > 0
+        assert 0.0 < ov["overlap_fraction"] <= 1.0

@@ -1,0 +1,159 @@
+"""Workload IR: Phase/Workload validation, builders, registry."""
+
+import pytest
+
+from repro.workload import (
+    WORKLOADS,
+    Phase,
+    Workload,
+    build_workload,
+    list_workloads,
+    workload_descriptions,
+)
+
+
+class TestPhase:
+    def test_shift_phase(self):
+        p = Phase(name="a", pattern=("shift", 1), volume=16)
+        assert p.communicates
+
+    def test_compute_only_phase(self):
+        p = Phase(name="c", pattern=("none",), compute=32)
+        assert not p.communicates
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="pattern"):
+            Phase(name="a", pattern=("ring",), volume=16)
+
+    def test_shift_needs_offset(self):
+        with pytest.raises(ValueError):
+            Phase(name="a", pattern=("shift",), volume=16)
+
+    def test_comm_phase_needs_volume(self):
+        with pytest.raises(ValueError, match="volume"):
+            Phase(name="a", pattern=("shift", 1), volume=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Phase(name="", pattern=("none",))
+
+
+class TestWorkloadDag:
+    def test_duplicate_phase_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Workload(
+                name="w",
+                phases=(
+                    Phase(name="a", pattern=("shift", 1), volume=8),
+                    Phase(name="a", pattern=("shift", 1), volume=8),
+                ),
+            )
+
+    def test_unknown_dependency_with_suggestion(self):
+        with pytest.raises(ValueError) as err:
+            Workload(
+                name="w",
+                phases=(
+                    Phase(name="scatter", pattern=("shift", 1), volume=8),
+                    Phase(
+                        name="gather", pattern=("shift", 1), volume=8,
+                        after=("scater",),
+                    ),
+                ),
+            )
+        assert "scater" in str(err.value)
+        assert "did you mean 'scatter'" in str(err.value)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Workload(
+                name="w",
+                phases=(
+                    Phase(
+                        name="a", pattern=("shift", 1), volume=8,
+                        after=("a",),
+                    ),
+                ),
+            )
+
+    def test_cycle_rejected_and_named(self):
+        with pytest.raises(ValueError) as err:
+            Workload(
+                name="w",
+                phases=(
+                    Phase(name="a", pattern=("shift", 1), volume=8,
+                          after=("b",)),
+                    Phase(name="b", pattern=("shift", 1), volume=8,
+                          after=("a",)),
+                ),
+            )
+        msg = str(err.value)
+        assert "cycle" in msg and "a" in msg and "b" in msg
+
+    def test_topo_order_respects_dependencies(self):
+        w = Workload(
+            name="w",
+            phases=(
+                Phase(name="c", pattern=("none",), compute=4,
+                      after=("a", "b")),
+                Phase(name="a", pattern=("shift", 1), volume=8),
+                Phase(name="b", pattern=("shift", 1), volume=8,
+                      after=("a",)),
+            ),
+        )
+        order = w.topo_order()
+        idx = w.phase_index()
+        pos = {i: n for n, i in enumerate(order)}
+        assert pos[idx["a"]] < pos[idx["b"]] < pos[idx["c"]]
+
+
+class TestBuilders:
+    def test_registry_lists_all_builders(self):
+        names = list_workloads()
+        assert {
+            "ring_allreduce", "tree_allreduce", "hierarchical_allreduce",
+            "all_to_all", "pipeline",
+        } <= set(names)
+        descs = workload_descriptions()
+        assert set(descs) == set(WORKLOADS)
+        assert all(descs.values())
+
+    def test_ring_allreduce_phase_count(self):
+        for n in (2, 3, 5, 8):
+            w = build_workload("ring_allreduce", None, num_chips=n)
+            assert w.num_phases == 2 * (n - 1)
+
+    def test_all_builders_build_at_various_sizes(self):
+        for name in list_workloads():
+            for n in (2, 3, 4, 7):
+                w = build_workload(name, None, num_chips=n)
+                assert w.num_phases >= 1
+                w.topo_order()  # DAG is valid
+
+    def test_all_to_all_has_compute_gap(self):
+        w = build_workload("all_to_all", {"compute": 50}, num_chips=4)
+        assert any(
+            p.compute == 50 and not p.communicates for p in w.phases
+        )
+
+    def test_pipeline_dependency_frontier(self):
+        w = build_workload(
+            "pipeline", {"stages": 3, "microbatches": 2}, num_chips=4
+        )
+        idx = w.phase_index()
+        assert set(w.phases[idx["s1b1"]].after) == {"s0b1", "s1b0"}
+
+    def test_unknown_name_suggests(self):
+        with pytest.raises(ValueError) as err:
+            build_workload("ring_alreduce", None, num_chips=4)
+        assert "did you mean" in str(err.value)
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(
+                "ring_allreduce", {"volum": 64}, num_chips=4
+            )
+
+    def test_too_few_chips_rejected(self):
+        with pytest.raises(ValueError, match="chips"):
+            build_workload("ring_allreduce", None, num_chips=1)

@@ -1,0 +1,64 @@
+"""Closed-loop studies through the simulation service: cct streams live."""
+
+import threading
+
+import pytest
+
+from repro.api import build_study
+from repro.service import ServiceClient, create_server
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = create_server(
+        host="127.0.0.1", port=0, cache_dir=tmp_path, default_workers=1
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    try:
+        yield client, server
+    finally:
+        server.initiate_shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_workload_study_streams_cct_summaries(service):
+    client, _ = service
+    study = build_study("workload_smoke", scale="quick")
+    job = client.submit_study(study)["id"]
+    points = []
+    terminal = None
+    for event in client.stream(job):
+        if event["event"] == "point":
+            points.append(event)
+        elif event["event"] in ("done", "failed", "cancelled"):
+            terminal = event["event"]
+            break
+    assert terminal == "done"
+    assert points
+    for event in points:
+        channels = event["result"].get("channels") or {}
+        assert "cct" in channels, event["curve"]
+        summary = channels["cct"]["summary"]
+        assert summary["makespan"] > 0
+        assert summary["phases"] > 0
+    # closed-loop points report the makespan as the measure window
+    assert all(
+        e["result"]["measure_cycles"] > 0 for e in points
+    )
+
+
+def test_workload_job_result_retrievable(service):
+    client, _ = service
+    study = build_study("workload_smoke", scale="quick")
+    job = client.submit_study(study)["id"]
+    for event in client.stream(job):
+        if event["event"] in ("done", "failed"):
+            assert event["event"] == "done"
+            break
+    result = client.result(job)
+    point = result.scenarios[0].curves[0].points[0]
+    assert "cct" in point.result.channels
+    assert point.result.channels["cct"].summary["makespan"] > 0

@@ -1,0 +1,89 @@
+"""repro.workload-trace/v1: canonical serialisation round trips."""
+
+import pytest
+
+from repro.workload import (
+    TRACE_SCHEMA,
+    build_workload,
+    list_workloads,
+    load_trace,
+    save_trace,
+    workload_dumps,
+    workload_from_data,
+    workload_loads,
+    workload_to_data,
+)
+
+
+class TestRoundTrip:
+    def test_every_builder_round_trips(self):
+        for name in list_workloads():
+            w = build_workload(name, None, num_chips=4)
+            again = workload_loads(workload_dumps(w))
+            assert again == w
+
+    def test_dumps_is_byte_stable(self):
+        w = build_workload("pipeline", None, num_chips=4)
+        text = workload_dumps(w)
+        # canonical form: loads -> dumps reproduces the exact bytes
+        assert workload_dumps(workload_loads(text)) == text
+        assert text.endswith("\n")
+
+    def test_file_round_trip(self, tmp_path):
+        w = build_workload("all_to_all", {"compute": 32}, num_chips=3)
+        path = tmp_path / "trace.json"
+        save_trace(w, path)
+        assert load_trace(path) == w
+        # a second save writes identical bytes
+        blob = path.read_bytes()
+        save_trace(load_trace(path), path)
+        assert path.read_bytes() == blob
+
+    def test_defaults_omitted_from_document(self):
+        w = build_workload("ring_allreduce", None, num_chips=2)
+        data = workload_to_data(w)
+        assert data["schema"] == TRACE_SCHEMA
+        first = data["phases"][0]
+        assert "after" not in first       # roots carry no after list
+        assert "compute" not in first     # pure-comm phases omit compute
+
+
+class TestValidation:
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            workload_from_data({"schema": "nope/v9", "name": "w",
+                                "phases": [{"name": "a"}]})
+
+    def test_missing_phases_rejected(self):
+        with pytest.raises(ValueError, match="phases"):
+            workload_from_data({"schema": TRACE_SCHEMA, "name": "w",
+                                "phases": []})
+
+    def test_unknown_phase_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown field"):
+            workload_from_data({
+                "schema": TRACE_SCHEMA, "name": "w",
+                "phases": [{"name": "a", "pattern": ["shift", 1],
+                            "volume": 8, "sizee": 2}],
+            })
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ValueError, match="JSON"):
+            workload_loads("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            workload_loads("[1, 2]")
+
+    def test_trace_phases_revalidate_dag(self):
+        # the IR's cycle check runs on loaded traces too
+        with pytest.raises(ValueError, match="cycle"):
+            workload_from_data({
+                "schema": TRACE_SCHEMA, "name": "w",
+                "phases": [
+                    {"name": "a", "pattern": ["shift", 1], "volume": 8,
+                     "after": ["b"]},
+                    {"name": "b", "pattern": ["shift", 1], "volume": 8,
+                     "after": ["a"]},
+                ],
+            })
